@@ -1,0 +1,100 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "util/check.h"
+
+namespace gsi::bench {
+namespace {
+
+double EnvDouble(const char* name, double def) {
+  const char* v = std::getenv(name);
+  return v ? std::atof(v) : def;
+}
+
+size_t EnvSize(const char* name, size_t def) {
+  const char* v = std::getenv(name);
+  return v ? static_cast<size_t>(std::atoll(v)) : def;
+}
+
+}  // namespace
+
+const BenchEnv& Env() {
+  static const BenchEnv env = [] {
+    BenchEnv e;
+    e.scale = EnvDouble("GSI_BENCH_SCALE", 6.0);
+    e.queries = EnvSize("GSI_BENCH_QUERIES", 5);
+    e.query_vertices = EnvSize("GSI_BENCH_QSIZE", 8);
+    return e;
+  }();
+  return env;
+}
+
+const Dataset& GetDataset(const std::string& name) {
+  static auto& cache = *new std::map<std::string, Dataset>();
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    Result<Dataset> d = MakeDataset(name, Env().scale);
+    GSI_CHECK_MSG(d.ok(), name.c_str());
+    std::fprintf(stderr, "[bench] dataset %s: %s\n", name.c_str(),
+                 d->graph.Summary().c_str());
+    it = cache.emplace(name, std::move(d.value())).first;
+  }
+  return it->second;
+}
+
+const std::vector<Graph>& GetQueries(const std::string& dataset_name,
+                                     size_t num_vertices, size_t num_edges,
+                                     size_t count) {
+  using Key = std::tuple<std::string, size_t, size_t, size_t>;
+  static auto& cache = *new std::map<Key, std::vector<Graph>>();
+  Key key{dataset_name, num_vertices, num_edges, count};
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    const Dataset& d = GetDataset(dataset_name);
+    QueryGenConfig qc;
+    qc.num_vertices = num_vertices;
+    qc.num_edges = num_edges;
+    std::vector<Graph> qs = GenerateQuerySet(d.graph, qc, count,
+                                             /*seed=*/4242);
+    GSI_CHECK_MSG(!qs.empty(), "query generation produced nothing");
+    it = cache.emplace(key, std::move(qs)).first;
+  }
+  return it->second;
+}
+
+Aggregate RunGsi(const std::string& dataset_name, const GsiOptions& options,
+                 const std::vector<Graph>& queries) {
+  GsiMatcher matcher(GetDataset(dataset_name).graph, options);
+  return RunQueries(matcher, queries);
+}
+
+TableCollector::TableCollector(std::string title,
+                               std::vector<std::string> header)
+    : title_(std::move(title)), header_(std::move(header)) {}
+
+void TableCollector::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TableCollector::PrintAndClear() {
+  TablePrinter p(header_);
+  for (auto& r : rows_) p.AddRow(std::move(r));
+  std::printf("\n");
+  p.Print(title_);
+  rows_.clear();
+}
+
+int BenchMain(int argc, char** argv,
+              const std::vector<TableCollector*>& tables) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  for (TableCollector* t : tables) t->PrintAndClear();
+  return 0;
+}
+
+}  // namespace gsi::bench

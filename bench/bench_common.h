@@ -1,0 +1,111 @@
+#ifndef GSI_BENCH_BENCH_COMMON_H_
+#define GSI_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "graph/datasets.h"
+#include "graph/graph.h"
+#include "graph/query_generator.h"
+#include "gsi/matcher.h"
+#include "util/table_printer.h"
+
+namespace gsi::bench {
+
+/// Environment-controlled knobs so benches scale to the machine:
+///   GSI_BENCH_SCALE    dataset scale factor (default 6.0)
+///   GSI_BENCH_QUERIES  queries per measurement (default 5; paper: 100)
+///   GSI_BENCH_QSIZE    |V(Q)| (default 8; the paper's 12 at its 1000x
+///                      larger scale lands in the same selectivity regime)
+struct BenchEnv {
+  double scale = 6.0;
+  size_t queries = 5;
+  size_t query_vertices = 8;
+};
+const BenchEnv& Env();
+
+/// Cached named dataset at Env().scale.
+const Dataset& GetDataset(const std::string& name);
+
+/// Cached deterministic query workload for a dataset (random-walk queries,
+/// Section VII-A). `num_edges`=0 keeps walked edges only.
+const std::vector<Graph>& GetQueries(const std::string& dataset_name,
+                                     size_t num_vertices, size_t num_edges,
+                                     size_t count);
+
+/// Sum/average measurements over a query set for one engine run.
+struct Aggregate {
+  double sum_ms = 0;           // simulated device time
+  double sum_filter_ms = 0;
+  double sum_join_ms = 0;
+  uint64_t gld = 0;            // join-phase global load transactions
+  uint64_t gst = 0;            // join-phase global store transactions
+  uint64_t filter_gld = 0;
+  size_t matches = 0;
+  size_t min_candidate_sum = 0;
+  size_t ok = 0;
+  size_t failed = 0;           // ResourceExhausted etc. (skipped)
+
+  double AvgMs() const { return ok ? sum_ms / static_cast<double>(ok) : 0; }
+  double AvgFilterMs() const {
+    return ok ? sum_filter_ms / static_cast<double>(ok) : 0;
+  }
+  double AvgMinCandidate() const {
+    return ok ? static_cast<double>(min_candidate_sum) /
+                    static_cast<double>(ok)
+              : 0;
+  }
+};
+
+/// Runs `matcher.Find` over all queries; any engine with the QueryResult
+/// interface (GsiMatcher, EdgeJoinMatcher) works.
+template <typename Matcher>
+Aggregate RunQueries(Matcher& matcher, const std::vector<Graph>& queries) {
+  Aggregate agg;
+  for (const Graph& q : queries) {
+    Result<QueryResult> r = matcher.Find(q);
+    if (!r.ok()) {
+      ++agg.failed;
+      continue;
+    }
+    ++agg.ok;
+    agg.sum_ms += r->stats.total_ms;
+    agg.sum_filter_ms += r->stats.filter_ms;
+    agg.sum_join_ms += r->stats.join_ms;
+    agg.gld += r->stats.join.gld;
+    agg.gst += r->stats.join.gst;
+    agg.filter_gld += r->stats.filter.gld;
+    agg.matches += r->num_matches();
+    agg.min_candidate_sum += r->stats.min_candidate_size;
+  }
+  return agg;
+}
+
+/// Convenience: build a GsiMatcher over a dataset and run the workload.
+Aggregate RunGsi(const std::string& dataset_name, const GsiOptions& options,
+                 const std::vector<Graph>& queries);
+
+/// Collects rows during google-benchmark execution and prints the
+/// paper-style table afterwards. One collector per bench binary.
+class TableCollector {
+ public:
+  TableCollector(std::string title, std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  void PrintAndClear();
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Standard main body: initialize gbench, run, print collected tables.
+int BenchMain(int argc, char** argv,
+              const std::vector<TableCollector*>& tables);
+
+}  // namespace gsi::bench
+
+#endif  // GSI_BENCH_BENCH_COMMON_H_

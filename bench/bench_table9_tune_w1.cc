@@ -1,0 +1,51 @@
+// Table IX — "Tuning of W1": join time on enron as the layer-1 threshold
+// of the load-balance scheme sweeps 2048..6144 (W3 fixed at 256).
+
+#include "bench_common.h"
+
+namespace gsi::bench {
+namespace {
+
+TableCollector& Table() {
+  static auto& t = *new TableCollector(
+      "Table IX: Tuning of W1 (enron, W3=256; sweep extended below the "
+      "paper's 2048..6144 because at this scale no row exceeds 2048)",
+      {"W1", "Join time (ms, simulated)"});
+  return t;
+}
+
+void BM_TuneW1(benchmark::State& state, uint32_t w1) {
+  const auto& queries =
+      GetQueries("enron", Env().query_vertices, 0, Env().queries);
+  GsiOptions o = GsiOptOptions();
+  o.join.w1 = w1;
+  o.join.w3 = 256;
+
+  Aggregate agg;
+  for (auto _ : state) {
+    agg = RunGsi("enron", o, queries);
+    state.SetIterationTime(std::max(1e-9, agg.sum_join_ms / 1000.0));
+  }
+  double ms = agg.ok ? agg.sum_join_ms / agg.ok : 0;
+  state.counters["join_ms"] = ms;
+  Table().AddRow({std::to_string(w1), TablePrinter::FormatMs(ms)});
+}
+
+void RegisterAll() {
+  for (uint32_t w1 : {1088u, 1536u, 2048u, 4096u, 6144u}) {
+    benchmark::RegisterBenchmark(
+        ("table9/W1=" + std::to_string(w1)).c_str(),
+        [w1](benchmark::State& s) { BM_TuneW1(s, w1); })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace gsi::bench
+
+int main(int argc, char** argv) {
+  gsi::bench::RegisterAll();
+  return gsi::bench::BenchMain(argc, argv, {&gsi::bench::Table()});
+}

@@ -1,0 +1,110 @@
+// Social-network motif counting: generates a scale-free "friendship"
+// network with interaction labels and counts classic motifs (labeled
+// triangles, diamonds, stars) with GSI, cross-checking one motif against
+// a CPU baseline. This is the paper's social-network-analysis motivation.
+//
+//   $ ./build/examples/social_network_motifs [num_vertices]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/cpu_matcher.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/labeler.h"
+#include "gsi/matcher.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace gsi;
+
+// Interaction labels.
+constexpr Label kFriend = 0;
+constexpr Label kFollows = 1;
+
+Graph MakeSocialNetwork(size_t n) {
+  Rng rng(2024);
+  std::vector<RawEdge> edges = GenerateScaleFree(n, 6, rng);
+  LabelConfig lc;
+  lc.num_vertex_labels = 4;  // user "communities"
+  lc.num_edge_labels = 2;    // friend / follows
+  lc.seed = 99;
+  return std::move(AssignLabels(n, edges, lc).value());
+}
+
+Graph Triangle(Label community, Label elabel) {
+  GraphBuilder b;
+  VertexId u0 = b.AddVertex(community);
+  VertexId u1 = b.AddVertex(community);
+  VertexId u2 = b.AddVertex(community);
+  b.AddEdge(u0, u1, elabel);
+  b.AddEdge(u1, u2, elabel);
+  b.AddEdge(u2, u0, elabel);
+  return std::move(b).Build().value();
+}
+
+Graph Diamond(Label community) {
+  // Two triangles sharing an edge: u0-u1-u2-u0 and u1-u2-u3-u1.
+  GraphBuilder b;
+  VertexId u0 = b.AddVertex(community);
+  VertexId u1 = b.AddVertex(community);
+  VertexId u2 = b.AddVertex(community);
+  VertexId u3 = b.AddVertex(community);
+  b.AddEdge(u0, u1, kFriend);
+  b.AddEdge(u1, u2, kFriend);
+  b.AddEdge(u2, u0, kFriend);
+  b.AddEdge(u1, u3, kFriend);
+  b.AddEdge(u2, u3, kFriend);
+  return std::move(b).Build().value();
+}
+
+Graph Star(Label center_community, size_t leaves) {
+  GraphBuilder b;
+  VertexId c = b.AddVertex(center_community);
+  for (size_t i = 0; i < leaves; ++i) {
+    VertexId leaf = b.AddVertex(center_community);
+    b.AddEdge(c, leaf, kFollows);
+  }
+  return std::move(b).Build().value();
+}
+
+void Report(const char* name, GsiMatcher& matcher, const Graph& motif) {
+  Result<QueryResult> r = matcher.Find(motif);
+  if (!r.ok()) {
+    std::printf("%-28s %s\n", name, r.status().ToString().c_str());
+    return;
+  }
+  std::printf("%-28s embeddings=%-8zu sim=%.2f ms  (join GLD %llu)\n", name,
+              r->num_matches(), r->stats.total_ms,
+              static_cast<unsigned long long>(r->stats.join.gld));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t n = argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 30000;
+  Graph network = MakeSocialNetwork(n);
+  std::printf("social network: %s\n\n", network.Summary().c_str());
+
+  GsiMatcher matcher(network, GsiOptOptions());
+  Report("friend triangle (comm 0)", matcher, Triangle(0, kFriend));
+  Report("friend triangle (comm 1)", matcher, Triangle(1, kFriend));
+  Report("follow triangle (comm 0)", matcher, Triangle(0, kFollows));
+  Report("diamond (comm 0)", matcher, Diamond(0));
+  // Stars on hub-heavy graphs explode combinatorially; community 2 is a
+  // rarer label so the row-cap guard is not hit.
+  Report("follow star, 3 leaves", matcher, Star(2, 3));
+
+  // Cross-check one motif with a CPU engine.
+  Graph tri = Triangle(0, kFriend);
+  Result<QueryResult> gsi_result = matcher.Find(tri);
+  CpuMatchResult vf2 = Vf2Match(network, tri);
+  std::printf(
+      "\ncross-check friend triangle: GSI=%zu VF2=%zu (%s)\n",
+      gsi_result.ok() ? gsi_result->num_matches() : 0, vf2.num_matches,
+      (gsi_result.ok() && gsi_result->num_matches() == vf2.num_matches)
+          ? "agree"
+          : "MISMATCH");
+  return 0;
+}

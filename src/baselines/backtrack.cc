@@ -1,0 +1,55 @@
+#include "baselines/backtrack.h"
+
+namespace gsi {
+
+CpuMatchResult BacktrackDriver::Run(
+    const std::vector<VertexId>& order,
+    const std::vector<std::vector<VertexId>>& candidates) {
+  order_ = &order;
+  candidates_ = &candidates;
+  assignment_.assign(query_.num_vertices(), kInvalidVertex);
+  used_.assign(data_.num_vertices(), false);
+  result_ = CpuMatchResult{};
+  timer_.Reset();
+  steps_ = 0;
+  Extend(0);
+  result_.wall_ms = timer_.ElapsedMs();
+  return result_;
+}
+
+bool BacktrackDriver::Extend(size_t depth) {
+  if (depth == order_->size()) {
+    ++result_.num_matches;
+    if (options_.collect_matches) result_.matches.push_back(assignment_);
+    return result_.num_matches < options_.match_limit;
+  }
+  VertexId u = (*order_)[depth];
+  for (VertexId v : (*candidates_)[u]) {
+    if ((++steps_ & 0xFFF) == 0 &&
+        timer_.ElapsedMs() > options_.timeout_ms) {
+      result_.timed_out = true;
+      return false;
+    }
+    if (used_[v]) continue;
+    // Verify every query edge to an already-assigned vertex.
+    bool ok = true;
+    for (const Neighbor& n : query_.neighbors(u)) {
+      VertexId w = assignment_[n.v];
+      if (w == kInvalidVertex) continue;
+      if (!data_.HasEdge(v, w, n.elabel)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    assignment_[u] = v;
+    used_[v] = true;
+    bool keep_going = Extend(depth + 1);
+    used_[v] = false;
+    assignment_[u] = kInvalidVertex;
+    if (!keep_going) return false;
+  }
+  return true;
+}
+
+}  // namespace gsi

@@ -1,0 +1,47 @@
+#ifndef GSI_BASELINES_BACKTRACK_H_
+#define GSI_BASELINES_BACKTRACK_H_
+
+#include <vector>
+
+#include "baselines/cpu_matcher.h"
+#include "graph/graph.h"
+#include "util/common.h"
+#include "util/timer.h"
+
+namespace gsi {
+
+/// Shared DFS driver for the CPU baselines: given a matching order and
+/// per-vertex candidate lists, enumerates all injective, edge-preserving
+/// embeddings. Each baseline differs in how it builds the order and the
+/// candidates (its pruning); the search core is identical, which keeps the
+/// comparison about pruning power rather than code quality.
+class BacktrackDriver {
+ public:
+  BacktrackDriver(const Graph& data, const Graph& query,
+                  const CpuMatcherOptions& options)
+      : data_(data), query_(query), options_(options) {}
+
+  /// Runs the DFS. `order` must contain every query vertex exactly once;
+  /// `candidates[u]` lists candidate data vertices of query vertex u.
+  CpuMatchResult Run(const std::vector<VertexId>& order,
+                     const std::vector<std::vector<VertexId>>& candidates);
+
+ private:
+  bool Extend(size_t depth);
+
+  const Graph& data_;
+  const Graph& query_;
+  CpuMatcherOptions options_;
+
+  const std::vector<VertexId>* order_ = nullptr;
+  const std::vector<std::vector<VertexId>>* candidates_ = nullptr;
+  std::vector<VertexId> assignment_;
+  std::vector<bool> used_;
+  CpuMatchResult result_;
+  WallTimer timer_;
+  size_t steps_ = 0;
+};
+
+}  // namespace gsi
+
+#endif  // GSI_BASELINES_BACKTRACK_H_

@@ -1,0 +1,119 @@
+#include <algorithm>
+#include <unordered_map>
+
+#include "baselines/backtrack.h"
+#include "baselines/cpu_matcher.h"
+
+namespace gsi {
+namespace {
+
+/// Core-forest-leaf decomposition of the query (CFL-Match): the core is the
+/// 2-core; removing it leaves trees (forest) whose degree-1 fringe are the
+/// leaves. Returns a class per vertex: 0 = core, 1 = forest, 2 = leaf.
+std::vector<int> Decompose(const Graph& query) {
+  const size_t nq = query.num_vertices();
+  std::vector<size_t> deg(nq);
+  for (VertexId u = 0; u < nq; ++u) deg[u] = query.degree(u);
+  // Iteratively peel degree-1 vertices to find the 2-core.
+  std::vector<bool> peeled(nq, false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (VertexId u = 0; u < nq; ++u) {
+      if (!peeled[u] && deg[u] <= 1) {
+        peeled[u] = true;
+        changed = true;
+        for (const Neighbor& n : query.neighbors(u)) {
+          if (!peeled[n.v] && deg[n.v] > 0) --deg[n.v];
+        }
+      }
+    }
+  }
+  std::vector<int> cls(nq, 0);
+  for (VertexId u = 0; u < nq; ++u) {
+    if (!peeled[u]) {
+      cls[u] = 0;  // core
+    } else if (query.degree(u) == 1) {
+      cls[u] = 2;  // leaf
+    } else {
+      cls[u] = 1;  // forest
+    }
+  }
+  // A query with an empty 2-core (a tree): treat the highest-degree vertex
+  // as the core seed so ordering still starts somewhere sensible.
+  bool has_core = std::any_of(cls.begin(), cls.end(),
+                              [](int c) { return c == 0; });
+  if (!has_core) {
+    VertexId seed = 0;
+    for (VertexId u = 1; u < nq; ++u) {
+      if (query.degree(u) > query.degree(seed)) seed = u;
+    }
+    cls[seed] = 0;
+  }
+  return cls;
+}
+
+}  // namespace
+
+CpuMatchResult CflMatch(const Graph& data, const Graph& query,
+                        const CpuMatcherOptions& options) {
+  const size_t nq = query.num_vertices();
+
+  // CPI-style candidates: label + degree + per-edge-label degree.
+  std::vector<std::vector<VertexId>> candidates(nq);
+  for (VertexId u = 0; u < nq; ++u) {
+    std::unordered_map<Label, uint32_t> need;
+    for (const Neighbor& n : query.neighbors(u)) ++need[n.elabel];
+    for (VertexId v = 0; v < data.num_vertices(); ++v) {
+      if (data.vertex_label(v) != query.vertex_label(u)) continue;
+      if (data.degree(v) < query.degree(u)) continue;
+      bool ok = true;
+      for (const auto& [l, cnt] : need) {
+        if (data.NeighborsWithLabel(v, l).size() < cnt) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) candidates[u].push_back(v);
+    }
+  }
+
+  // Matching order: core first ("postponing the Cartesian products" of the
+  // forest/leaves), each class ordered by candidate count, grown
+  // connected to what is already matched.
+  std::vector<int> cls = Decompose(query);
+  std::vector<VertexId> order;
+  std::vector<bool> in_order(nq, false);
+  auto pick = [&](int klass, bool require_connected) -> VertexId {
+    VertexId best = kInvalidVertex;
+    for (VertexId u = 0; u < nq; ++u) {
+      if (in_order[u] || cls[u] != klass) continue;
+      if (require_connected && !order.empty()) {
+        bool connected = false;
+        for (const Neighbor& n : query.neighbors(u)) {
+          connected |= in_order[n.v];
+        }
+        if (!connected) continue;
+      }
+      if (best == kInvalidVertex ||
+          candidates[u].size() < candidates[best].size()) {
+        best = u;
+      }
+    }
+    return best;
+  };
+  for (int klass : {0, 1, 2}) {
+    while (true) {
+      VertexId u = pick(klass, !order.empty());
+      if (u == kInvalidVertex) u = pick(klass, false);
+      if (u == kInvalidVertex) break;
+      order.push_back(u);
+      in_order[u] = true;
+    }
+  }
+
+  BacktrackDriver driver(data, query, options);
+  return driver.Run(order, candidates);
+}
+
+}  // namespace gsi

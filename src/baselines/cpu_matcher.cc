@@ -1,0 +1,39 @@
+#include "baselines/cpu_matcher.h"
+
+#include <algorithm>
+
+namespace gsi {
+
+std::vector<std::vector<VertexId>> CpuMatchResult::SortedMatches() const {
+  std::vector<std::vector<VertexId>> out = matches;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+CpuMatchResult RunCpuMatcher(CpuAlgorithm algorithm, const Graph& data,
+                             const Graph& query,
+                             const CpuMatcherOptions& options) {
+  switch (algorithm) {
+    case CpuAlgorithm::kUllmann:
+      return UllmannMatch(data, query, options);
+    case CpuAlgorithm::kVf2:
+      return Vf2Match(data, query, options);
+    case CpuAlgorithm::kCflMatch:
+      return CflMatch(data, query, options);
+  }
+  return CpuMatchResult{};
+}
+
+std::string CpuAlgorithmName(CpuAlgorithm algorithm) {
+  switch (algorithm) {
+    case CpuAlgorithm::kUllmann:
+      return "Ullmann";
+    case CpuAlgorithm::kVf2:
+      return "VF3";
+    case CpuAlgorithm::kCflMatch:
+      return "CFL-Match";
+  }
+  return "?";
+}
+
+}  // namespace gsi

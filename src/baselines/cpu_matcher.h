@@ -1,0 +1,59 @@
+#ifndef GSI_BASELINES_CPU_MATCHER_H_
+#define GSI_BASELINES_CPU_MATCHER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/common.h"
+
+namespace gsi {
+
+/// Options shared by the CPU baseline matchers (Ullmann, VF2, CFL-Match).
+struct CpuMatcherOptions {
+  /// Stop after this many matches (SIZE_MAX = enumerate all).
+  size_t match_limit = SIZE_MAX;
+  /// Abort after this much wall time; the paper cuts CPU baselines off at
+  /// 100 seconds (Figure 12).
+  double timeout_ms = 100000.0;
+  /// Keep the matches (tests) or just count them (benches).
+  bool collect_matches = false;
+};
+
+/// Result of a CPU matcher run.
+struct CpuMatchResult {
+  size_t num_matches = 0;
+  double wall_ms = 0;
+  bool timed_out = false;
+  /// Present iff collect_matches; each entry indexed by query vertex id.
+  std::vector<std::vector<VertexId>> matches;
+
+  /// Sorted copy of `matches` (canonical form for comparisons).
+  std::vector<std::vector<VertexId>> SortedMatches() const;
+};
+
+/// Algorithm selector for RunCpuMatcher.
+enum class CpuAlgorithm {
+  kUllmann,   ///< Ullmann (1976): candidate matrix + refinement + DFS
+  kVf2,       ///< VF2/VF3-style state space with feasibility rules
+  kCflMatch,  ///< CFL-Match-style core-forest-leaf decomposition
+};
+
+CpuMatchResult RunCpuMatcher(CpuAlgorithm algorithm, const Graph& data,
+                             const Graph& query,
+                             const CpuMatcherOptions& options = {});
+
+std::string CpuAlgorithmName(CpuAlgorithm algorithm);
+
+// Direct entry points (same semantics as RunCpuMatcher).
+CpuMatchResult UllmannMatch(const Graph& data, const Graph& query,
+                            const CpuMatcherOptions& options = {});
+CpuMatchResult Vf2Match(const Graph& data, const Graph& query,
+                        const CpuMatcherOptions& options = {});
+CpuMatchResult CflMatch(const Graph& data, const Graph& query,
+                        const CpuMatcherOptions& options = {});
+
+}  // namespace gsi
+
+#endif  // GSI_BASELINES_CPU_MATCHER_H_

@@ -1,0 +1,78 @@
+#ifndef GSI_BASELINES_EDGE_CANDIDATES_H_
+#define GSI_BASELINES_EDGE_CANDIDATES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "graph/graph.h"
+#include "gsi/filter.h"
+#include "gsi/matcher.h"
+#include "storage/neighbor_store.h"
+#include "util/status.h"
+
+namespace gsi {
+
+/// The edge-oriented breadth-first join framework shared by the GpSM and
+/// GunrockSM baselines (Section I / Section VIII): query edges are
+/// processed in spanning-tree BFS order; every tree edge *extends* the
+/// intermediate table by one column and every non-tree edge *semi-joins*
+/// (filters) it. Both passes use the two-step output scheme (count, prefix
+/// sum, recompute + write — Example 1, Figure 3), traditional CSR storage
+/// and naive set operations; none of GSI's optimizations.
+class EdgeJoinMatcher {
+ public:
+  struct Config {
+    std::string name;
+    /// GpSM filters with label+degree+neighbor refinement; GunrockSM with
+    /// label+degree only (Table IV).
+    FilterStrategy filter = FilterStrategy::kLabelDegree;
+    /// GpSM starts its BFS at the query vertex with the fewest candidates;
+    /// GunrockSM uses the first query vertex.
+    bool min_candidate_start = false;
+    /// Intermediate-table row budget.
+    size_t max_rows = 4u * 1024 * 1024;
+    gpusim::DeviceConfig device;
+  };
+
+  EdgeJoinMatcher(const Graph& data, Config config);
+
+  /// Enumerates all matches (same semantics and result type as
+  /// GsiMatcher::Find so benches treat engines uniformly).
+  Result<QueryResult> Find(const Graph& query);
+
+  gpusim::Device& device() { return *dev_; }
+  const std::string& name() const { return config_.name; }
+
+ private:
+  struct EdgeStep {
+    bool is_extend;      // tree edge: bind a new vertex; else semi-join
+    VertexId u_new;      // extend only
+    uint32_t bound_col;  // column of the already-bound endpoint
+    uint32_t other_col;  // semi-join only: the second bound column
+    Label label;
+  };
+
+  std::vector<EdgeStep> PlanEdges(const Graph& query,
+                                  const std::vector<CandidateSet>& cands,
+                                  std::vector<VertexId>& order) const;
+
+  const Graph* data_;
+  Config config_;
+  std::unique_ptr<gpusim::Device> dev_;
+  std::unique_ptr<NeighborStore> store_;  // traditional CSR
+  std::unique_ptr<FilterContext> filter_;
+};
+
+/// GpSM (Tran et al., DASFAA 2015) configured per the paper's comparison.
+EdgeJoinMatcher MakeGpsmMatcher(const Graph& data,
+                                gpusim::DeviceConfig device = {});
+/// GunrockSM (Wang et al., HPDC 2016) configured per the paper's
+/// comparison.
+EdgeJoinMatcher MakeGunrockSmMatcher(const Graph& data,
+                                     gpusim::DeviceConfig device = {});
+
+}  // namespace gsi
+
+#endif  // GSI_BASELINES_EDGE_CANDIDATES_H_

@@ -1,0 +1,65 @@
+#include "baselines/oracle.h"
+
+#include <algorithm>
+
+namespace gsi {
+namespace {
+
+struct SearchState {
+  const Graph* data;
+  const Graph* query;
+  size_t limit;
+  std::vector<VertexId> assignment;  // query vertex -> data vertex
+  std::vector<bool> used;            // data vertex used
+  std::vector<std::vector<VertexId>>* out;
+};
+
+void Backtrack(SearchState& s, VertexId u) {
+  const size_t nq = s.query->num_vertices();
+  if (u == nq) {
+    s.out->push_back(s.assignment);
+    return;
+  }
+  for (VertexId v = 0; v < s.data->num_vertices(); ++v) {
+    if (s.out->size() >= s.limit) return;
+    if (s.used[v]) continue;
+    if (s.data->vertex_label(v) != s.query->vertex_label(u)) continue;
+    // Every query edge to an already-assigned vertex must exist with the
+    // same label.
+    bool ok = true;
+    for (const Neighbor& n : s.query->neighbors(u)) {
+      if (n.v < u) {
+        if (!s.data->HasEdge(v, s.assignment[n.v], n.elabel)) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (!ok) continue;
+    s.assignment[u] = v;
+    s.used[v] = true;
+    Backtrack(s, u + 1);
+    s.used[v] = false;
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<VertexId>> EnumerateMatchesBruteForce(
+    const Graph& data, const Graph& query, size_t limit) {
+  std::vector<std::vector<VertexId>> out;
+  if (query.num_vertices() == 0) return out;
+  SearchState s{&data, &query, limit,
+                std::vector<VertexId>(query.num_vertices(), kInvalidVertex),
+                std::vector<bool>(data.num_vertices(), false), &out};
+  Backtrack(s, 0);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t CountMatchesBruteForce(const Graph& data, const Graph& query,
+                              size_t limit) {
+  return EnumerateMatchesBruteForce(data, query, limit).size();
+}
+
+}  // namespace gsi

@@ -1,0 +1,28 @@
+#ifndef GSI_BASELINES_ORACLE_H_
+#define GSI_BASELINES_ORACLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/common.h"
+
+namespace gsi {
+
+/// Reference subgraph-isomorphism enumerator: plain backtracking with label
+/// checks and no pruning beyond adjacency. Deliberately simple — every
+/// engine in this repository (GSI in all configurations, GpSM, GunrockSM,
+/// Ullmann, VF2, CFL) is validated against it in tests.
+///
+/// Returns all matches, each indexed by query vertex id, sorted
+/// lexicographically. `limit` caps enumeration (SIZE_MAX = all).
+std::vector<std::vector<VertexId>> EnumerateMatchesBruteForce(
+    const Graph& data, const Graph& query, size_t limit = SIZE_MAX);
+
+/// Convenience: just the count.
+size_t CountMatchesBruteForce(const Graph& data, const Graph& query,
+                              size_t limit = SIZE_MAX);
+
+}  // namespace gsi
+
+#endif  // GSI_BASELINES_ORACLE_H_

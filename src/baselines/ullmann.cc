@@ -1,0 +1,72 @@
+#include <algorithm>
+
+#include "baselines/backtrack.h"
+#include "baselines/cpu_matcher.h"
+
+namespace gsi {
+namespace {
+
+/// Ullmann's refinement: v stays a candidate of u only if every query
+/// neighbour u' of u has some candidate v' adjacent to v with the right
+/// edge label. Iterates to a fixpoint (bounded rounds).
+void Refine(const Graph& data, const Graph& query,
+            std::vector<std::vector<VertexId>>& candidates) {
+  const size_t nq = query.num_vertices();
+  bool changed = true;
+  int rounds = 0;
+  while (changed && rounds < 8) {
+    changed = false;
+    ++rounds;
+    for (VertexId u = 0; u < nq; ++u) {
+      auto& cu = candidates[u];
+      auto survive = [&](VertexId v) {
+        for (const Neighbor& qn : query.neighbors(u)) {
+          std::span<const Neighbor> dn =
+              data.NeighborsWithLabel(v, qn.elabel);
+          bool found = false;
+          for (const Neighbor& n : dn) {
+            if (std::binary_search(candidates[qn.v].begin(),
+                                   candidates[qn.v].end(), n.v)) {
+              found = true;
+              break;
+            }
+          }
+          if (!found) return false;
+        }
+        return true;
+      };
+      size_t before = cu.size();
+      cu.erase(std::remove_if(cu.begin(), cu.end(),
+                              [&](VertexId v) { return !survive(v); }),
+               cu.end());
+      if (cu.size() != before) changed = true;
+    }
+  }
+}
+
+}  // namespace
+
+CpuMatchResult UllmannMatch(const Graph& data, const Graph& query,
+                            const CpuMatcherOptions& options) {
+  const size_t nq = query.num_vertices();
+  // Candidate matrix: label + degree test.
+  std::vector<std::vector<VertexId>> candidates(nq);
+  for (VertexId u = 0; u < nq; ++u) {
+    for (VertexId v = 0; v < data.num_vertices(); ++v) {
+      if (data.vertex_label(v) == query.vertex_label(u) &&
+          data.degree(v) >= query.degree(u)) {
+        candidates[u].push_back(v);
+      }
+    }
+  }
+  Refine(data, query, candidates);
+
+  // Plain query-vertex order (Ullmann's depth-first strategy).
+  std::vector<VertexId> order(nq);
+  for (VertexId u = 0; u < nq; ++u) order[u] = u;
+
+  BacktrackDriver driver(data, query, options);
+  return driver.Run(order, candidates);
+}
+
+}  // namespace gsi

@@ -1,0 +1,77 @@
+#include <algorithm>
+#include <unordered_map>
+
+#include "baselines/backtrack.h"
+#include "baselines/cpu_matcher.h"
+
+namespace gsi {
+namespace {
+
+/// Label + degree + per-edge-label degree candidate test (the node
+/// classification rule VF3 adds on top of VF2).
+bool CandidateFeasible(const Graph& data, const Graph& query, VertexId v,
+                       VertexId u) {
+  if (data.vertex_label(v) != query.vertex_label(u)) return false;
+  if (data.degree(v) < query.degree(u)) return false;
+  std::unordered_map<Label, uint32_t> need;
+  for (const Neighbor& n : query.neighbors(u)) ++need[n.elabel];
+  for (const auto& [l, cnt] : need) {
+    if (data.NeighborsWithLabel(v, l).size() < cnt) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+CpuMatchResult Vf2Match(const Graph& data, const Graph& query,
+                        const CpuMatcherOptions& options) {
+  const size_t nq = query.num_vertices();
+
+  std::vector<std::vector<VertexId>> candidates(nq);
+  for (VertexId u = 0; u < nq; ++u) {
+    for (VertexId v = 0; v < data.num_vertices(); ++v) {
+      if (CandidateFeasible(data, query, v, u)) candidates[u].push_back(v);
+    }
+  }
+
+  // VF3-style ordering: start from the most constrained vertex (fewest
+  // candidates relative to degree), then grow connected, preferring
+  // vertices with many matched neighbours and few candidates.
+  std::vector<VertexId> order;
+  std::vector<bool> in_order(nq, false);
+  auto start_score = [&](VertexId u) {
+    return static_cast<double>(candidates[u].size() + 1) /
+           static_cast<double>(query.degree(u));
+  };
+  VertexId start = 0;
+  for (VertexId u = 1; u < nq; ++u) {
+    if (start_score(u) < start_score(start)) start = u;
+  }
+  order.push_back(start);
+  in_order[start] = true;
+  while (order.size() < nq) {
+    VertexId best = kInvalidVertex;
+    double best_score = 0;
+    for (VertexId u = 0; u < nq; ++u) {
+      if (in_order[u]) continue;
+      size_t matched_neighbors = 0;
+      for (const Neighbor& n : query.neighbors(u)) {
+        matched_neighbors += in_order[n.v] ? 1 : 0;
+      }
+      if (matched_neighbors == 0) continue;
+      double score = static_cast<double>(matched_neighbors) /
+                     static_cast<double>(candidates[u].size() + 1);
+      if (best == kInvalidVertex || score > best_score) {
+        best = u;
+        best_score = score;
+      }
+    }
+    order.push_back(best);
+    in_order[best] = true;
+  }
+
+  BacktrackDriver driver(data, query, options);
+  return driver.Run(order, candidates);
+}
+
+}  // namespace gsi

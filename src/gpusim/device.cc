@@ -1,0 +1,47 @@
+#include "gpusim/device.h"
+
+#include <algorithm>
+
+namespace gsi::gpusim {
+
+Device::Device(DeviceConfig config)
+    : config_(config), next_addr_(kTransactionBytes) {}
+
+uint64_t Device::TakeAddressRange(uint64_t bytes) {
+  uint64_t base = next_addr_;
+  uint64_t aligned = (bytes + kTransactionBytes - 1) / kTransactionBytes *
+                     kTransactionBytes;
+  // Leave a guard line between buffers so adjacent buffers never share a
+  // transaction line (matches distinct cudaMalloc allocations).
+  next_addr_ += aligned + kTransactionBytes;
+  return base;
+}
+
+uint64_t Device::CoalescedTransactions(std::span<const uint64_t> addrs,
+                                       uint64_t bytes_per_lane) {
+  if (addrs.empty() || bytes_per_lane == 0) return 0;
+  // Collect the 128B line indices touched by every lane, then count
+  // distinct ones. Lane counts are <= 32 so a stack sort is fine.
+  uint64_t lines[kWarpSize * 4];
+  size_t n = 0;
+  for (uint64_t a : addrs) {
+    uint64_t first = a / kTransactionBytes;
+    uint64_t last = (a + bytes_per_lane - 1) / kTransactionBytes;
+    for (uint64_t line = first; line <= last; ++line) {
+      if (n < std::size(lines)) {
+        lines[n++] = line;
+      }
+    }
+  }
+  std::sort(lines, lines + n);
+  return static_cast<uint64_t>(std::unique(lines, lines + n) - lines);
+}
+
+uint64_t Device::RangeTransactions(uint64_t base_addr, uint64_t bytes) {
+  if (bytes == 0) return 0;
+  uint64_t first = base_addr / kTransactionBytes;
+  uint64_t last = (base_addr + bytes - 1) / kTransactionBytes;
+  return last - first + 1;
+}
+
+}  // namespace gsi::gpusim

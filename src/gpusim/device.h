@@ -1,0 +1,74 @@
+#ifndef GSI_GPUSIM_DEVICE_H_
+#define GSI_GPUSIM_DEVICE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gpusim/device_buffer.h"
+#include "gpusim/gpusim.h"
+
+namespace gsi::gpusim {
+
+/// The simulated GPU: owns the virtual address space, the architectural
+/// configuration and the accumulated counters.
+///
+/// Usage:
+///   Device dev;
+///   auto buf = dev.Alloc<uint32_t>(n);
+///   Launch(dev, {...}, [&](Warp& w) { ... });   // see launch.h
+///   dev.stats().gld;                            // transactions observed
+class Device {
+ public:
+  explicit Device(DeviceConfig config = DeviceConfig());
+
+  const DeviceConfig& config() const { return config_; }
+
+  /// Allocates a zero-initialized buffer of n elements at a fresh,
+  /// 128B-aligned virtual address.
+  template <typename T>
+  DeviceBuffer<T> Alloc(size_t n) {
+    return DeviceBuffer<T>(std::vector<T>(n),
+                           BufferAddress(TakeAddressRange(n * sizeof(T))));
+  }
+
+  /// Allocates a buffer initialized from host data.
+  template <typename T>
+  DeviceBuffer<T> Upload(std::vector<T> host) {
+    uint64_t bytes = host.size() * sizeof(T);
+    return DeviceBuffer<T>(std::move(host),
+                           BufferAddress(TakeAddressRange(bytes)));
+  }
+
+  MemStats& stats() { return stats_; }
+  const MemStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = MemStats(); }
+
+  /// Charges the fixed overhead of one kernel launch without running one.
+  /// Models the naive set-operation baseline that spawns a kernel per
+  /// operation (Section V, "GPU-friendly Set Operation").
+  void ChargeKernelLaunch() {
+    stats_.kernel_launches += 1;
+    stats_.simulated_cycles += config_.kernel_launch_cycles;
+  }
+
+  /// Number of distinct 128B lines touched by one warp-wide access where
+  /// each lane reads/writes `bytes_per_lane` bytes starting at addrs[lane].
+  /// This is the hardware coalescing rule (Figures 5/6 of the paper).
+  static uint64_t CoalescedTransactions(std::span<const uint64_t> addrs,
+                                        uint64_t bytes_per_lane);
+
+  /// Transactions for one warp reading a contiguous byte range.
+  static uint64_t RangeTransactions(uint64_t base_addr, uint64_t bytes);
+
+ private:
+  uint64_t TakeAddressRange(uint64_t bytes);
+
+  DeviceConfig config_;
+  MemStats stats_;
+  uint64_t next_addr_;
+};
+
+}  // namespace gsi::gpusim
+
+#endif  // GSI_GPUSIM_DEVICE_H_

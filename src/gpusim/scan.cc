@@ -1,0 +1,44 @@
+#include "gpusim/scan.h"
+
+#include "gpusim/launch.h"
+#include "util/check.h"
+
+namespace gsi::gpusim {
+
+namespace {
+// Elements each warp streams during the scan kernel.
+constexpr size_t kScanTile = 1024;
+}  // namespace
+
+uint64_t ExclusiveScan(Device& dev, const DeviceBuffer<uint32_t>& values,
+                       DeviceBuffer<uint64_t>& out) {
+  size_t n = values.size();
+  GSI_CHECK(out.size() >= n + 1);
+
+  // Compute the scan host-side (the result is what matters for downstream
+  // logic), then charge the cost as a tiled device kernel: each warp reads
+  // its input tile, does ~2 ALU ops per element (up-sweep + down-sweep) and
+  // writes its output tile.
+  uint64_t acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = acc;
+    acc += values[i];
+  }
+  out[n] = acc;
+
+  size_t num_warps = (n + kScanTile - 1) / kScanTile;
+  if (num_warps == 0) num_warps = 1;
+  Launch(dev, num_warps, [&](Warp& w) {
+    size_t begin = w.global_id() * kScanTile;
+    if (begin >= n) return;
+    size_t count = std::min(kScanTile, n - begin);
+    w.LoadRange(values, begin, count);
+    w.Alu(2 * count);
+    // Output elements are u64: charge the store range explicitly.
+    w.StoreRange(out, begin, std::span<const uint64_t>(out.data() + begin,
+                                                       count));
+  });
+  return acc;
+}
+
+}  // namespace gsi::gpusim

@@ -1,0 +1,22 @@
+#ifndef GSI_GPUSIM_SCAN_H_
+#define GSI_GPUSIM_SCAN_H_
+
+#include <cstdint>
+
+#include "gpusim/device.h"
+
+namespace gsi::gpusim {
+
+/// Device-side exclusive prefix sum over `values[0..n)`, written to
+/// `out[0..n]` (out has n+1 entries; out[n] is the total). This is the
+/// primitive both the two-step output scheme and Prealloc-Combine rely on
+/// (Figure 3 / Algorithm 4). Charged as one kernel whose warps stream the
+/// input and output.
+///
+/// Returns the total (out[n]).
+uint64_t ExclusiveScan(Device& dev, const DeviceBuffer<uint32_t>& values,
+                       DeviceBuffer<uint64_t>& out);
+
+}  // namespace gsi::gpusim
+
+#endif  // GSI_GPUSIM_SCAN_H_

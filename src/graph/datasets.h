@@ -1,0 +1,38 @@
+#ifndef GSI_GRAPH_DATASETS_H_
+#define GSI_GRAPH_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace gsi {
+
+/// A named benchmark dataset: a synthetic stand-in for one of the paper's
+/// graphs (Table III), with matching *shape* (graph type, label counts,
+/// degree skew) at laptop scale. The scale factor multiplies vertex/edge
+/// counts; scale=1.0 is the default benchmark size.
+struct Dataset {
+  std::string name;
+  Graph graph;
+  /// The paper's dataset this stands in for, e.g. "enron (69K/274K)".
+  std::string paper_counterpart;
+};
+
+/// Names accepted by MakeDataset: "enron", "gowalla", "road", "watdiv",
+/// "dbpedia". "watdiv" also accepts an explicit edge budget through
+/// MakeWatDivLike for the Figure 13 scalability sweep.
+std::vector<std::string> DatasetNames();
+
+/// Builds the named dataset deterministically (fixed seeds).
+Result<Dataset> MakeDataset(const std::string& name, double scale = 1.0);
+
+/// WatDiv-like scale-free RDF graph with the benchmark's label profile
+/// (|LV|=1K, |LE|=86); `num_vertices` scales the size, edges ~5x vertices.
+/// Used by the Figure 13 scalability series (watdiv10M..100M analogue).
+Result<Dataset> MakeWatDivLike(size_t num_vertices, uint64_t seed = 7);
+
+}  // namespace gsi
+
+#endif  // GSI_GRAPH_DATASETS_H_

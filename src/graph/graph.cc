@@ -1,0 +1,195 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <tuple>
+
+namespace gsi {
+namespace {
+
+std::string HumanCount(size_t v) {
+  char buf[32];
+  if (v >= 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", static_cast<double>(v) / 1e6);
+  } else if (v >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%.1fK", static_cast<double>(v) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zu", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+Result<Graph> Graph::Create(size_t num_vertices,
+                            std::vector<Label> vertex_labels,
+                            std::vector<EdgeRecord> edges) {
+  if (vertex_labels.size() != num_vertices) {
+    return Status::InvalidArgument("vertex_labels size mismatch");
+  }
+  for (const EdgeRecord& e : edges) {
+    if (e.src >= num_vertices || e.dst >= num_vertices) {
+      return Status::InvalidArgument("edge endpoint out of range");
+    }
+    if (e.src == e.dst) {
+      return Status::InvalidArgument("self-loops are not supported");
+    }
+  }
+
+  // Canonicalize (src < dst) and dedup exact duplicates.
+  for (EdgeRecord& e : edges) {
+    if (e.src > e.dst) std::swap(e.src, e.dst);
+  }
+  std::sort(edges.begin(), edges.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.src, a.dst, a.label) < std::tie(b.src, b.dst, b.label);
+  });
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  Graph g;
+  g.vertex_labels_ = std::move(vertex_labels);
+
+  // Degree counting for CSR offsets (both directions).
+  std::vector<uint64_t> degree(num_vertices, 0);
+  for (const EdgeRecord& e : edges) {
+    ++degree[e.src];
+    ++degree[e.dst];
+  }
+  g.offsets_.assign(num_vertices + 1, 0);
+  for (size_t v = 0; v < num_vertices; ++v) {
+    g.offsets_[v + 1] = g.offsets_[v] + degree[v];
+    g.max_degree_ = std::max(g.max_degree_, static_cast<size_t>(degree[v]));
+  }
+  g.adj_.resize(g.offsets_[num_vertices]);
+  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const EdgeRecord& e : edges) {
+    g.adj_[cursor[e.src]++] = Neighbor{e.dst, e.label};
+    g.adj_[cursor[e.dst]++] = Neighbor{e.src, e.label};
+  }
+  for (size_t v = 0; v < num_vertices; ++v) {
+    auto begin = g.adj_.begin() + static_cast<ptrdiff_t>(g.offsets_[v]);
+    auto end = g.adj_.begin() + static_cast<ptrdiff_t>(g.offsets_[v + 1]);
+    std::sort(begin, end, [](const Neighbor& a, const Neighbor& b) {
+      return std::tie(a.elabel, a.v) < std::tie(b.elabel, b.v);
+    });
+  }
+
+  // Label statistics.
+  std::vector<Label> ef;
+  ef.reserve(edges.size());
+  for (const EdgeRecord& e : edges) ef.push_back(e.label);
+  std::sort(ef.begin(), ef.end());
+  // Compress to (label, count).
+  std::vector<std::pair<Label, uint32_t>> efreq;
+  for (Label l : ef) {
+    if (!efreq.empty() && efreq.back().first == l) {
+      ++efreq.back().second;
+    } else {
+      efreq.push_back({l, 1});
+    }
+  }
+  g.edge_label_freq_ = std::move(efreq);
+  g.edge_labels_.reserve(g.edge_label_freq_.size());
+  for (const auto& [label, count] : g.edge_label_freq_) {
+    (void)count;
+    g.edge_labels_.push_back(label);
+  }
+
+  std::vector<Label> vl = g.vertex_labels_;
+  std::sort(vl.begin(), vl.end());
+  for (Label l : vl) {
+    if (!g.vertex_label_freq_.empty() &&
+        g.vertex_label_freq_.back().first == l) {
+      ++g.vertex_label_freq_.back().second;
+    } else {
+      g.vertex_label_freq_.push_back({l, 1});
+    }
+  }
+  return g;
+}
+
+std::span<const Neighbor> Graph::NeighborsWithLabel(VertexId v,
+                                                    Label l) const {
+  std::span<const Neighbor> all = neighbors(v);
+  auto lo = std::lower_bound(
+      all.begin(), all.end(), l,
+      [](const Neighbor& n, Label lab) { return n.elabel < lab; });
+  auto hi = std::upper_bound(
+      all.begin(), all.end(), l,
+      [](Label lab, const Neighbor& n) { return lab < n.elabel; });
+  return {&*lo, static_cast<size_t>(hi - lo)};
+}
+
+bool Graph::HasEdge(VertexId a, VertexId b, Label l) const {
+  // Probe the smaller adjacency list.
+  if (degree(a) > degree(b)) std::swap(a, b);
+  std::span<const Neighbor> with_l = NeighborsWithLabel(a, l);
+  return std::binary_search(
+      with_l.begin(), with_l.end(), Neighbor{b, l},
+      [](const Neighbor& x, const Neighbor& y) { return x.v < y.v; });
+}
+
+bool Graph::HasAnyEdge(VertexId a, VertexId b) const {
+  if (degree(a) > degree(b)) std::swap(a, b);
+  for (const Neighbor& n : neighbors(a)) {
+    if (n.v == b) return true;
+  }
+  return false;
+}
+
+size_t Graph::EdgeLabelFrequency(Label l) const {
+  auto it = std::lower_bound(
+      edge_label_freq_.begin(), edge_label_freq_.end(), l,
+      [](const auto& p, Label lab) { return p.first < lab; });
+  if (it == edge_label_freq_.end() || it->first != l) return 0;
+  return it->second;
+}
+
+size_t Graph::VertexLabelFrequency(Label l) const {
+  auto it = std::lower_bound(
+      vertex_label_freq_.begin(), vertex_label_freq_.end(), l,
+      [](const auto& p, Label lab) { return p.first < lab; });
+  if (it == vertex_label_freq_.end() || it->first != l) return 0;
+  return it->second;
+}
+
+std::vector<EdgeRecord> Graph::UndirectedEdges() const {
+  std::vector<EdgeRecord> out;
+  out.reserve(num_edges());
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    for (const Neighbor& n : neighbors(v)) {
+      if (v < n.v) out.push_back(EdgeRecord{v, n.v, n.elabel});
+    }
+  }
+  return out;
+}
+
+bool Graph::IsConnected() const {
+  if (num_vertices() == 0) return true;
+  std::vector<bool> seen(num_vertices(), false);
+  std::vector<VertexId> stack = {0};
+  seen[0] = true;
+  size_t count = 1;
+  while (!stack.empty()) {
+    VertexId v = stack.back();
+    stack.pop_back();
+    for (const Neighbor& n : neighbors(v)) {
+      if (!seen[n.v]) {
+        seen[n.v] = true;
+        ++count;
+        stack.push_back(n.v);
+      }
+    }
+  }
+  return count == num_vertices();
+}
+
+std::string Graph::Summary() const {
+  std::string out = "|V|=" + HumanCount(num_vertices());
+  out += " |E|=" + HumanCount(num_edges());
+  out += " |LV|=" + HumanCount(num_vertex_labels());
+  out += " |LE|=" + HumanCount(num_edge_labels());
+  out += " maxdeg=" + HumanCount(max_degree_);
+  return out;
+}
+
+}  // namespace gsi

@@ -1,0 +1,28 @@
+#include "graph/graph_builder.h"
+
+namespace gsi {
+
+VertexId GraphBuilder::AddVertex(Label label) {
+  labels_.push_back(label);
+  return static_cast<VertexId>(labels_.size() - 1);
+}
+
+VertexId GraphBuilder::AddVertices(size_t count, Label label) {
+  VertexId first = static_cast<VertexId>(labels_.size());
+  labels_.insert(labels_.end(), count, label);
+  return first;
+}
+
+void GraphBuilder::AddEdge(VertexId a, VertexId b, Label elabel) {
+  edges_.push_back(EdgeRecord{a, b, elabel});
+}
+
+Result<Graph> GraphBuilder::Build() && {
+  // Take the size first: argument evaluation order is unspecified, so
+  // `labels_.size()` must not race with `std::move(labels_)`.
+  size_t num_vertices = labels_.size();
+  return Graph::Create(num_vertices, std::move(labels_),
+                       std::move(edges_));
+}
+
+}  // namespace gsi

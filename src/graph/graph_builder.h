@@ -1,0 +1,47 @@
+#ifndef GSI_GRAPH_GRAPH_BUILDER_H_
+#define GSI_GRAPH_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/common.h"
+#include "util/status.h"
+
+namespace gsi {
+
+/// Incremental builder for Graph, convenient for tests and loaders.
+///
+///   GraphBuilder b;
+///   VertexId a = b.AddVertex(/*label=*/0);
+///   VertexId c = b.AddVertex(1);
+///   b.AddEdge(a, c, /*edge label=*/5);
+///   Graph g = std::move(b).Build().value();
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Adds a vertex with the given label; returns its id (ids are dense,
+  /// assigned in insertion order).
+  VertexId AddVertex(Label label);
+
+  /// Adds `count` vertices all carrying `label`; returns the first id.
+  VertexId AddVertices(size_t count, Label label);
+
+  /// Adds an undirected labeled edge. Endpoints must already exist when
+  /// Build() runs; duplicates are removed by Build().
+  void AddEdge(VertexId a, VertexId b, Label elabel);
+
+  size_t num_vertices() const { return labels_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Validates and produces the immutable graph.
+  Result<Graph> Build() &&;
+
+ private:
+  std::vector<Label> labels_;
+  std::vector<EdgeRecord> edges_;
+};
+
+}  // namespace gsi
+
+#endif  // GSI_GRAPH_GRAPH_BUILDER_H_

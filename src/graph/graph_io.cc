@@ -1,0 +1,72 @@
+#include "graph/graph_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace gsi {
+
+std::string GraphToText(const Graph& g) {
+  std::ostringstream out;
+  std::vector<EdgeRecord> edges = g.UndirectedEdges();
+  out << "t " << g.num_vertices() << " " << edges.size() << "\n";
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    out << "v " << v << " " << g.vertex_label(v) << "\n";
+  }
+  for (const EdgeRecord& e : edges) {
+    out << "e " << e.src << " " << e.dst << " " << e.label << "\n";
+  }
+  return out.str();
+}
+
+Status SaveGraphText(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open for write: " + path);
+  out << GraphToText(g);
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<Graph> ParseGraphText(const std::string& text) {
+  std::istringstream in(text);
+  std::string tag;
+  size_t n = 0;
+  size_t m = 0;
+  if (!(in >> tag >> n >> m) || tag != "t") {
+    return Status::InvalidArgument("expected 't <n> <m>' header");
+  }
+  std::vector<Label> labels(n, kInvalidLabel);
+  std::vector<EdgeRecord> edges;
+  edges.reserve(m);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t id = 0;
+    uint64_t label = 0;
+    if (!(in >> tag >> id >> label) || tag != "v" || id >= n) {
+      return Status::InvalidArgument("bad vertex line");
+    }
+    labels[id] = static_cast<Label>(label);
+  }
+  for (size_t i = 0; i < m; ++i) {
+    uint64_t a = 0;
+    uint64_t b = 0;
+    uint64_t label = 0;
+    if (!(in >> tag >> a >> b >> label) || tag != "e") {
+      return Status::InvalidArgument("bad edge line");
+    }
+    edges.push_back(EdgeRecord{static_cast<VertexId>(a),
+                               static_cast<VertexId>(b),
+                               static_cast<Label>(label)});
+  }
+  return Graph::Create(n, std::move(labels), std::move(edges));
+}
+
+Result<Graph> LoadGraphText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseGraphText(buf.str());
+}
+
+}  // namespace gsi

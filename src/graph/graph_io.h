@@ -1,0 +1,28 @@
+#ifndef GSI_GRAPH_GRAPH_IO_H_
+#define GSI_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace gsi {
+
+/// Text format (one graph per file):
+///   t <num_vertices> <num_edges>
+///   v <id> <label>          (num_vertices lines)
+///   e <src> <dst> <label>   (num_edges lines, undirected)
+/// This is the common format of subgraph-matching benchmark suites.
+Status SaveGraphText(const Graph& g, const std::string& path);
+
+Result<Graph> LoadGraphText(const std::string& path);
+
+/// Parses the same format from an in-memory string (used by tests).
+Result<Graph> ParseGraphText(const std::string& text);
+
+/// Serializes to the text format.
+std::string GraphToText(const Graph& g);
+
+}  // namespace gsi
+
+#endif  // GSI_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,28 @@
+#include "graph/labeler.h"
+
+namespace gsi {
+
+Result<Graph> AssignLabels(size_t num_vertices,
+                           const std::vector<RawEdge>& edges,
+                           const LabelConfig& config) {
+  if (config.num_vertex_labels == 0 || config.num_edge_labels == 0) {
+    return Status::InvalidArgument("label counts must be positive");
+  }
+  ZipfSampler vlabels(config.num_vertex_labels, config.alpha,
+                      config.seed * 2 + 1);
+  ZipfSampler elabels(config.num_edge_labels, config.alpha,
+                      config.seed * 2 + 2);
+
+  std::vector<Label> labels(num_vertices);
+  for (auto& l : labels) l = static_cast<Label>(vlabels.Sample());
+
+  std::vector<EdgeRecord> labeled;
+  labeled.reserve(edges.size());
+  for (const RawEdge& e : edges) {
+    labeled.push_back(
+        EdgeRecord{e.src, e.dst, static_cast<Label>(elabels.Sample())});
+  }
+  return Graph::Create(num_vertices, std::move(labels), std::move(labeled));
+}
+
+}  // namespace gsi

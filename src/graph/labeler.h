@@ -1,0 +1,31 @@
+#ifndef GSI_GRAPH_LABELER_H_
+#define GSI_GRAPH_LABELER_H_
+
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace gsi {
+
+/// Parameters for power-law label assignment (Section VII-A: "we assign
+/// labels following the power-law distribution").
+struct LabelConfig {
+  size_t num_vertex_labels = 100;
+  size_t num_edge_labels = 100;
+  /// Zipf exponent; ~1.0 reproduces the skew of real label distributions.
+  double alpha = 1.0;
+  uint64_t seed = 1;
+};
+
+/// Assigns power-law-distributed vertex and edge labels to a raw edge list
+/// and builds the final Graph.
+Result<Graph> AssignLabels(size_t num_vertices,
+                           const std::vector<RawEdge>& edges,
+                           const LabelConfig& config);
+
+}  // namespace gsi
+
+#endif  // GSI_GRAPH_LABELER_H_

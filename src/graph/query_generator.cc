@@ -1,0 +1,146 @@
+#include "graph/query_generator.h"
+
+#include <algorithm>
+#include <tuple>
+#include <unordered_map>
+
+namespace gsi {
+
+Result<Graph> GenerateRandomWalkQuery(const Graph& data,
+                                      const QueryGenConfig& config,
+                                      Rng& rng) {
+  if (config.num_vertices < 2) {
+    return Status::InvalidArgument("query needs at least 2 vertices");
+  }
+  if (data.num_vertices() == 0) {
+    return Status::InvalidArgument("empty data graph");
+  }
+
+  // Random walk collecting distinct vertices and traversed edges.
+  std::unordered_map<VertexId, VertexId> remap;  // data id -> query id
+  std::vector<VertexId> visited;                 // query id -> data id
+  std::vector<EdgeRecord> edges;                 // in query ids
+
+  VertexId start =
+      config.start_vertex != kInvalidVertex
+          ? config.start_vertex
+          : static_cast<VertexId>(rng.NextBounded(data.num_vertices()));
+  if (start >= data.num_vertices()) {
+    return Status::InvalidArgument("start vertex out of range");
+  }
+  if (data.degree(start) == 0) {
+    return Status::NotFound("walk started on isolated vertex");
+  }
+  remap[start] = 0;
+  visited.push_back(start);
+
+  VertexId cur = start;
+  size_t stuck = 0;
+  const size_t kMaxStuck = 64 * config.num_vertices;
+  while (visited.size() < config.num_vertices && stuck < kMaxStuck) {
+    if (visited.size() > 1 && rng.NextBool(config.revisit_probability)) {
+      cur = visited[rng.NextBounded(visited.size())];
+    }
+    std::span<const Neighbor> nbrs = data.neighbors(cur);
+    const Neighbor& step = nbrs[rng.NextBounded(nbrs.size())];
+    auto [it, inserted] =
+        remap.try_emplace(step.v, static_cast<VertexId>(visited.size()));
+    // Record every traversed edge ("all visited vertices and edges form a
+    // query graph"); Graph::Create dedups.
+    edges.push_back(EdgeRecord{remap[cur], it->second, step.elabel});
+    if (inserted) {
+      visited.push_back(step.v);
+      stuck = 0;
+    } else {
+      ++stuck;
+    }
+    cur = step.v;
+    // Occasionally teleport to a visited vertex to escape dead ends.
+    if (stuck > 0 && stuck % 16 == 0) {
+      cur = visited[rng.NextBounded(visited.size())];
+    }
+  }
+  if (visited.size() < config.num_vertices) {
+    return Status::NotFound("random walk could not reach enough vertices");
+  }
+
+  // Vertex labels copied from the data graph.
+  std::vector<Label> labels(visited.size());
+  for (size_t i = 0; i < visited.size(); ++i) {
+    labels[i] = data.vertex_label(visited[i]);
+  }
+
+  // Dedup traversed edges so the |E(Q)| target compares against distinct
+  // edges (the walk records every step, including revisits).
+  {
+    auto canon = [](EdgeRecord e) {
+      if (e.src > e.dst) std::swap(e.src, e.dst);
+      return e;
+    };
+    for (EdgeRecord& e : edges) e = canon(e);
+    std::sort(edges.begin(), edges.end(),
+              [](const EdgeRecord& a, const EdgeRecord& b) {
+                return std::tie(a.src, a.dst, a.label) <
+                       std::tie(b.src, b.dst, b.label);
+              });
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  }
+
+  // Optionally densify: add data edges between visited vertices until the
+  // requested |E(Q)| (Figure 15 varies |E(Q)| at fixed |V(Q)|).
+  if (config.num_edges > edges.size()) {
+    // Collect candidate extra edges from the induced subgraph.
+    std::vector<EdgeRecord> extra;
+    for (size_t i = 0; i < visited.size(); ++i) {
+      for (const Neighbor& n : data.neighbors(visited[i])) {
+        auto it = remap.find(n.v);
+        if (it == remap.end()) continue;
+        VertexId qa = static_cast<VertexId>(i);
+        VertexId qb = it->second;
+        if (qa >= qb) continue;
+        extra.push_back(EdgeRecord{qa, qb, n.elabel});
+      }
+    }
+    // Shuffle and append non-duplicates.
+    for (size_t i = extra.size(); i > 1; --i) {
+      std::swap(extra[i - 1], extra[rng.NextBounded(i)]);
+    }
+    auto canon = [](EdgeRecord e) {
+      if (e.src > e.dst) std::swap(e.src, e.dst);
+      return e;
+    };
+    std::vector<EdgeRecord> have;
+    have.reserve(edges.size());
+    for (const EdgeRecord& e : edges) have.push_back(canon(e));
+    for (const EdgeRecord& e : extra) {
+      if (edges.size() >= config.num_edges) break;
+      EdgeRecord c = canon(e);
+      if (std::find(have.begin(), have.end(), c) != have.end()) continue;
+      have.push_back(c);
+      edges.push_back(c);
+    }
+  }
+
+  return Graph::Create(visited.size(), std::move(labels), std::move(edges));
+}
+
+std::vector<Graph> GenerateQuerySet(const Graph& data,
+                                    const QueryGenConfig& config,
+                                    size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Graph> out;
+  out.reserve(count);
+  size_t failures = 0;
+  const size_t kMaxFailures = 32 * count + 64;
+  while (out.size() < count && failures < kMaxFailures) {
+    Result<Graph> q = GenerateRandomWalkQuery(data, config, rng);
+    if (q.ok()) {
+      out.push_back(std::move(q.value()));
+    } else {
+      ++failures;
+    }
+  }
+  return out;
+}
+
+}  // namespace gsi

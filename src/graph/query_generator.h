@@ -1,0 +1,51 @@
+#ifndef GSI_GRAPH_QUERY_GENERATOR_H_
+#define GSI_GRAPH_QUERY_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace gsi {
+
+/// Query-graph generator parameters (Section VII-A: "we perform the random
+/// walk over the data graph G starting from a randomly selected vertex until
+/// |V(Q)| vertices are visited. All visited vertices and edges (including
+/// the labels) form a query graph").
+struct QueryGenConfig {
+  size_t num_vertices = 12;  // the paper's default |V(Q)|
+  /// Target edge count. 0 keeps exactly the walked edges; a larger value
+  /// adds extra data-graph edges between visited vertices (used by
+  /// Figure 15's |E(Q)| sweep). The achieved count may be lower if the
+  /// induced subgraph has no more edges.
+  size_t num_edges = 0;
+  /// Probability of continuing the walk from a random already-visited
+  /// vertex instead of the current one. Keeps the walk inside a
+  /// neighbourhood, so the visited set induces a denser query.
+  double revisit_probability = 0.25;
+  /// Fixed walk start (kInvalidVertex = random). Used to target dense
+  /// regions, e.g. planted communities.
+  VertexId start_vertex = kInvalidVertex;
+};
+
+/// Generates one connected query graph by random walk over `data`. Because
+/// the query's vertices and edges are copied from G, every generated query
+/// has at least one match (the walk itself). Returns the query with vertices
+/// renumbered 0..|V(Q)|-1, labels preserved.
+///
+/// Fails only if the walk cannot reach `num_vertices` vertices (e.g. the
+/// start component is too small); callers typically retry with the same rng.
+Result<Graph> GenerateRandomWalkQuery(const Graph& data,
+                                      const QueryGenConfig& config, Rng& rng);
+
+/// Generates `count` queries, retrying failed walks; gives up on a walk
+/// after a bounded number of attempts (then returns fewer).
+std::vector<Graph> GenerateQuerySet(const Graph& data,
+                                    const QueryGenConfig& config,
+                                    size_t count, uint64_t seed);
+
+}  // namespace gsi
+
+#endif  // GSI_GRAPH_QUERY_GENERATOR_H_

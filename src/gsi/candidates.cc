@@ -1,0 +1,83 @@
+#include "gsi/candidates.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace gsi {
+
+CandidateSet CandidateSet::Create(gpusim::Device& dev,
+                                  VertexId query_vertex,
+                                  std::vector<VertexId> sorted_candidates,
+                                  size_t num_data_vertices,
+                                  bool build_bitmap) {
+  GSI_CHECK(std::is_sorted(sorted_candidates.begin(),
+                           sorted_candidates.end()));
+  CandidateSet c;
+  c.query_vertex_ = query_vertex;
+  size_t count = sorted_candidates.size();
+  c.list_ = dev.Upload(std::move(sorted_candidates));
+  if (build_bitmap && num_data_vertices > 0) {
+    std::vector<uint32_t> bits((num_data_vertices + 31) / 32, 0);
+    for (size_t i = 0; i < c.list_.size(); ++i) {
+      VertexId v = c.list_[i];
+      bits[v / 32] |= 1u << (v % 32);
+    }
+    c.bitmap_ = dev.Upload(std::move(bits));
+    // Charge the bitset-construction kernel: warps stream the candidate
+    // list and scatter one bit per candidate (values were materialized
+    // above; the kernel models the device cost).
+    gpusim::Launch(dev, std::max<size_t>(1, (count + 1023) / 1024),
+                   [&](gpusim::Warp& w) {
+                     size_t begin = w.global_id() * 1024;
+                     if (begin >= count) return;
+                     size_t len = std::min<size_t>(1024, count - begin);
+                     w.LoadRange(c.list_, begin, len);
+                     w.Alu(len);
+                     for (size_t i = 0; i < len; i += 32) {
+                       size_t chunk = std::min<size_t>(32, len - i);
+                       uint64_t idx[32];
+                       uint32_t vals[32];
+                       for (size_t k = 0; k < chunk; ++k) {
+                         VertexId v = c.list_[begin + i + k];
+                         idx[k] = v / 32;
+                         vals[k] = c.bitmap_[v / 32];
+                       }
+                       w.Scatter(c.bitmap_,
+                                 std::span<const uint64_t>(idx, chunk),
+                                 std::span<const uint32_t>(vals, chunk));
+                     }
+                   });
+  }
+  return c;
+}
+
+bool CandidateSet::ContainsHost(VertexId v) const {
+  return std::binary_search(list_.data(), list_.data() + list_.size(), v);
+}
+
+bool CandidateSet::ContainsBitset(gpusim::Warp& w, VertexId v) const {
+  GSI_CHECK_MSG(bitmap_.size() > 0, "bitset not materialized");
+  uint32_t word = w.Load(bitmap_, v / 32);
+  w.Alu(1);
+  return (word >> (v % 32)) & 1u;
+}
+
+bool CandidateSet::ContainsBinarySearch(gpusim::Warp& w, VertexId v) const {
+  size_t lo = 0;
+  size_t hi = list_.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    VertexId probe = w.Load(list_, mid);
+    w.Alu(1);
+    if (probe == v) return true;
+    if (probe < v) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return false;
+}
+
+}  // namespace gsi

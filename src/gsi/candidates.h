@@ -1,0 +1,52 @@
+#ifndef GSI_GSI_CANDIDATES_H_
+#define GSI_GSI_CANDIDATES_H_
+
+#include <vector>
+
+#include "gpusim/device.h"
+#include "gpusim/launch.h"
+#include "util/common.h"
+
+namespace gsi {
+
+/// Candidate set C(u) for one query vertex: the filtered data vertices that
+/// may match u (Section III). Kept in two device forms:
+///  - a sorted list (the join's "large" granularity input), and
+///  - a bitset over |V(G)| for O(1) membership checks ("we first transform
+///    it into a bitset, then use exactly one memory transaction to check if
+///    vertex v belongs to C(u)", Section V).
+class CandidateSet {
+ public:
+  CandidateSet() = default;
+
+  /// Uploads the sorted candidate list; optionally materializes the bitset
+  /// (a device kernel, charged to `dev`).
+  static CandidateSet Create(gpusim::Device& dev, VertexId query_vertex,
+                             std::vector<VertexId> sorted_candidates,
+                             size_t num_data_vertices, bool build_bitmap);
+
+  VertexId query_vertex() const { return query_vertex_; }
+  size_t size() const { return list_.size(); }
+  bool empty() const { return list_.size() == 0; }
+
+  const gpusim::DeviceBuffer<VertexId>& list() const { return list_; }
+  bool has_bitmap() const { return bitmap_.size() > 0; }
+
+  /// Host-side membership check (tests / reference paths).
+  bool ContainsHost(VertexId v) const;
+
+  /// Warp membership probe. Bitset form: exactly one transaction. List
+  /// form: binary search, one transaction per probe (the naive set-op
+  /// baseline of Section V).
+  bool ContainsBitset(gpusim::Warp& w, VertexId v) const;
+  bool ContainsBinarySearch(gpusim::Warp& w, VertexId v) const;
+
+ private:
+  VertexId query_vertex_ = kInvalidVertex;
+  gpusim::DeviceBuffer<VertexId> list_;
+  gpusim::DeviceBuffer<uint32_t> bitmap_;  // |V(G)|/32 words
+};
+
+}  // namespace gsi
+
+#endif  // GSI_GSI_CANDIDATES_H_

@@ -1,0 +1,53 @@
+#include "gsi/dup_removal.h"
+
+namespace gsi {
+
+const std::vector<VertexId>& BlockExtractionCache::Lookup(
+    gpusim::Warp& w, const Key& key, const NeighborStore& store) {
+  const auto [v, l, a, b, is_slice] = key;
+  if (enabled_) {
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      // Shared input buffer hit: the loading warp already paid the global
+      // transactions; this warp only reads shared memory (Algorithm 5,
+      // Line 10) after the block-wide synchronization (Line 9).
+      ++hits_;
+      w.SharedAccess(it->second.size() + 2);
+      return it->second;
+    }
+  }
+  ++misses_;
+  scratch_.clear();
+  if (is_slice) {
+    store.ExtractSlice(w, v, l, static_cast<size_t>(a),
+                       static_cast<size_t>(b), scratch_);
+  } else {
+    store.ExtractValueRange(w, v, l, static_cast<VertexId>(a),
+                            static_cast<VertexId>(b), scratch_);
+  }
+  if (!enabled_) return scratch_;
+  uint64_t bytes = scratch_.size() * sizeof(VertexId);
+  if (used_ + bytes > capacity_) return scratch_;  // over budget: no share
+  used_ += bytes;
+  auto [it, inserted] = cache_.emplace(key, scratch_);
+  return it->second;
+}
+
+const std::vector<VertexId>& BlockExtractionCache::GetSlice(
+    gpusim::Warp& w, const NeighborStore& store, VertexId v, Label l,
+    uint32_t begin, uint32_t end) {
+  return Lookup(w, Key{v, l, begin, end, true}, store);
+}
+
+const std::vector<VertexId>& BlockExtractionCache::GetValueRange(
+    gpusim::Warp& w, const NeighborStore& store, VertexId v, Label l,
+    VertexId lo, VertexId hi) {
+  return Lookup(w, Key{v, l, lo, hi, false}, store);
+}
+
+void BlockExtractionCache::Reset() {
+  cache_.clear();
+  used_ = 0;
+}
+
+}  // namespace gsi

@@ -1,0 +1,64 @@
+#ifndef GSI_GSI_DUP_REMOVAL_H_
+#define GSI_GSI_DUP_REMOVAL_H_
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "gpusim/launch.h"
+#include "storage/neighbor_store.h"
+#include "util/common.h"
+
+namespace gsi {
+
+/// In-block duplicate removal (Section VI-B, Algorithm 5): warps in one
+/// block whose rows need the same N(v, l) share a single global-memory
+/// read through a shared-memory input buffer; only the first warp loads,
+/// the others pay shared-memory traffic.
+///
+/// One instance lives per block per join pass; Reset() at block boundaries.
+/// The cache capacity is bounded by the block's shared memory.
+class BlockExtractionCache {
+ public:
+  /// @param enabled  disabled instances always extract (the baseline).
+  /// @param capacity_bytes shared-memory budget for cached input buffers.
+  explicit BlockExtractionCache(bool enabled,
+                                uint64_t capacity_bytes = 32 * 1024)
+      : enabled_(enabled), capacity_(capacity_bytes) {}
+
+  /// N(v, l) slice [begin, end) (first-edge reads).
+  const std::vector<VertexId>& GetSlice(gpusim::Warp& w,
+                                        const NeighborStore& store,
+                                        VertexId v, Label l, uint32_t begin,
+                                        uint32_t end);
+
+  /// N(v, l) values within [lo, hi] (subsequent-edge reads).
+  const std::vector<VertexId>& GetValueRange(gpusim::Warp& w,
+                                             const NeighborStore& store,
+                                             VertexId v, Label l, VertexId lo,
+                                             VertexId hi);
+
+  /// Clears cached buffers (block boundary).
+  void Reset();
+
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+
+ private:
+  using Key = std::tuple<VertexId, Label, uint64_t, uint64_t, bool>;
+
+  const std::vector<VertexId>& Lookup(gpusim::Warp& w, const Key& key,
+                                      const NeighborStore& store);
+
+  bool enabled_;
+  uint64_t capacity_;
+  uint64_t used_ = 0;
+  std::map<Key, std::vector<VertexId>> cache_;
+  std::vector<VertexId> scratch_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace gsi
+
+#endif  // GSI_GSI_DUP_REMOVAL_H_

@@ -1,0 +1,188 @@
+#include "gsi/filter.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "gpusim/launch.h"
+#include "storage/signature.h"
+#include "util/check.h"
+
+namespace gsi {
+namespace {
+
+using gpusim::kWarpSize;
+
+/// Per-edge-label degree requirements of a query vertex: l -> |N(u, l)|.
+std::unordered_map<Label, uint32_t> LabelDegreeRequirements(const Graph& q,
+                                                            VertexId u) {
+  std::unordered_map<Label, uint32_t> req;
+  for (const Neighbor& n : q.neighbors(u)) ++req[n.elabel];
+  return req;
+}
+
+}  // namespace
+
+FilterContext::FilterContext(gpusim::Device& dev, const Graph& data,
+                             const FilterOptions& options)
+    : dev_(&dev), data_(&data), options_(options) {
+  if (options.strategy == FilterStrategy::kSignature) {
+    signatures_ =
+        SignatureTable::Build(dev, data, options.signature_bits,
+                              options.layout);
+    has_signatures_ = true;
+  } else {
+    std::vector<Label> labels(data.vertex_labels().begin(),
+                              data.vertex_labels().end());
+    std::vector<uint32_t> degrees(data.num_vertices());
+    for (VertexId v = 0; v < data.num_vertices(); ++v) {
+      degrees[v] = static_cast<uint32_t>(data.degree(v));
+    }
+    labels_ = dev.Upload(std::move(labels));
+    degrees_ = dev.Upload(std::move(degrees));
+  }
+}
+
+std::vector<VertexId> FilterContext::SignatureCandidates(const Graph& query,
+                                                         VertexId u) const {
+  const Graph& g = *data_;
+  const size_t n = g.num_vertices();
+  const int words = signatures_.words_per_sig();
+  Signature qsig = Signature::Encode(query, u, options_.signature_bits);
+
+  std::vector<VertexId> out;
+  size_t num_warps = (n + kWarpSize - 1) / kWarpSize;
+  gpusim::Launch(*dev_, num_warps, [&](gpusim::Warp& w) {
+    VertexId v0 = static_cast<VertexId>(w.global_id() * kWarpSize);
+    if (v0 >= n) return;
+    size_t lanes = std::min<size_t>(kWarpSize, n - v0);
+    uint32_t vals[kWarpSize];
+    bool alive[kWarpSize];
+
+    // First iteration: read the first 32 bits (the raw vertex label) and
+    // compare exactly (Section VII-B).
+    signatures_.WarpReadWord(w, v0, lanes, 0, vals);
+    w.Alu(lanes);
+    bool any = false;
+    for (size_t k = 0; k < lanes; ++k) {
+      alive[k] = (vals[k] == qsig.word(0));
+      any |= alive[k];
+    }
+    // Remaining words: bitwise AND domination test; the whole warp issues
+    // the reads as long as any lane is alive (SIMD).
+    for (int word = 1; word < words && any; ++word) {
+      signatures_.WarpReadWord(w, v0, lanes, word, vals);
+      w.Alu(lanes);
+      any = false;
+      for (size_t k = 0; k < lanes; ++k) {
+        alive[k] = alive[k] &&
+                   ((vals[k] & qsig.word(word)) == qsig.word(word));
+        any |= alive[k];
+      }
+    }
+    // Warp-aggregated survivor write: one coalesced store per warp.
+    uint32_t survivors = 0;
+    for (size_t k = 0; k < lanes; ++k) {
+      if (alive[k]) {
+        out.push_back(v0 + static_cast<VertexId>(k));
+        ++survivors;
+      }
+    }
+    if (survivors > 0) {
+      w.Alu(1);  // warp-aggregated atomic offset claim
+      w.ChargeStoreTransactions(gpusim::Device::RangeTransactions(
+          0, survivors * sizeof(VertexId)));
+    }
+  });
+  return out;
+}
+
+std::vector<VertexId> FilterContext::LabelDegreeCandidates(
+    const Graph& query, VertexId u, bool check_neighbors) const {
+  const Graph& g = *data_;
+  const size_t n = g.num_vertices();
+  const Label ulabel = query.vertex_label(u);
+  const uint32_t udeg = static_cast<uint32_t>(query.degree(u));
+  auto requirements = LabelDegreeRequirements(query, u);
+
+  std::vector<VertexId> out;
+  size_t num_warps = (n + kWarpSize - 1) / kWarpSize;
+  gpusim::Launch(*dev_, num_warps, [&](gpusim::Warp& w) {
+    VertexId v0 = static_cast<VertexId>(w.global_id() * kWarpSize);
+    if (v0 >= n) return;
+    size_t lanes = std::min<size_t>(kWarpSize, n - v0);
+    uint64_t idx[kWarpSize];
+    for (size_t k = 0; k < lanes; ++k) idx[k] = v0 + k;
+    Label lab[kWarpSize];
+    uint32_t deg[kWarpSize];
+    w.Gather(labels_, std::span<const uint64_t>(idx, lanes),
+             std::span<Label>(lab, lanes));
+    w.Gather(degrees_, std::span<const uint64_t>(idx, lanes),
+             std::span<uint32_t>(deg, lanes));
+    w.Alu(2 * lanes);
+
+    uint32_t survivors = 0;
+    for (size_t k = 0; k < lanes; ++k) {
+      VertexId v = v0 + static_cast<VertexId>(k);
+      if (lab[k] != ulabel || deg[k] < udeg) continue;
+      if (check_neighbors) {
+        // GpSM-style refinement: v must have at least |N(u, l)| l-labeled
+        // neighbors for every edge label l around u. Requires scanning v's
+        // adjacency — scattered loads, skewed workloads.
+        std::span<const Neighbor> nbrs = g.neighbors(v);
+        // Charge: stream the adjacency slice (ids + labels: two arrays).
+        w.ChargeLoadTransactions(2 * gpusim::Device::RangeTransactions(
+            0, nbrs.size() * sizeof(VertexId)));
+        w.Alu(nbrs.size());
+        std::unordered_map<Label, uint32_t> have;
+        for (const Neighbor& nb : nbrs) ++have[nb.elabel];
+        bool ok = true;
+        for (const auto& [l, need] : requirements) {
+          auto it = have.find(l);
+          if (it == have.end() || it->second < need) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+      }
+      out.push_back(v);
+      ++survivors;
+    }
+    if (survivors > 0) {
+      w.Alu(1);
+      w.ChargeStoreTransactions(gpusim::Device::RangeTransactions(
+          0, survivors * sizeof(VertexId)));
+    }
+  });
+  return out;
+}
+
+Result<FilterResult> FilterContext::Filter(const Graph& query) const {
+  FilterResult result;
+  result.candidates.resize(query.num_vertices());
+  result.min_candidate_size = SIZE_MAX;
+  for (VertexId u = 0; u < query.num_vertices(); ++u) {
+    std::vector<VertexId> cand;
+    switch (options_.strategy) {
+      case FilterStrategy::kSignature:
+        cand = SignatureCandidates(query, u);
+        break;
+      case FilterStrategy::kLabelDegreeNeighbor:
+        cand = LabelDegreeCandidates(query, u, /*check_neighbors=*/true);
+        break;
+      case FilterStrategy::kLabelDegree:
+        cand = LabelDegreeCandidates(query, u, /*check_neighbors=*/false);
+        break;
+    }
+    if (cand.size() < result.min_candidate_size) {
+      result.min_candidate_size = cand.size();
+      result.min_candidate_vertex = u;
+    }
+    result.candidates[u] =
+        CandidateSet::Create(*dev_, u, std::move(cand),
+                             data_->num_vertices(), options_.build_bitmaps);
+  }
+  return result;
+}
+
+}  // namespace gsi

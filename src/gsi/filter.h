@@ -1,0 +1,87 @@
+#ifndef GSI_GSI_FILTER_H_
+#define GSI_GSI_FILTER_H_
+
+#include <vector>
+
+#include "gpusim/device.h"
+#include "graph/graph.h"
+#include "gsi/candidates.h"
+#include "storage/signature_table.h"
+#include "util/status.h"
+
+namespace gsi {
+
+/// Candidate filtering strategies compared in Table IV.
+enum class FilterStrategy {
+  /// GSI's 512-bit neighbourhood signatures (Section III-A).
+  kSignature,
+  /// GpSM-style: vertex label + degree + per-edge-label degree counts
+  /// (requires scanning adjacency — scattered, imbalanced loads).
+  kLabelDegreeNeighbor,
+  /// GunrockSM-style: vertex label + degree only.
+  kLabelDegree,
+};
+
+struct FilterOptions {
+  FilterStrategy strategy = FilterStrategy::kSignature;
+  /// Signature width N in bits (Table V sweeps 64..512).
+  int signature_bits = kMaxSignatureBits;
+  /// Signature table layout (Figure 8c/8d): column-major coalesces.
+  SignatureTable::Layout layout = SignatureTable::Layout::kColumnMajor;
+  /// Materialize candidate bitsets for the join's set operations.
+  bool build_bitmaps = true;
+};
+
+/// Result of the filtering phase: one candidate set per query vertex.
+struct FilterResult {
+  std::vector<CandidateSet> candidates;  // indexed by query vertex id
+  /// Size of the smallest candidate set (the metric of Tables IV/V: "the
+  /// joining phase always begins from the minimum candidate set").
+  size_t min_candidate_size = 0;
+  VertexId min_candidate_vertex = kInvalidVertex;
+
+  bool AnyEmpty() const {
+    for (const CandidateSet& c : candidates) {
+      if (c.empty()) return true;
+    }
+    return false;
+  }
+};
+
+/// Precomputed device-side filtering context for a data graph ("we offline
+/// compute all vertex signatures in G and record them in a signature
+/// table"). Reused across queries.
+class FilterContext {
+ public:
+  FilterContext(gpusim::Device& dev, const Graph& data,
+                const FilterOptions& options);
+
+  /// Runs the filtering phase for `query` (massively parallel signature
+  /// comparison kernel, one warp per 32 data vertices), producing candidate
+  /// sets. Costs are charged to the device.
+  Result<FilterResult> Filter(const Graph& query) const;
+
+  const FilterOptions& options() const { return options_; }
+  const SignatureTable* signature_table() const {
+    return has_signatures_ ? &signatures_ : nullptr;
+  }
+
+ private:
+  std::vector<VertexId> SignatureCandidates(const Graph& query,
+                                            VertexId u) const;
+  std::vector<VertexId> LabelDegreeCandidates(const Graph& query, VertexId u,
+                                              bool check_neighbors) const;
+
+  gpusim::Device* dev_;
+  const Graph* data_;
+  FilterOptions options_;
+  bool has_signatures_ = false;
+  SignatureTable signatures_;
+  // Device arrays for the label/degree strategies.
+  gpusim::DeviceBuffer<Label> labels_;
+  gpusim::DeviceBuffer<uint32_t> degrees_;
+};
+
+}  // namespace gsi
+
+#endif  // GSI_GSI_FILTER_H_

@@ -1,0 +1,102 @@
+#ifndef GSI_GSI_JOIN_H_
+#define GSI_GSI_JOIN_H_
+
+#include <vector>
+
+#include "gpusim/device.h"
+#include "gsi/candidates.h"
+#include "gsi/load_balance.h"
+#include "gsi/match_table.h"
+#include "gsi/plan.h"
+#include "storage/neighbor_store.h"
+#include "util/status.h"
+
+namespace gsi {
+
+class BlockExtractionCache;
+
+/// Graph storage used by the join (Table II / Table VI "+DS").
+enum class StorageKind { kCsr, kPcsr, kBasicRep, kCompressedRep };
+
+/// How join results reach global memory (Table VI "+PC"):
+/// kTwoStep — the GpSM/GunrockSM scheme: run the join once to count, prefix
+///            sum, run the identical join again to write (Example 1).
+/// kPreallocCombine — GSI's scheme: pre-allocate one combined buffer (GBA)
+///            sized by the first-edge upper bounds and join once
+///            (Algorithms 3/4).
+enum class OutputScheme { kTwoStep, kPreallocCombine };
+
+/// Inner set-operation implementation (Table VI "+SO").
+enum class SetOpKind { kNaive, kWarpFriendly };
+
+/// Configuration of the joining phase; the ablation axes of Tables VI-XI.
+struct JoinOptions {
+  StorageKind storage = StorageKind::kPcsr;
+  OutputScheme output_scheme = OutputScheme::kPreallocCombine;
+  SetOpKind set_op = SetOpKind::kWarpFriendly;
+  /// 128B per-warp write cache (Table VII). Only effective with
+  /// kWarpFriendly set ops.
+  bool write_cache = true;
+  /// 4-layer load-balance scheme (Section VI-A, Tables VIII-X).
+  bool load_balance = false;
+  /// In-block duplicate removal (Section VI-B, Tables VIII/XI).
+  bool duplicate_removal = false;
+  /// Load-balance thresholds; W2 is fixed to the block size (1024).
+  uint32_t w1 = 4096;
+  uint32_t w3 = 256;
+  /// PCSR group size in pairs.
+  int gpn = 16;
+  /// Intermediate-table row budget; exceeding it aborts the query with
+  /// kResourceExhausted (exponential blowup guard).
+  size_t max_rows = 4u * 1024 * 1024;
+};
+
+/// Counters of one join execution.
+struct JoinStats {
+  size_t iterations = 0;
+  size_t peak_rows = 0;
+  size_t final_rows = 0;
+  size_t total_chunks = 0;
+  size_t dup_cache_hits = 0;
+  size_t dup_cache_misses = 0;
+};
+
+/// The joining phase (Algorithm 2's loop body, Algorithms 3-5): joins the
+/// intermediate table with one candidate set per iteration on the simulated
+/// device.
+class JoinEngine {
+ public:
+  JoinEngine(gpusim::Device* dev, const NeighborStore* store,
+             const JoinOptions& options)
+      : dev_(dev), store_(store), options_(options) {}
+
+  /// Runs the whole join; returns the final match table whose column j
+  /// holds the binding of plan.order[j].
+  Result<MatchTable> Run(const JoinPlan& plan,
+                         const std::vector<CandidateSet>& candidates);
+
+  const JoinStats& stats() const { return stats_; }
+
+ private:
+  Result<MatchTable> StepPrealloc(const MatchTable& m, const JoinStep& step,
+                                  const CandidateSet& cand);
+  Result<MatchTable> StepTwoStep(const MatchTable& m, const JoinStep& step,
+                                 const CandidateSet& cand);
+
+  /// Executes the set operations of Algorithm 3 (Lines 5-13) for one chunk.
+  /// Survivors land in `result` (and in `gba` when non-null).
+  void ProcessChunk(gpusim::Warp& w, Chunk& chunk, const MatchTable& m,
+                    const JoinStep& step, const CandidateSet& cand,
+                    gpusim::DeviceBuffer<VertexId>* gba,
+                    BlockExtractionCache& cache,
+                    std::vector<VertexId>& result);
+
+  gpusim::Device* dev_;
+  const NeighborStore* store_;
+  JoinOptions options_;
+  JoinStats stats_;
+};
+
+}  // namespace gsi
+
+#endif  // GSI_GSI_JOIN_H_

@@ -1,0 +1,73 @@
+#include "gsi/load_balance.h"
+
+#include "util/check.h"
+
+namespace gsi {
+
+std::vector<Chunk*> ChunkPlan::AllChunks() {
+  std::vector<Chunk*> out;
+  out.reserve(total_chunks());
+  for (Chunk& c : pooled) out.push_back(&c);
+  for (auto& row : per_block) {
+    for (Chunk& c : row) out.push_back(&c);
+  }
+  for (auto& row : huge) {
+    for (Chunk& c : row) out.push_back(&c);
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<Chunk> SplitRow(uint32_t row, uint32_t bound, uint64_t gba_begin,
+                            uint32_t chunk_elems) {
+  std::vector<Chunk> out;
+  if (bound == 0) {
+    // Zero-workload rows still need one chunk so the row is considered
+    // (its set-op result is empty, but the accounting pass must see it).
+    out.push_back(Chunk{row, 0, 0, gba_begin, 0});
+    return out;
+  }
+  for (uint32_t b = 0; b < bound; b += chunk_elems) {
+    uint32_t e = std::min(bound, b + chunk_elems);
+    out.push_back(Chunk{row, b, e, gba_begin + b, 0});
+  }
+  return out;
+}
+
+}  // namespace
+
+ChunkPlan PlanChunks(std::span<const uint32_t> upper_bounds,
+                     std::span<const uint64_t> gba_offsets,
+                     bool load_balance, uint32_t w1, uint32_t w2,
+                     uint32_t w3) {
+  GSI_CHECK(gba_offsets.size() >= upper_bounds.size());
+  ChunkPlan plan;
+  const size_t rows = upper_bounds.size();
+  if (!load_balance) {
+    plan.pooled.reserve(rows);
+    for (uint32_t i = 0; i < rows; ++i) {
+      plan.pooled.push_back(
+          Chunk{i, 0, upper_bounds[i], gba_offsets[i], 0});
+    }
+    return plan;
+  }
+  GSI_CHECK_MSG(w1 > w2 && w2 > w3 && w3 >= 32, "require W1 > W2 > W3 >= 32");
+  for (uint32_t i = 0; i < rows; ++i) {
+    uint32_t bound = upper_bounds[i];
+    uint64_t base = gba_offsets[i];
+    if (bound > w1) {
+      plan.huge.push_back(SplitRow(i, bound, base, w3));
+    } else if (bound > w2) {
+      plan.per_block.push_back(SplitRow(i, bound, base, w3));
+    } else if (bound > w3) {
+      std::vector<Chunk> cs = SplitRow(i, bound, base, w3);
+      plan.pooled.insert(plan.pooled.end(), cs.begin(), cs.end());
+    } else {
+      plan.pooled.push_back(Chunk{i, 0, bound, base, 0});
+    }
+  }
+  return plan;
+}
+
+}  // namespace gsi

@@ -1,0 +1,28 @@
+#include "gsi/match_table.h"
+
+namespace gsi {
+
+MatchTable MatchTable::Alloc(gpusim::Device& dev, size_t rows, size_t cols) {
+  MatchTable t;
+  t.rows_ = rows;
+  t.cols_ = cols;
+  t.data_ = dev.Alloc<VertexId>(rows * cols);
+  return t;
+}
+
+MatchTable MatchTable::FromColumn(gpusim::Device& dev,
+                                  const std::vector<VertexId>& column) {
+  MatchTable t;
+  t.rows_ = column.size();
+  t.cols_ = 1;
+  t.data_ = dev.Upload(std::vector<VertexId>(column));
+  return t;
+}
+
+std::vector<VertexId> MatchTable::Row(size_t r) const {
+  std::vector<VertexId> out(cols_);
+  for (size_t c = 0; c < cols_; ++c) out[c] = At(r, c);
+  return out;
+}
+
+}  // namespace gsi

@@ -1,0 +1,122 @@
+#include "gsi/matcher.h"
+
+#include <algorithm>
+
+#include "storage/basic_rep.h"
+#include "storage/compressed_rep.h"
+#include "storage/csr.h"
+#include "storage/pcsr.h"
+#include "util/timer.h"
+
+namespace gsi {
+
+GsiOptions DefaultGsiOptions() { return GsiOptions{}; }
+
+GsiOptions GsiOptOptions() {
+  GsiOptions o;
+  o.join.load_balance = true;
+  o.join.duplicate_removal = true;
+  return o;
+}
+
+GsiOptions GsiMinusOptions() {
+  GsiOptions o;
+  o.join.storage = StorageKind::kCsr;
+  o.join.output_scheme = OutputScheme::kTwoStep;
+  o.join.set_op = SetOpKind::kNaive;
+  o.join.write_cache = false;
+  return o;
+}
+
+std::vector<VertexId> QueryResult::MatchInQueryOrder(size_t r) const {
+  std::vector<VertexId> out(table.cols());
+  for (size_t c = 0; c < table.cols(); ++c) {
+    out[column_to_query[c]] = table.At(r, c);
+  }
+  return out;
+}
+
+std::vector<std::vector<VertexId>> QueryResult::AllMatchesSorted() const {
+  std::vector<std::vector<VertexId>> out;
+  out.reserve(table.rows());
+  for (size_t r = 0; r < table.rows(); ++r) {
+    out.push_back(MatchInQueryOrder(r));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::unique_ptr<NeighborStore> BuildStore(gpusim::Device& dev,
+                                          const Graph& g, StorageKind kind,
+                                          int gpn) {
+  switch (kind) {
+    case StorageKind::kCsr:
+      return DeviceCsr::Build(dev, g);
+    case StorageKind::kPcsr:
+      return PcsrStore::Build(dev, g, gpn);
+    case StorageKind::kBasicRep:
+      return BasicRep::Build(dev, g);
+    case StorageKind::kCompressedRep:
+      return CompressedRep::Build(dev, g);
+  }
+  return nullptr;
+}
+
+GsiMatcher::GsiMatcher(const Graph& data, GsiOptions options)
+    : data_(&data), options_(options) {
+  dev_ = std::make_unique<gpusim::Device>(options.device);
+  store_ = BuildStore(*dev_, data, options.join.storage, options.join.gpn);
+  filter_ = std::make_unique<FilterContext>(*dev_, data, options.filter);
+}
+
+Result<QueryResult> GsiMatcher::Find(const Graph& query) {
+  if (query.num_vertices() == 0) {
+    return Status::InvalidArgument("empty query");
+  }
+  if (!query.IsConnected()) {
+    return Status::InvalidArgument(
+        "query must be connected (run components separately)");
+  }
+  WallTimer wall;
+  QueryResult out;
+
+  // --- Filtering phase.
+  gpusim::MemStats before = dev_->stats();
+  Result<FilterResult> filtered = filter_->Filter(query);
+  if (!filtered.ok()) return filtered.status();
+  out.stats.filter = dev_->stats() - before;
+  out.stats.min_candidate_size = filtered->min_candidate_size;
+
+  if (query.num_vertices() == 1) {
+    // Degenerate query: the candidate set is the answer.
+    const CandidateSet& c = filtered->candidates[0];
+    out.table = MatchTable::Alloc(*dev_, c.size(), 1);
+    for (size_t i = 0; i < c.size(); ++i) out.table.Set(i, 0, c.list()[i]);
+    out.column_to_query = {0};
+  } else if (filtered->AnyEmpty()) {
+    // Some query vertex has no candidates: zero matches, skip the join.
+    out.table = MatchTable::Alloc(*dev_, 0, query.num_vertices());
+    JoinPlan plan = MakeJoinPlan(query, *data_, filtered->candidates);
+    out.column_to_query = plan.order;
+  } else {
+    // --- Joining phase.
+    JoinPlan plan = MakeJoinPlan(query, *data_, filtered->candidates);
+    before = dev_->stats();
+    JoinEngine join(dev_.get(), store_.get(), options_.join);
+    Result<MatchTable> table = join.Run(plan, filtered->candidates);
+    if (!table.ok()) return table.status();
+    out.stats.join = dev_->stats() - before;
+    out.stats.join_detail = join.stats();
+    out.table = std::move(table.value());
+    out.column_to_query = plan.order;
+  }
+
+  out.stats.filter_ms = out.stats.filter.SimulatedMs(dev_->config());
+  out.stats.join_ms = out.stats.join.SimulatedMs(dev_->config());
+  out.stats.total_ms = out.stats.filter_ms + out.stats.join_ms;
+  out.stats.wall_ms = wall.ElapsedMs();
+  out.stats.num_matches = out.table.rows();
+  return out;
+}
+
+}  // namespace gsi

@@ -1,0 +1,101 @@
+#ifndef GSI_GSI_MATCHER_H_
+#define GSI_GSI_MATCHER_H_
+
+#include <memory>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "graph/graph.h"
+#include "gsi/filter.h"
+#include "gsi/join.h"
+#include "gsi/match_table.h"
+#include "gsi/plan.h"
+#include "storage/neighbor_store.h"
+#include "util/status.h"
+
+namespace gsi {
+
+/// Top-level configuration of a GSI matcher.
+struct GsiOptions {
+  FilterOptions filter;
+  JoinOptions join;
+  gpusim::DeviceConfig device;
+};
+
+/// Returns the paper's two configurations: GSI (no optimizations) and
+/// GSI-opt (load balance + duplicate removal), Section VII.
+GsiOptions DefaultGsiOptions();
+GsiOptions GsiOptOptions();
+/// GSI-: traditional CSR, two-step output, naive set operations (the
+/// baseline column of Table VI).
+GsiOptions GsiMinusOptions();
+
+/// Per-query measurements (all "time" values are simulated device time; see
+/// gpusim::DeviceConfig for the cost model).
+struct QueryStats {
+  gpusim::MemStats filter;  ///< counters of the filtering phase
+  gpusim::MemStats join;    ///< counters of the joining phase
+  double filter_ms = 0;
+  double join_ms = 0;
+  double total_ms = 0;
+  double wall_ms = 0;       ///< host wall time of the simulation
+  size_t num_matches = 0;
+  size_t min_candidate_size = 0;
+  JoinStats join_detail;
+};
+
+/// Result of one subgraph-isomorphism query.
+struct QueryResult {
+  /// Final match table; column j binds query vertex `column_to_query[j]`.
+  MatchTable table;
+  std::vector<VertexId> column_to_query;
+  QueryStats stats;
+
+  size_t num_matches() const { return table.rows(); }
+
+  /// Match r as a vector indexed by query vertex id.
+  std::vector<VertexId> MatchInQueryOrder(size_t r) const;
+  /// All matches, each indexed by query vertex id, sorted lexicographically
+  /// (canonical form for comparisons across engines).
+  std::vector<std::vector<VertexId>> AllMatchesSorted() const;
+};
+
+/// GSI: GPU-friendly subgraph isomorphism (the paper's system).
+///
+///   Graph data = ...;
+///   GsiMatcher matcher(data);            // builds PCSR + signature table
+///   auto result = matcher.Find(query);   // filtering + joining phases
+///   result->num_matches();
+///
+/// The data graph must outlive the matcher. One matcher owns one simulated
+/// device; stats accumulate across queries (use Find's per-query stats for
+/// individual measurements).
+class GsiMatcher {
+ public:
+  explicit GsiMatcher(const Graph& data,
+                      GsiOptions options = DefaultGsiOptions());
+
+  /// Enumerates all matches of `query` (connected, >= 1 vertex).
+  Result<QueryResult> Find(const Graph& query);
+
+  gpusim::Device& device() { return *dev_; }
+  const NeighborStore& store() const { return *store_; }
+  const GsiOptions& options() const { return options_; }
+
+ private:
+  const Graph* data_;
+  GsiOptions options_;
+  std::unique_ptr<gpusim::Device> dev_;
+  std::unique_ptr<NeighborStore> store_;
+  std::unique_ptr<FilterContext> filter_;
+};
+
+/// Builds the NeighborStore variant selected by `kind` (shared by GSI and
+/// the GPU baselines).
+std::unique_ptr<NeighborStore> BuildStore(gpusim::Device& dev,
+                                          const Graph& g, StorageKind kind,
+                                          int gpn);
+
+}  // namespace gsi
+
+#endif  // GSI_GSI_MATCHER_H_

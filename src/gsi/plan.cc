@@ -1,0 +1,106 @@
+#include "gsi/plan.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace gsi {
+
+uint32_t JoinPlan::ColumnOf(VertexId u) const {
+  for (uint32_t i = 0; i < order.size(); ++i) {
+    if (order[i] == u) return i;
+  }
+  GSI_CHECK_MSG(false, "vertex not in plan");
+  return 0;
+}
+
+std::string JoinPlan::ToString() const {
+  std::string out = "order:";
+  for (VertexId u : order) {
+    out += " u" + std::to_string(u);
+  }
+  return out;
+}
+
+JoinPlan MakeJoinPlan(const Graph& query, const Graph& data,
+                      const std::vector<CandidateSet>& candidates) {
+  const size_t nq = query.num_vertices();
+  GSI_CHECK(candidates.size() == nq);
+
+  // score(u') = |C(u')| / deg(u') (Algorithm 2, Lines 2-3).
+  std::vector<double> score(nq);
+  for (VertexId u = 0; u < nq; ++u) {
+    GSI_CHECK_MSG(query.degree(u) > 0, "query must be connected");
+    score[u] = static_cast<double>(candidates[u].size()) /
+               static_cast<double>(query.degree(u));
+  }
+
+  std::vector<bool> selected(nq, false);
+  JoinPlan plan;
+  plan.order.reserve(nq);
+
+  auto apply_frequency_scaling = [&](VertexId uc) {
+    // Lines 12-13: scale neighbours' scores by the adjacent edge-label
+    // frequency, preferring extension through rare labels.
+    for (const Neighbor& n : query.neighbors(uc)) {
+      score[n.v] *= static_cast<double>(
+          std::max<size_t>(1, data.EdgeLabelFrequency(n.elabel)));
+    }
+  };
+
+  // First vertex: global argmin score.
+  VertexId first = 0;
+  for (VertexId u = 1; u < nq; ++u) {
+    if (score[u] < score[first]) first = u;
+  }
+  selected[first] = true;
+  plan.order.push_back(first);
+  apply_frequency_scaling(first);
+
+  for (size_t step = 1; step < nq; ++step) {
+    // Next vertex: argmin score among unselected vertices connected to Q'.
+    VertexId best = kInvalidVertex;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (VertexId u = 0; u < nq; ++u) {
+      if (selected[u]) continue;
+      bool connected = false;
+      for (const Neighbor& n : query.neighbors(u)) {
+        if (selected[n.v]) {
+          connected = true;
+          break;
+        }
+      }
+      if (!connected) continue;
+      if (u < nq && score[u] < best_score) {
+        best_score = score[u];
+        best = u;
+      }
+    }
+    GSI_CHECK_MSG(best != kInvalidVertex, "query must be connected");
+
+    JoinStep js;
+    js.u = best;
+    for (const Neighbor& n : query.neighbors(best)) {
+      if (!selected[n.v]) continue;
+      LinkEdge link;
+      link.prev_vertex = n.v;
+      link.prev_column = plan.ColumnOf(n.v);
+      link.label = n.elabel;
+      link.label_frequency = data.EdgeLabelFrequency(n.elabel);
+      js.links.push_back(link);
+    }
+    // Algorithm 4 Line 1: the first edge e0 has the rarest label in G.
+    std::stable_sort(js.links.begin(), js.links.end(),
+                     [](const LinkEdge& a, const LinkEdge& b) {
+                       return a.label_frequency < b.label_frequency;
+                     });
+    selected[best] = true;
+    plan.order.push_back(best);
+    plan.steps.push_back(std::move(js));
+    apply_frequency_scaling(best);
+  }
+  return plan;
+}
+
+}  // namespace gsi

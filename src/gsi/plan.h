@@ -1,0 +1,55 @@
+#ifndef GSI_GSI_PLAN_H_
+#define GSI_GSI_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "gsi/candidates.h"
+#include "util/common.h"
+
+namespace gsi {
+
+/// One linking edge between the next query vertex u and an already-matched
+/// vertex (Algorithm 3's ES).
+struct LinkEdge {
+  /// Position (column) of the matched endpoint in the intermediate table.
+  uint32_t prev_column;
+  /// The matched endpoint's query vertex id.
+  VertexId prev_vertex;
+  /// The edge's label in Q.
+  Label label;
+  /// freq(label) in G — Algorithm 4 picks the rarest as the first edge.
+  uint64_t label_frequency;
+};
+
+/// One join iteration: extend the intermediate table by query vertex u
+/// through its linking edges. links[0] is the "first edge" e0 (minimum
+/// label frequency, Algorithm 4 Line 1).
+struct JoinStep {
+  VertexId u;
+  std::vector<LinkEdge> links;
+};
+
+/// The whole vertex-at-a-time join order (Algorithm 2): order[0] seeds the
+/// intermediate table with C(order[0]); each later step joins one more
+/// candidate set.
+struct JoinPlan {
+  std::vector<VertexId> order;
+  std::vector<JoinStep> steps;  // size |V(Q)| - 1
+
+  /// Column of query vertex u in the final table.
+  uint32_t ColumnOf(VertexId u) const;
+
+  std::string ToString() const;
+};
+
+/// Builds the join order per Algorithm 2: the first vertex minimizes
+/// score(u) = |C(u)| / deg(u); subsequent vertices must connect to the
+/// matched part, with scores scaled by freq(L_E(uc u')) after each pick.
+JoinPlan MakeJoinPlan(const Graph& query, const Graph& data,
+                      const std::vector<CandidateSet>& candidates);
+
+}  // namespace gsi
+
+#endif  // GSI_GSI_PLAN_H_

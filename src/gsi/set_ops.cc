@@ -1,0 +1,80 @@
+#include "gsi/set_ops.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace gsi {
+
+void WriteToGba(gpusim::Warp& w, std::span<const VertexId> values,
+                bool write_cache, gpusim::DeviceBuffer<VertexId>& gba,
+                uint64_t begin) {
+  GSI_CHECK(begin + values.size() <= gba.size());
+  if (values.empty()) return;
+  if (write_cache) {
+    // Valid elements accumulate in a 128B shared-memory cache; a full cache
+    // flushes with exactly one store transaction (Section V).
+    w.SharedAccess(values.size());
+    for (size_t i = 0; i < values.size(); i += 32) {
+      size_t chunk = std::min<size_t>(32, values.size() - i);
+      w.StoreRange(gba, begin + i,
+                   std::span<const VertexId>(values.data() + i, chunk));
+    }
+  } else {
+    // One scattered store per valid element.
+    for (size_t i = 0; i < values.size(); ++i) {
+      w.Store(gba, begin + i, values[i]);
+    }
+  }
+}
+
+size_t FilterFirstEdge(gpusim::Warp& w, std::span<const VertexId> input,
+                       std::span<const VertexId> row,
+                       const CandidateSet& cand, const SetOpFlags& flags,
+                       gpusim::DeviceBuffer<VertexId>* gba,
+                       uint64_t gba_begin, std::vector<VertexId>& result) {
+  // The partial match (small list) stays cached in shared memory for the
+  // subtraction; the neighbor slice (medium list) is consumed batch-wise.
+  if (!flags.naive) w.SharedAccess(row.size() + input.size());
+  w.Alu(input.size() * (row.size() + 1));
+  for (VertexId x : input) {
+    bool in_row = std::find(row.begin(), row.end(), x) != row.end();
+    if (in_row) continue;
+    // Candidate membership check "on the fly" after the subtraction.
+    bool member = flags.naive ? cand.ContainsBinarySearch(w, x)
+                              : cand.ContainsBitset(w, x);
+    if (member) result.push_back(x);
+  }
+  if (gba != nullptr) {
+    WriteToGba(w, result, flags.write_cache && !flags.naive, *gba,
+               gba_begin);
+  }
+  return result.size();
+}
+
+size_t IntersectSorted(gpusim::Warp& w, std::vector<VertexId>& current,
+                       std::span<const VertexId> other,
+                       const SetOpFlags& flags,
+                       gpusim::DeviceBuffer<VertexId>* gba,
+                       uint64_t gba_begin) {
+  GSI_CHECK(std::is_sorted(current.begin(), current.end()));
+  // Linear merge of two sorted lists.
+  w.Alu(current.size() + other.size());
+  if (!flags.naive) w.SharedAccess(other.size());
+  size_t out = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < current.size(); ++i) {
+    while (j < other.size() && other[j] < current[i]) ++j;
+    if (j < other.size() && other[j] == current[i]) {
+      current[out++] = current[i];
+    }
+  }
+  current.resize(out);
+  if (gba != nullptr) {
+    WriteToGba(w, current, flags.write_cache && !flags.naive, *gba,
+               gba_begin);
+  }
+  return out;
+}
+
+}  // namespace gsi

@@ -1,0 +1,62 @@
+#ifndef GSI_GSI_SET_OPS_H_
+#define GSI_GSI_SET_OPS_H_
+
+#include <span>
+#include <vector>
+
+#include "gpusim/device_buffer.h"
+#include "gpusim/launch.h"
+#include "gsi/candidates.h"
+#include "util/common.h"
+
+namespace gsi {
+
+/// How the join's inner set operations execute (Section V, "GPU-friendly
+/// Set Operation" — ablated as "+SO" in Table VI and "write cache" in
+/// Table VII).
+struct SetOpFlags {
+  /// Naive baseline: candidate membership via binary search on the sorted
+  /// candidate list (log2 |C(u)| loads per probe) and a fresh kernel per
+  /// set operation. GPU-friendly mode uses the candidate bitset (exactly
+  /// one transaction per probe) and batches in shared memory.
+  bool naive = false;
+  /// 128B per-warp write cache: survivors are buffered in shared memory and
+  /// flushed one transaction per 32 values instead of one per value.
+  bool write_cache = true;
+};
+
+/// First-edge operation of Algorithm 3 (Lines 10-11, fused): filters the
+/// extracted neighbor slice `input` by (a) subtraction of the partial match
+/// `row` and (b) membership in C(u), appending survivors to `result`.
+/// If `gba` is non-null the survivors are also written to
+/// gba[gba_begin ...] with the configured write policy; a null `gba` is the
+/// count-only pass of the two-step output scheme.
+///
+/// Returns the survivor count.
+size_t FilterFirstEdge(gpusim::Warp& w, std::span<const VertexId> input,
+                       std::span<const VertexId> row,
+                       const CandidateSet& cand, const SetOpFlags& flags,
+                       gpusim::DeviceBuffer<VertexId>* gba,
+                       uint64_t gba_begin, std::vector<VertexId>& result);
+
+/// Subsequent-edge operation (Line 13): sorted-merge intersection of the
+/// running buffer `current` with the neighbor list `other`; `current` is
+/// rewritten in place. If `gba` is non-null the surviving values are
+/// rewritten to gba[gba_begin ...].
+///
+/// Returns the new size of `current`.
+size_t IntersectSorted(gpusim::Warp& w, std::vector<VertexId>& current,
+                       std::span<const VertexId> other,
+                       const SetOpFlags& flags,
+                       gpusim::DeviceBuffer<VertexId>* gba,
+                       uint64_t gba_begin);
+
+/// Charged write of `values` to gba[begin ...]: one transaction per 128B
+/// flush with the write cache, one per element without.
+void WriteToGba(gpusim::Warp& w, std::span<const VertexId> values,
+                bool write_cache, gpusim::DeviceBuffer<VertexId>& gba,
+                uint64_t begin);
+
+}  // namespace gsi
+
+#endif  // GSI_GSI_SET_OPS_H_

@@ -1,0 +1,54 @@
+#ifndef GSI_STORAGE_LIST_SEARCH_H_
+#define GSI_STORAGE_LIST_SEARCH_H_
+
+#include <cstddef>
+
+#include "gpusim/device_buffer.h"
+#include "gpusim/launch.h"
+#include "util/common.h"
+
+namespace gsi {
+
+/// Binary search for the first index in buf[begin, end) with value >= x,
+/// charging one global transaction per probe (how a warp-serial binary
+/// search behaves on device).
+inline size_t LowerBoundCharged(gpusim::Warp& w,
+                                const gpusim::DeviceBuffer<VertexId>& buf,
+                                size_t begin, size_t end, VertexId x) {
+  size_t lo = begin;
+  size_t hi = end;
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    VertexId probe = w.Load(buf, mid);
+    w.Alu(1);
+    if (probe < x) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// First index with value > x (upper bound), charged like above.
+inline size_t UpperBoundCharged(gpusim::Warp& w,
+                                const gpusim::DeviceBuffer<VertexId>& buf,
+                                size_t begin, size_t end, VertexId x) {
+  size_t lo = begin;
+  size_t hi = end;
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    VertexId probe = w.Load(buf, mid);
+    w.Alu(1);
+    if (probe <= x) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace gsi
+
+#endif  // GSI_STORAGE_LIST_SEARCH_H_

@@ -1,0 +1,27 @@
+#include "storage/partition.h"
+
+namespace gsi {
+
+LabelPartition MakePartition(const Graph& g, Label l) {
+  LabelPartition p;
+  p.label = l;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    std::span<const Neighbor> nbrs = g.NeighborsWithLabel(v, l);
+    if (nbrs.empty()) continue;
+    p.vertices.push_back(v);
+    p.offsets.push_back(p.neighbors.size());
+    // Graph adjacency is sorted by (label, id), so this slice is ascending.
+    for (const Neighbor& n : nbrs) p.neighbors.push_back(n.v);
+  }
+  p.offsets.push_back(p.neighbors.size());
+  return p;
+}
+
+std::vector<LabelPartition> PartitionByEdgeLabel(const Graph& g) {
+  std::vector<LabelPartition> parts;
+  parts.reserve(g.num_edge_labels());
+  for (Label l : g.edge_labels()) parts.push_back(MakePartition(g, l));
+  return parts;
+}
+
+}  // namespace gsi

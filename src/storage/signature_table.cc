@@ -1,0 +1,41 @@
+#include "storage/signature_table.h"
+
+#include "util/check.h"
+
+namespace gsi {
+
+SignatureTable SignatureTable::Build(gpusim::Device& dev, const Graph& g,
+                                     int nbits, Layout layout) {
+  SignatureTable t;
+  t.num_vertices_ = g.num_vertices();
+  t.nbits_ = nbits;
+  t.words_per_sig_ = Signature::WordsFor(nbits);
+  t.layout_ = layout;
+  std::vector<uint32_t> data(t.num_vertices_ *
+                             static_cast<size_t>(t.words_per_sig_));
+  for (VertexId v = 0; v < t.num_vertices_; ++v) {
+    Signature s = Signature::Encode(g, v, nbits);
+    for (int w = 0; w < t.words_per_sig_; ++w) {
+      uint64_t idx = (layout == Layout::kColumnMajor)
+                         ? static_cast<uint64_t>(w) * t.num_vertices_ + v
+                         : static_cast<uint64_t>(v) * t.words_per_sig_ + w;
+      data[idx] = s.word(w);
+    }
+  }
+  t.data_ = dev.Upload(std::move(data));
+  return t;
+}
+
+void SignatureTable::WarpReadWord(gpusim::Warp& w, VertexId v0, size_t lanes,
+                                  int word, uint32_t* out) const {
+  GSI_CHECK(lanes <= static_cast<size_t>(gpusim::kWarpSize));
+  GSI_CHECK(v0 + lanes <= num_vertices_);
+  uint64_t idx[gpusim::kWarpSize];
+  for (size_t k = 0; k < lanes; ++k) {
+    idx[k] = IndexOf(v0 + static_cast<VertexId>(k), word);
+  }
+  w.Gather(data_, std::span<const uint64_t>(idx, lanes),
+           std::span<uint32_t>(out, lanes));
+}
+
+}  // namespace gsi

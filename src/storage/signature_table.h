@@ -1,0 +1,66 @@
+#ifndef GSI_STORAGE_SIGNATURE_TABLE_H_
+#define GSI_STORAGE_SIGNATURE_TABLE_H_
+
+#include <cstdint>
+
+#include "gpusim/device.h"
+#include "gpusim/launch.h"
+#include "graph/graph.h"
+#include "storage/signature.h"
+
+namespace gsi {
+
+/// Device-resident table of all data-vertex signatures (Figure 8b).
+///
+/// Layout matters (Figures 8c/8d): in the filter kernel every lane reads the
+/// same word index of 32 *consecutive vertices*' signatures. Row-major
+/// places those 64B (a full signature) apart — uncoalesced; column-major
+/// places them adjacent — one 128B transaction per warp. The benches expose
+/// both to reproduce the paper's layout argument.
+class SignatureTable {
+ public:
+  enum class Layout { kRowMajor, kColumnMajor };
+
+  /// Empty table; Build() produces usable instances.
+  SignatureTable() = default;
+
+  /// Encodes all vertices of g offline and uploads the table.
+  static SignatureTable Build(gpusim::Device& dev, const Graph& g, int nbits,
+                              Layout layout = Layout::kColumnMajor);
+
+  /// Element index of (vertex, word) under the table's layout.
+  uint64_t IndexOf(VertexId v, int word) const {
+    if (layout_ == Layout::kColumnMajor) {
+      return static_cast<uint64_t>(word) * num_vertices_ + v;
+    }
+    return static_cast<uint64_t>(v) * words_per_sig_ + word;
+  }
+
+  /// Warp read of word `word` for 32 consecutive vertices starting at v0
+  /// (lane k handles vertex v0+k). Charges coalesced transactions per the
+  /// layout. Returns values via `out` (up to 32 entries).
+  void WarpReadWord(gpusim::Warp& w, VertexId v0, size_t lanes, int word,
+                    uint32_t* out) const;
+
+  int nbits() const { return nbits_; }
+  int words_per_sig() const { return words_per_sig_; }
+  size_t num_vertices() const { return num_vertices_; }
+  Layout layout() const { return layout_; }
+  uint64_t device_bytes() const { return data_.size() * sizeof(uint32_t); }
+
+  /// Host access for tests.
+  uint32_t WordAt(VertexId v, int word) const {
+    return data_[IndexOf(v, word)];
+  }
+
+ private:
+  gpusim::DeviceBuffer<uint32_t> data_;
+  size_t num_vertices_ = 0;
+  int nbits_ = kMaxSignatureBits;
+  int words_per_sig_ = kSignatureWords;
+  Layout layout_ = Layout::kColumnMajor;
+};
+
+}  // namespace gsi
+
+#endif  // GSI_STORAGE_SIGNATURE_TABLE_H_

@@ -1,0 +1,28 @@
+#ifndef GSI_UTIL_CHECK_H_
+#define GSI_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Invariant check that stays on in release builds. Used for programming
+/// errors (out-of-range lane, shared-memory overflow) that must never be
+/// silently ignored; recoverable errors use Status instead.
+#define GSI_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "GSI_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define GSI_CHECK_MSG(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "GSI_CHECK failed at %s:%d: %s (%s)\n",        \
+                   __FILE__, __LINE__, #cond, msg);                       \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#endif  // GSI_UTIL_CHECK_H_

@@ -1,0 +1,27 @@
+#ifndef GSI_UTIL_COMMON_H_
+#define GSI_UTIL_COMMON_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace gsi {
+
+/// Vertex identifier. Data graphs are bounded by 2^32-1 vertices (the paper
+/// assumes |V| < 2^32 in the PCSR analysis, Section IV).
+using VertexId = uint32_t;
+
+/// Vertex / edge label. Labels are dense small integers assigned by the
+/// loader or the synthetic labeler.
+using Label = uint32_t;
+
+/// Sentinel for "no vertex" (also used as the empty-slot marker in PCSR
+/// groups and as the GID=-1 overflow terminator).
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/// Sentinel for "no label".
+inline constexpr Label kInvalidLabel = std::numeric_limits<Label>::max();
+
+}  // namespace gsi
+
+#endif  // GSI_UTIL_COMMON_H_

@@ -1,0 +1,52 @@
+#ifndef GSI_UTIL_RNG_H_
+#define GSI_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace gsi {
+
+/// Deterministic 64-bit PRNG (splitmix64 seeded xoshiro256**). Every
+/// generator, labeler and query workload in this repository is seeded, so all
+/// experiments are reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit word.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool NextBool(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Samples integers in [0, n) with Zipf-like probability P(k) proportional to
+/// 1/(k+1)^alpha. Used to assign power-law-distributed vertex/edge labels
+/// (Section VII-A: "we assign labels following the power-law distribution").
+class ZipfSampler {
+ public:
+  /// @param n     number of distinct values.
+  /// @param alpha skew (1.0 is the classic Zipf; 0 degenerates to uniform).
+  ZipfSampler(uint64_t n, double alpha, uint64_t seed);
+
+  uint64_t Sample();
+
+  uint64_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+  Rng rng_;
+};
+
+}  // namespace gsi
+
+#endif  // GSI_UTIL_RNG_H_

@@ -1,0 +1,84 @@
+#ifndef GSI_UTIL_STATUS_H_
+#define GSI_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace gsi {
+
+/// Error codes for recoverable failures. The library does not use exceptions
+/// (following the Google C++ style used throughout this project); fallible
+/// operations return Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kResourceExhausted,  // e.g. intermediate-table row cap exceeded
+  kInternal,
+};
+
+/// A success-or-error value. Cheap to copy on the OK path.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "INVALID_ARGUMENT: bad vertex id".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error result, modelled after absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}         // NOLINT(runtime/explicit)
+  Result(Status status) : value_(std::move(status)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    if (ok()) return kOkStatus;
+    return std::get<Status>(value_);
+  }
+
+  const T& value() const& { return std::get<T>(value_); }
+  T& value() & { return std::get<T>(value_); }
+  T&& value() && { return std::get<T>(std::move(value_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace gsi
+
+#endif  // GSI_UTIL_STATUS_H_

@@ -1,0 +1,85 @@
+#include "util/table_printer.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace gsi {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString(const std::string& title) const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  out << "== " << title << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      out << row[c];
+      out << std::string(width[c] - row[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+  emit_row(header_);
+  size_t total = 1;
+  for (size_t c = 0; c < header_.size(); ++c) total += width[c] + 3;
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void TablePrinter::Print(const std::string& title) const {
+  std::string s = ToString(title);
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+std::string TablePrinter::FormatCount(uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  int seen = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (seen && seen % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++seen;
+  }
+  return std::string(out.rbegin(), out.rend());
+}
+
+std::string TablePrinter::FormatMs(double ms) {
+  char buf[64];
+  if (ms < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  } else if (ms < 100.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f", ms);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", ms);
+  }
+  return buf;
+}
+
+std::string TablePrinter::FormatSpeedup(double factor) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1fx", factor);
+  return buf;
+}
+
+std::string TablePrinter::FormatPercent(double fraction) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace gsi

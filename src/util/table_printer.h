@@ -1,0 +1,40 @@
+#ifndef GSI_UTIL_TABLE_PRINTER_H_
+#define GSI_UTIL_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gsi {
+
+/// Renders aligned text tables in the style of the paper's evaluation tables.
+/// Used by the bench harness to print paper-shaped rows.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table with a title line, column separators and a rule under
+  /// the header.
+  std::string ToString(const std::string& title) const;
+
+  /// Convenience: prints ToString(title) to stdout.
+  void Print(const std::string& title) const;
+
+  /// Formats a count with thousands grouping ("12,345").
+  static std::string FormatCount(uint64_t v);
+  /// Formats milliseconds with adaptive precision ("0.42", "12.3", "4400").
+  static std::string FormatMs(double ms);
+  /// Formats a speedup / drop factor ("2.1x", "30%").
+  static std::string FormatSpeedup(double factor);
+  static std::string FormatPercent(double fraction);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gsi
+
+#endif  // GSI_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,27 @@
+#ifndef GSI_UTIL_TIMER_H_
+#define GSI_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace gsi {
+
+/// Simple wall-clock timer for host-side measurements.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gsi
+
+#endif  // GSI_UTIL_TIMER_H_

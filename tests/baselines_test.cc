@@ -1,0 +1,164 @@
+// Every baseline engine (CPU backtrackers and GPU edge-join) must agree
+// with the brute-force oracle.
+
+#include <gtest/gtest.h>
+
+#include "baselines/cpu_matcher.h"
+#include "baselines/edge_candidates.h"
+#include "baselines/oracle.h"
+#include "graph/graph_builder.h"
+#include "test_util.h"
+
+namespace gsi {
+namespace {
+
+using ::gsi::testing::RandomGraph;
+using ::gsi::testing::RandomQuery;
+
+class CpuAlgorithmSuite : public ::testing::TestWithParam<CpuAlgorithm> {};
+
+TEST_P(CpuAlgorithmSuite, MatchesOracle) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Graph data = RandomGraph(200, 3, 4, 3, seed);
+    Graph query = RandomQuery(data, 4, seed + 50);
+    auto expected = EnumerateMatchesBruteForce(data, query);
+    CpuMatcherOptions opts;
+    opts.collect_matches = true;
+    CpuMatchResult r = RunCpuMatcher(GetParam(), data, query, opts);
+    EXPECT_FALSE(r.timed_out);
+    EXPECT_EQ(r.num_matches, expected.size());
+    EXPECT_EQ(r.SortedMatches(), expected) << "seed=" << seed;
+  }
+}
+
+TEST_P(CpuAlgorithmSuite, HonorsMatchLimit) {
+  Graph data = RandomGraph(100, 4, 1, 1, 9);
+  Graph query = RandomQuery(data, 3, 10);
+  CpuMatcherOptions opts;
+  opts.match_limit = 5;
+  CpuMatchResult r = RunCpuMatcher(GetParam(), data, query, opts);
+  EXPECT_LE(r.num_matches, 5u);
+}
+
+TEST_P(CpuAlgorithmSuite, TimesOutGracefully) {
+  Graph data = RandomGraph(600, 6, 1, 1, 11);  // unlabeled-ish: explosive
+  Graph query = RandomQuery(data, 8, 12);
+  CpuMatcherOptions opts;
+  opts.timeout_ms = 1.0;
+  CpuMatchResult r = RunCpuMatcher(GetParam(), data, query, opts);
+  // Either it truly finished in 1ms or it set the timeout flag.
+  if (r.timed_out) {
+    EXPECT_LT(r.wall_ms, 1000.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, CpuAlgorithmSuite,
+                         ::testing::Values(CpuAlgorithm::kUllmann,
+                                           CpuAlgorithm::kVf2,
+                                           CpuAlgorithm::kCflMatch),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case CpuAlgorithm::kUllmann:
+                               return std::string("Ullmann");
+                             case CpuAlgorithm::kVf2:
+                               return std::string("Vf2");
+                             case CpuAlgorithm::kCflMatch:
+                               return std::string("CflMatch");
+                           }
+                           return std::string("Unknown");
+                         });
+
+TEST(GpuBaselines, GpsmMatchesOracle) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    Graph data = RandomGraph(200, 3, 4, 3, seed + 20);
+    Graph query = RandomQuery(data, 4, seed + 70);
+    auto expected = EnumerateMatchesBruteForce(data, query);
+    EdgeJoinMatcher gpsm = MakeGpsmMatcher(data);
+    Result<QueryResult> r = gpsm.Find(query);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->AllMatchesSorted(), expected) << "seed=" << seed;
+  }
+}
+
+TEST(GpuBaselines, GunrockSmMatchesOracle) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    Graph data = RandomGraph(200, 3, 4, 3, seed + 30);
+    Graph query = RandomQuery(data, 4, seed + 80);
+    auto expected = EnumerateMatchesBruteForce(data, query);
+    EdgeJoinMatcher gsm = MakeGunrockSmMatcher(data);
+    Result<QueryResult> r = gsm.Find(query);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->AllMatchesSorted(), expected) << "seed=" << seed;
+  }
+}
+
+TEST(GpuBaselines, QueriesWithNonTreeEdges) {
+  // Dense little query exercising the semi-join path.
+  GraphBuilder db;
+  db.AddVertices(6, 0);
+  for (VertexId a = 0; a < 6; ++a) {
+    for (VertexId b = a + 1; b < 6; ++b) db.AddEdge(a, b, 0);
+  }
+  Graph data = std::move(db).Build().value();
+  GraphBuilder qb;
+  qb.AddVertices(4, 0);
+  qb.AddEdge(0, 1, 0);
+  qb.AddEdge(1, 2, 0);
+  qb.AddEdge(2, 3, 0);
+  qb.AddEdge(3, 0, 0);  // cycle: one non-tree edge
+  qb.AddEdge(0, 2, 0);  // chord: another
+  Graph query = std::move(qb).Build().value();
+  auto expected = EnumerateMatchesBruteForce(data, query);
+  ASSERT_FALSE(expected.empty());
+  EdgeJoinMatcher gpsm = MakeGpsmMatcher(data);
+  Result<QueryResult> r = gpsm.Find(query);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->AllMatchesSorted(), expected);
+}
+
+TEST(GpuBaselines, RowCapReturnsResourceExhausted) {
+  Graph data = RandomGraph(64, 8, 1, 1, 40);
+  Graph query = RandomQuery(data, 5, 41);
+  EdgeJoinMatcher::Config c;
+  c.name = "tiny";
+  c.max_rows = 8;
+  EdgeJoinMatcher m(data, std::move(c));
+  Result<QueryResult> r = m.Find(query);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Oracle, FindsTriangles) {
+  GraphBuilder b;
+  b.AddVertices(4, 0);
+  b.AddEdge(0, 1, 0);
+  b.AddEdge(1, 2, 0);
+  b.AddEdge(2, 0, 0);
+  b.AddEdge(2, 3, 0);
+  Graph data = std::move(b).Build().value();
+  GraphBuilder qb;
+  qb.AddVertices(3, 0);
+  qb.AddEdge(0, 1, 0);
+  qb.AddEdge(1, 2, 0);
+  qb.AddEdge(2, 0, 0);
+  Graph q = std::move(qb).Build().value();
+  auto matches = EnumerateMatchesBruteForce(data, q);
+  EXPECT_EQ(matches.size(), 6u);  // 3! orderings of the one triangle
+}
+
+TEST(Oracle, RespectsEdgeLabels) {
+  GraphBuilder b;
+  b.AddVertices(3, 0);
+  b.AddEdge(0, 1, 1);
+  b.AddEdge(1, 2, 2);
+  Graph data = std::move(b).Build().value();
+  GraphBuilder qb;
+  qb.AddVertices(2, 0);
+  qb.AddEdge(0, 1, 2);
+  Graph q = std::move(qb).Build().value();
+  auto matches = EnumerateMatchesBruteForce(data, q);
+  EXPECT_EQ(matches.size(), 2u);  // (1,2) and (2,1)
+}
+
+}  // namespace
+}  // namespace gsi

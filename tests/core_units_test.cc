@@ -1,0 +1,306 @@
+// Unit tests for the join engine's building blocks: set operations, GBA
+// writes, chunk planning (load balance), the duplicate-removal cache and
+// the match table.
+
+#include <gtest/gtest.h>
+
+#include "gpusim/launch.h"
+#include "gsi/candidates.h"
+#include "gsi/dup_removal.h"
+#include "gsi/load_balance.h"
+#include "gsi/match_table.h"
+#include "gsi/matcher.h"
+#include "gsi/set_ops.h"
+#include "test_util.h"
+
+namespace gsi {
+namespace {
+
+template <typename Fn>
+void WithWarp(gpusim::Device& dev, Fn&& fn) {
+  gpusim::Launch(dev, 1, [&](gpusim::Warp& w) { fn(w); });
+}
+
+// ------------------------------------------------------------- set ops ---
+
+TEST(SetOps, FirstEdgeSubtractsRowAndFiltersCandidates) {
+  gpusim::Device dev;
+  CandidateSet cand = CandidateSet::Create(dev, 0, {2, 4, 6, 8}, 100, true);
+  std::vector<VertexId> input = {1, 2, 3, 4, 5, 6};
+  std::vector<VertexId> row = {4, 9};
+  auto gba = dev.Alloc<VertexId>(16);
+  std::vector<VertexId> result;
+  SetOpFlags flags;
+  WithWarp(dev, [&](gpusim::Warp& w) {
+    size_t n = FilterFirstEdge(w, input, row, cand, flags, &gba, 3, result);
+    EXPECT_EQ(n, 2u);
+  });
+  EXPECT_EQ(result, (std::vector<VertexId>{2, 6}));  // 4 is in the row
+  EXPECT_EQ(gba[3], 2u);
+  EXPECT_EQ(gba[4], 6u);
+}
+
+TEST(SetOps, FirstEdgeNaiveMatchesBitsetSemantics) {
+  gpusim::Device dev;
+  CandidateSet cand =
+      CandidateSet::Create(dev, 0, {1, 5, 7, 11, 13}, 64, true);
+  std::vector<VertexId> input = {1, 2, 5, 7, 8, 11, 13};
+  std::vector<VertexId> row = {7};
+  std::vector<VertexId> fast;
+  std::vector<VertexId> naive;
+  WithWarp(dev, [&](gpusim::Warp& w) {
+    SetOpFlags f;
+    FilterFirstEdge(w, input, row, cand, f, nullptr, 0, fast);
+    f.naive = true;
+    FilterFirstEdge(w, input, row, cand, f, nullptr, 0, naive);
+  });
+  EXPECT_EQ(fast, naive);
+  EXPECT_EQ(fast, (std::vector<VertexId>{1, 5, 11, 13}));
+}
+
+TEST(SetOps, IntersectSortedKeepsCommonElements) {
+  gpusim::Device dev;
+  std::vector<VertexId> current = {1, 3, 5, 7, 9};
+  std::vector<VertexId> other = {0, 3, 4, 7, 10};
+  WithWarp(dev, [&](gpusim::Warp& w) {
+    SetOpFlags f;
+    size_t n = IntersectSorted(w, current, other, f, nullptr, 0);
+    EXPECT_EQ(n, 2u);
+  });
+  EXPECT_EQ(current, (std::vector<VertexId>{3, 7}));
+}
+
+TEST(SetOps, IntersectWithEmptyIsEmpty) {
+  gpusim::Device dev;
+  std::vector<VertexId> current = {1, 2, 3};
+  WithWarp(dev, [&](gpusim::Warp& w) {
+    SetOpFlags f;
+    EXPECT_EQ(IntersectSorted(w, current, {}, f, nullptr, 0), 0u);
+  });
+  EXPECT_TRUE(current.empty());
+}
+
+TEST(SetOps, WriteCacheUsesFewerStoreTransactions) {
+  gpusim::Device dev;
+  auto gba = dev.Alloc<VertexId>(256);
+  std::vector<VertexId> values(100);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<VertexId>(i);
+  }
+  uint64_t cached = 0;
+  uint64_t uncached = 0;
+  WithWarp(dev, [&](gpusim::Warp& w) {
+    uint64_t before = dev.stats().gst;
+    WriteToGba(w, values, /*write_cache=*/true, gba, 0);
+    cached = dev.stats().gst - before;
+    before = dev.stats().gst;
+    WriteToGba(w, values, /*write_cache=*/false, gba, 0);
+    uncached = dev.stats().gst - before;
+  });
+  EXPECT_EQ(cached, 4u);     // 100 values = 4 cache flushes (32/flush)
+  EXPECT_EQ(uncached, 100u); // one transaction per value
+  for (size_t i = 0; i < values.size(); ++i) EXPECT_EQ(gba[i], values[i]);
+}
+
+// ------------------------------------------------------- chunk planning ---
+
+TEST(ChunkPlanning, NoLoadBalanceOneChunkPerRow) {
+  std::vector<uint32_t> bounds = {10, 0, 5000, 7};
+  std::vector<uint64_t> offsets = {0, 10, 10, 5010, 5017};
+  ChunkPlan plan = PlanChunks(bounds, offsets, false, 4096, 1024, 256);
+  EXPECT_TRUE(plan.huge.empty());
+  EXPECT_TRUE(plan.per_block.empty());
+  ASSERT_EQ(plan.pooled.size(), 4u);
+  EXPECT_EQ(plan.pooled[2].pos_end, 5000u);
+  EXPECT_EQ(plan.pooled[2].gba_begin, 10u);
+}
+
+TEST(ChunkPlanning, FourLayerClassification) {
+  // bounds: tiny (layer 4), pooled-split (3), per-block (2), huge (1).
+  std::vector<uint32_t> bounds = {100, 600, 2000, 9000};
+  std::vector<uint64_t> offsets = {0, 100, 700, 2700, 11700};
+  ChunkPlan plan = PlanChunks(bounds, offsets, true, 4096, 1024, 256);
+  ASSERT_EQ(plan.huge.size(), 1u);             // the 9000 row
+  EXPECT_EQ(plan.huge[0].size(), (9000 + 255) / 256);
+  ASSERT_EQ(plan.per_block.size(), 1u);        // the 2000 row
+  EXPECT_EQ(plan.per_block[0].size(), (2000 + 255) / 256);
+  // pooled: the 100 row as one chunk + the 600 row in 256-chunks.
+  EXPECT_EQ(plan.pooled.size(), 1u + (600 + 255) / 256);
+  // Chunk positions tile each row exactly.
+  uint32_t covered = 0;
+  for (const Chunk& c : plan.huge[0]) {
+    EXPECT_EQ(c.pos_begin, covered);
+    covered = c.pos_end;
+    EXPECT_EQ(c.gba_begin, offsets[3] + c.pos_begin);
+  }
+  EXPECT_EQ(covered, 9000u);
+}
+
+TEST(ChunkPlanning, ZeroBoundRowsStillGetAChunk) {
+  std::vector<uint32_t> bounds = {0, 0};
+  std::vector<uint64_t> offsets = {0, 0, 0};
+  ChunkPlan plan = PlanChunks(bounds, offsets, true, 4096, 1024, 256);
+  EXPECT_EQ(plan.pooled.size(), 2u);
+  EXPECT_EQ(plan.total_chunks(), 2u);
+}
+
+TEST(ChunkPlanning, AllChunksCoversEverything) {
+  std::vector<uint32_t> bounds = {100, 2000, 9000, 50};
+  std::vector<uint64_t> offsets = {0, 100, 2100, 11100, 11150};
+  ChunkPlan plan = PlanChunks(bounds, offsets, true, 4096, 1024, 256);
+  EXPECT_EQ(plan.AllChunks().size(), plan.total_chunks());
+}
+
+// --------------------------------------------------- duplicate removal ---
+
+TEST(DupRemoval, SecondReadOfSameListIsShared) {
+  Graph g = ::gsi::testing::RandomGraph(200, 4, 2, 2, 3);
+  gpusim::Device dev;
+  auto store = BuildStore(dev, g, StorageKind::kPcsr, 16);
+  Label l = g.edge_labels()[0];
+  VertexId v = 0;
+  while (g.NeighborsWithLabel(v, l).empty()) ++v;
+
+  BlockExtractionCache cache(/*enabled=*/true);
+  WithWarp(dev, [&](gpusim::Warp& w) {
+    uint64_t before = dev.stats().gld;
+    const auto& first = cache.GetSlice(w, *store, v, l, 0, 1u << 20);
+    uint64_t first_loads = dev.stats().gld - before;
+    EXPECT_GT(first_loads, 0u);
+    std::vector<VertexId> copy = first;
+
+    before = dev.stats().gld;
+    const auto& second = cache.GetSlice(w, *store, v, l, 0, 1u << 20);
+    EXPECT_EQ(dev.stats().gld - before, 0u);  // shared via shared memory
+    EXPECT_EQ(second, copy);
+  });
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(DupRemoval, DisabledCacheAlwaysReloads) {
+  Graph g = ::gsi::testing::RandomGraph(200, 4, 2, 2, 4);
+  gpusim::Device dev;
+  auto store = BuildStore(dev, g, StorageKind::kPcsr, 16);
+  Label l = g.edge_labels()[0];
+  BlockExtractionCache cache(/*enabled=*/false);
+  WithWarp(dev, [&](gpusim::Warp& w) {
+    cache.GetSlice(w, *store, 0, l, 0, 100);
+    uint64_t before = dev.stats().gld;
+    cache.GetSlice(w, *store, 0, l, 0, 100);
+    EXPECT_GT(dev.stats().gld - before, 0u);
+  });
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(DupRemoval, DifferentSlicesAreNotShared) {
+  Graph g = ::gsi::testing::RandomGraph(200, 6, 2, 1, 5);
+  gpusim::Device dev;
+  auto store = BuildStore(dev, g, StorageKind::kPcsr, 16);
+  Label l = g.edge_labels()[0];
+  VertexId v = 0;
+  while (g.NeighborsWithLabel(v, l).size() < 4) ++v;
+  BlockExtractionCache cache(true);
+  WithWarp(dev, [&](gpusim::Warp& w) {
+    cache.GetSlice(w, *store, v, l, 0, 2);
+    cache.GetSlice(w, *store, v, l, 2, 4);
+  });
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(DupRemoval, ResetClearsSharing) {
+  Graph g = ::gsi::testing::RandomGraph(100, 3, 2, 2, 6);
+  gpusim::Device dev;
+  auto store = BuildStore(dev, g, StorageKind::kPcsr, 16);
+  Label l = g.edge_labels()[0];
+  BlockExtractionCache cache(true);
+  WithWarp(dev, [&](gpusim::Warp& w) {
+    cache.GetSlice(w, *store, 0, l, 0, 10);
+    cache.Reset();  // block boundary
+    cache.GetSlice(w, *store, 0, l, 0, 10);
+  });
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+// --------------------------------------------------------- match table ---
+
+TEST(MatchTableTest, AllocAndAccessors) {
+  gpusim::Device dev;
+  MatchTable t = MatchTable::Alloc(dev, 3, 2);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  t.Set(1, 0, 42);
+  t.Set(1, 1, 43);
+  EXPECT_EQ(t.At(1, 0), 42u);
+  EXPECT_EQ(t.Row(1), (std::vector<VertexId>{42, 43}));
+  EXPECT_EQ(t.Row(0), (std::vector<VertexId>{0, 0}));
+}
+
+TEST(MatchTableTest, FromColumn) {
+  gpusim::Device dev;
+  MatchTable t = MatchTable::FromColumn(dev, {7, 8, 9});
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 1u);
+  EXPECT_EQ(t.At(2, 0), 9u);
+}
+
+// ------------------------------------------------------- matcher API ---
+
+TEST(MatcherApi, NamedOptionPresetsDiffer) {
+  GsiOptions minus = GsiMinusOptions();
+  EXPECT_EQ(minus.join.storage, StorageKind::kCsr);
+  EXPECT_EQ(minus.join.output_scheme, OutputScheme::kTwoStep);
+  EXPECT_EQ(minus.join.set_op, SetOpKind::kNaive);
+  GsiOptions opt = GsiOptOptions();
+  EXPECT_TRUE(opt.join.load_balance);
+  EXPECT_TRUE(opt.join.duplicate_removal);
+  GsiOptions base = DefaultGsiOptions();
+  EXPECT_FALSE(base.join.load_balance);
+  EXPECT_EQ(base.join.storage, StorageKind::kPcsr);
+}
+
+TEST(MatcherApi, MatchesInQueryOrderInvertsPlanPermutation) {
+  Graph data = ::gsi::testing::RandomGraph(150, 3, 3, 3, 7);
+  Graph query = ::gsi::testing::RandomQuery(data, 4, 8);
+  GsiMatcher m(data);
+  auto r = m.Find(query);
+  ASSERT_TRUE(r.ok());
+  ASSERT_GE(r->num_matches(), 1u);
+  std::vector<VertexId> match = r->MatchInQueryOrder(0);
+  // Check consistency with the raw table + column map.
+  for (size_t c = 0; c < r->table.cols(); ++c) {
+    EXPECT_EQ(match[r->column_to_query[c]], r->table.At(0, c));
+  }
+}
+
+TEST(MatcherApi, DeviceConfigIsPluggable) {
+  Graph data = ::gsi::testing::RandomGraph(100, 3, 2, 2, 12);
+  GsiOptions options;
+  options.device.num_sms = 1;  // a one-SM device serializes all blocks
+  GsiMatcher slow(data, options);
+  GsiMatcher fast(data);  // 30 SMs
+  Graph q = ::gsi::testing::RandomQuery(data, 4, 13);
+  auto a = slow.Find(q);
+  auto b = fast.Find(q);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->num_matches(), b->num_matches());
+  // Same work, same transactions; more SMs -> shorter makespan.
+  EXPECT_EQ(a->stats.join.gld, b->stats.join.gld);
+  EXPECT_GE(a->stats.total_ms, b->stats.total_ms);
+}
+
+TEST(MatcherApi, StatsAccumulateAcrossQueries) {
+  Graph data = ::gsi::testing::RandomGraph(150, 3, 3, 3, 9);
+  GsiMatcher m(data);
+  Graph q1 = ::gsi::testing::RandomQuery(data, 3, 10);
+  Graph q2 = ::gsi::testing::RandomQuery(data, 3, 11);
+  ASSERT_TRUE(m.Find(q1).ok());
+  uint64_t after_one = m.device().stats().gld;
+  ASSERT_TRUE(m.Find(q2).ok());
+  EXPECT_GT(m.device().stats().gld, after_one);
+}
+
+}  // namespace
+}  // namespace gsi

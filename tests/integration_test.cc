@@ -1,0 +1,147 @@
+// End-to-end agreement of every engine on the named benchmark datasets
+// (small scale), plus cross-engine cost sanity (the paper's headline
+// relationships must hold even at test scale).
+
+#include <gtest/gtest.h>
+
+#include "baselines/cpu_matcher.h"
+#include "baselines/edge_candidates.h"
+#include "baselines/oracle.h"
+#include "graph/datasets.h"
+#include "graph/query_generator.h"
+#include "gsi/matcher.h"
+#include "test_util.h"
+
+namespace gsi {
+namespace {
+
+TEST(Integration, AllEnginesAgreeOnDatasets) {
+  for (const std::string& name : {"enron", "gowalla", "watdiv"}) {
+    Result<Dataset> d = MakeDataset(name, /*scale=*/0.01);
+    ASSERT_TRUE(d.ok());
+    const Graph& g = d->graph;
+    QueryGenConfig qc;
+    qc.num_vertices = 5;
+    std::vector<Graph> queries = GenerateQuerySet(g, qc, 3, 77);
+    ASSERT_FALSE(queries.empty());
+
+    GsiMatcher gsi(g, DefaultGsiOptions());
+    GsiMatcher gsi_opt(g, GsiOptOptions());
+    GsiMatcher gsi_minus(g, GsiMinusOptions());
+    EdgeJoinMatcher gpsm = MakeGpsmMatcher(g);
+    EdgeJoinMatcher gsm = MakeGunrockSmMatcher(g);
+
+    for (const Graph& q : queries) {
+      auto expected = EnumerateMatchesBruteForce(g, q);
+      auto a = gsi.Find(q);
+      auto b = gsi_opt.Find(q);
+      auto c = gsi_minus.Find(q);
+      auto e = gpsm.Find(q);
+      auto f = gsm.Find(q);
+      ASSERT_TRUE(a.ok() && b.ok() && c.ok() && e.ok() && f.ok());
+      EXPECT_EQ(a->AllMatchesSorted(), expected) << name;
+      EXPECT_EQ(b->AllMatchesSorted(), expected) << name;
+      EXPECT_EQ(c->AllMatchesSorted(), expected) << name;
+      EXPECT_EQ(e->AllMatchesSorted(), expected) << name;
+      EXPECT_EQ(f->AllMatchesSorted(), expected) << name;
+      CpuMatcherOptions copts;
+      copts.collect_matches = true;
+      EXPECT_EQ(Vf2Match(g, q, copts).SortedMatches(), expected) << name;
+    }
+  }
+}
+
+TEST(Integration, PreallocDoesLessJoinWorkThanTwoStep) {
+  // Table VI "+PC": Prealloc-Combine must cut join-phase GLD versus the
+  // two-step scheme under otherwise identical configuration.
+  Graph g = MakeDataset("gowalla", 0.02)->graph;
+  QueryGenConfig qc;
+  qc.num_vertices = 6;
+  std::vector<Graph> queries = GenerateQuerySet(g, qc, 3, 99);
+  ASSERT_FALSE(queries.empty());
+
+  GsiOptions two_step;
+  two_step.join.output_scheme = OutputScheme::kTwoStep;
+  GsiOptions prealloc;
+  prealloc.join.output_scheme = OutputScheme::kPreallocCombine;
+
+  uint64_t gld_two = 0;
+  uint64_t gld_pre = 0;
+  GsiMatcher m_two(g, two_step);
+  GsiMatcher m_pre(g, prealloc);
+  for (const Graph& q : queries) {
+    auto a = m_two.Find(q);
+    auto b = m_pre.Find(q);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->num_matches(), b->num_matches());
+    gld_two += a->stats.join.gld;
+    gld_pre += b->stats.join.gld;
+  }
+  EXPECT_LT(gld_pre, gld_two);
+}
+
+TEST(Integration, PcsrBeatsCsrOnJoinLoads) {
+  // Table VI "+DS": PCSR cuts GLD versus CSR on multi-label graphs.
+  Graph g = MakeDataset("enron", 0.02)->graph;
+  QueryGenConfig qc;
+  qc.num_vertices = 5;
+  std::vector<Graph> queries = GenerateQuerySet(g, qc, 3, 123);
+  GsiOptions csr;
+  csr.join.storage = StorageKind::kCsr;
+  GsiOptions pcsr;
+  pcsr.join.storage = StorageKind::kPcsr;
+  uint64_t gld_csr = 0;
+  uint64_t gld_pcsr = 0;
+  GsiMatcher m_csr(g, csr);
+  GsiMatcher m_pcsr(g, pcsr);
+  for (const Graph& q : queries) {
+    auto a = m_csr.Find(q);
+    auto b = m_pcsr.Find(q);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->num_matches(), b->num_matches());
+    gld_csr += a->stats.join.gld;
+    gld_pcsr += b->stats.join.gld;
+  }
+  EXPECT_LT(gld_pcsr, gld_csr);
+}
+
+TEST(Integration, WriteCacheCutsStores) {
+  // Table VII: the write cache reduces GST.
+  Graph g = MakeDataset("enron", 0.02)->graph;
+  QueryGenConfig qc;
+  qc.num_vertices = 5;
+  std::vector<Graph> queries = GenerateQuerySet(g, qc, 3, 321);
+  GsiOptions with;
+  with.join.write_cache = true;
+  GsiOptions without;
+  without.join.write_cache = false;
+  uint64_t gst_with = 0;
+  uint64_t gst_without = 0;
+  GsiMatcher m_with(g, with);
+  GsiMatcher m_without(g, without);
+  for (const Graph& q : queries) {
+    auto a = m_with.Find(q);
+    auto b = m_without.Find(q);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->num_matches(), b->num_matches());
+    gst_with += a->stats.join.gst;
+    gst_without += b->stats.join.gst;
+  }
+  EXPECT_LE(gst_with, gst_without);
+}
+
+TEST(Integration, StatsArePopulated) {
+  Graph g = MakeDataset("watdiv", 0.01)->graph;
+  Graph q = ::gsi::testing::RandomQuery(g, 4, 5);
+  GsiMatcher m(g);
+  auto r = m.Find(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->stats.filter.gld, 0u);
+  EXPECT_GT(r->stats.total_ms, 0.0);
+  EXPECT_GE(r->stats.wall_ms, 0.0);
+  EXPECT_EQ(r->stats.num_matches, r->num_matches());
+  EXPECT_GT(r->stats.min_candidate_size, 0u);
+}
+
+}  // namespace
+}  // namespace gsi

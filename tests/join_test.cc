@@ -1,0 +1,285 @@
+// Correctness of the GSI join engine in every configuration, validated
+// against the brute-force oracle. This is the core property suite: all
+// ablation knobs (storage structure, output scheme, set ops, write cache,
+// load balance, duplicate removal) must not change results, only costs.
+
+#include <gtest/gtest.h>
+
+#include "baselines/oracle.h"
+#include "graph/graph_builder.h"
+#include "gsi/matcher.h"
+#include "test_util.h"
+
+namespace gsi {
+namespace {
+
+using ::gsi::testing::RandomGraph;
+using ::gsi::testing::RandomQuery;
+
+std::vector<std::vector<VertexId>> RunGsi(const Graph& data,
+                                          const Graph& query,
+                                          const GsiOptions& options) {
+  GsiMatcher matcher(data, options);
+  Result<QueryResult> r = matcher.Find(query);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r->AllMatchesSorted();
+}
+
+TEST(JoinBasic, TriangleInTriangle) {
+  GraphBuilder b;
+  VertexId v0 = b.AddVertex(0);
+  VertexId v1 = b.AddVertex(1);
+  VertexId v2 = b.AddVertex(2);
+  b.AddEdge(v0, v1, 0);
+  b.AddEdge(v1, v2, 0);
+  b.AddEdge(v2, v0, 0);
+  Graph g = std::move(b).Build().value();
+
+  auto matches = RunGsi(g, g, DefaultGsiOptions());
+  // The triangle with distinct vertex labels has exactly one automorphism.
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0], (std::vector<VertexId>{0, 1, 2}));
+}
+
+TEST(JoinBasic, PaperRunningExample) {
+  // Figure 1: u0(A)-u1(B) via a, u0-u2(C) via b, u1-u3(C) via a, u2-u3? No:
+  // edges are u0u1:a, u0u2:b, u1u3:a, u2u3:a per the matching table shape.
+  GraphBuilder qb;
+  VertexId u0 = qb.AddVertex(/*A=*/0);
+  VertexId u1 = qb.AddVertex(/*B=*/1);
+  VertexId u2 = qb.AddVertex(/*C=*/2);
+  VertexId u3 = qb.AddVertex(/*C=*/2);
+  qb.AddEdge(u0, u1, /*a=*/0);
+  qb.AddEdge(u0, u2, /*b=*/1);
+  qb.AddEdge(u1, u3, /*a=*/0);
+  qb.AddEdge(u2, u3, /*a=*/0);
+  Graph q = std::move(qb).Build().value();
+
+  // Data graph in the spirit of Figure 1(b): v0(A) connected to B-vertices
+  // v1..v100 via a; one C hub v201 via b; B vertices chain to C vertices
+  // v101..v200 via a; v201 connects to v200 via a.
+  GraphBuilder db;
+  VertexId v0 = db.AddVertex(0);
+  VertexId b_first = db.AddVertices(100, 1);   // v1..v100
+  VertexId c_first = db.AddVertices(100, 2);   // v101..v200
+  VertexId hub = db.AddVertex(2);              // v201
+  for (int i = 0; i < 100; ++i) {
+    db.AddEdge(v0, b_first + i, 0);                    // a
+    db.AddEdge(b_first + i, c_first + i, 0);           // a
+  }
+  db.AddEdge(v0, hub, 1);                              // b
+  db.AddEdge(hub, c_first + 99, 0);                    // v201 - v200 via a
+  Graph g = std::move(db).Build().value();
+
+  auto expected = EnumerateMatchesBruteForce(g, q);
+  auto actual = RunGsi(g, q, DefaultGsiOptions());
+  EXPECT_EQ(actual, expected);
+  // Figure 1(c): exactly one match (u1->v100 chain through the hub).
+  EXPECT_EQ(actual.size(), 1u);
+}
+
+struct JoinConfigCase {
+  StorageKind storage;
+  OutputScheme scheme;
+  SetOpKind set_op;
+  bool write_cache;
+  bool load_balance;
+  bool dup_removal;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<JoinConfigCase>& info) {
+  const JoinConfigCase& c = info.param;
+  std::string s;
+  switch (c.storage) {
+    case StorageKind::kCsr: s += "Csr"; break;
+    case StorageKind::kPcsr: s += "Pcsr"; break;
+    case StorageKind::kBasicRep: s += "Br"; break;
+    case StorageKind::kCompressedRep: s += "Cr"; break;
+  }
+  s += c.scheme == OutputScheme::kTwoStep ? "TwoStep" : "Prealloc";
+  s += c.set_op == SetOpKind::kNaive ? "Naive" : "Warp";
+  s += c.write_cache ? "Wc" : "NoWc";
+  s += c.load_balance ? "Lb" : "NoLb";
+  s += c.dup_removal ? "Dr" : "NoDr";
+  return s;
+}
+
+class JoinConfigSweep : public ::testing::TestWithParam<JoinConfigCase> {};
+
+TEST_P(JoinConfigSweep, MatchesOracleOnRandomGraphs) {
+  const JoinConfigCase& c = GetParam();
+  GsiOptions options;
+  options.join.storage = c.storage;
+  options.join.output_scheme = c.scheme;
+  options.join.set_op = c.set_op;
+  options.join.write_cache = c.write_cache;
+  options.join.load_balance = c.load_balance;
+  options.join.duplicate_removal = c.dup_removal;
+  // Small thresholds so load balance actually kicks in on test graphs.
+  options.join.w1 = 4096;
+  options.join.w3 = 256;
+
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    Graph data = RandomGraph(200, 3, 4, 3, seed);
+    Graph query = RandomQuery(data, 4, seed * 7 + 1);
+    auto expected = EnumerateMatchesBruteForce(data, query);
+    auto actual = RunGsi(data, query, options);
+    ASSERT_EQ(actual, expected)
+        << "seed=" << seed << " matches=" << expected.size();
+    ASSERT_GE(expected.size(), 1u);  // walk queries always match
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, JoinConfigSweep,
+    ::testing::Values(
+        // The paper's named configurations.
+        JoinConfigCase{StorageKind::kCsr, OutputScheme::kTwoStep,
+                       SetOpKind::kNaive, false, false, false},  // GSI-
+        JoinConfigCase{StorageKind::kPcsr, OutputScheme::kTwoStep,
+                       SetOpKind::kNaive, false, false, false},  // +DS
+        JoinConfigCase{StorageKind::kPcsr, OutputScheme::kPreallocCombine,
+                       SetOpKind::kNaive, false, false, false},  // +PC
+        JoinConfigCase{StorageKind::kPcsr, OutputScheme::kPreallocCombine,
+                       SetOpKind::kWarpFriendly, true, false, false},  // +SO
+        JoinConfigCase{StorageKind::kPcsr, OutputScheme::kPreallocCombine,
+                       SetOpKind::kWarpFriendly, true, true, false},  // +LB
+        JoinConfigCase{StorageKind::kPcsr, OutputScheme::kPreallocCombine,
+                       SetOpKind::kWarpFriendly, true, true, true},  // opt
+        // Cross products that must also hold.
+        JoinConfigCase{StorageKind::kBasicRep,
+                       OutputScheme::kPreallocCombine,
+                       SetOpKind::kWarpFriendly, true, false, false},
+        JoinConfigCase{StorageKind::kCompressedRep,
+                       OutputScheme::kPreallocCombine,
+                       SetOpKind::kWarpFriendly, true, false, false},
+        JoinConfigCase{StorageKind::kPcsr, OutputScheme::kPreallocCombine,
+                       SetOpKind::kWarpFriendly, false, false, false},
+        JoinConfigCase{StorageKind::kCsr, OutputScheme::kPreallocCombine,
+                       SetOpKind::kWarpFriendly, true, false, false},
+        JoinConfigCase{StorageKind::kPcsr, OutputScheme::kTwoStep,
+                       SetOpKind::kWarpFriendly, true, false, false},
+        JoinConfigCase{StorageKind::kPcsr, OutputScheme::kPreallocCombine,
+                       SetOpKind::kNaive, false, true, true}),
+    CaseName);
+
+// Load balance with aggressive thresholds: chunking must not change
+// results even when every row is split.
+TEST(JoinLoadBalance, AggressiveChunkingMatchesOracle) {
+  GsiOptions options;
+  options.join.load_balance = true;
+  options.join.w1 = 2048;
+  options.join.w3 = 32;
+  for (uint64_t seed = 11; seed <= 13; ++seed) {
+    Graph data = RandomGraph(300, 4, 3, 2, seed);
+    Graph query = RandomQuery(data, 4, seed);
+    auto expected = EnumerateMatchesBruteForce(data, query);
+    auto actual = RunGsi(data, query, options);
+    ASSERT_EQ(actual, expected) << "seed=" << seed;
+  }
+}
+
+TEST(JoinLimits, RowCapReturnsResourceExhausted) {
+  // A dense same-label graph explodes the intermediate table.
+  Graph data = RandomGraph(64, 8, 1, 1, 99);
+  Graph query = RandomQuery(data, 5, 3);
+  GsiOptions options;
+  options.join.max_rows = 16;
+  GsiMatcher matcher(data, options);
+  Result<QueryResult> r = matcher.Find(query);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(JoinEdgeCases, DisconnectedQueryRejected) {
+  GraphBuilder b;
+  b.AddVertex(0);
+  b.AddVertex(0);
+  b.AddVertex(0);
+  b.AddVertex(0);
+  b.AddEdge(0, 1, 0);
+  b.AddEdge(2, 3, 0);
+  Graph q = std::move(b).Build().value();
+  Graph data = RandomGraph(100, 3, 2, 2, 5);
+  GsiMatcher matcher(data);
+  Result<QueryResult> r = matcher.Find(q);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JoinEdgeCases, NoMatchesWhenLabelAbsent) {
+  Graph data = RandomGraph(100, 3, 2, 2, 6);
+  GraphBuilder b;
+  b.AddVertex(7);  // label 7 never appears in data (labels are 0..1)
+  b.AddVertex(0);
+  b.AddEdge(0, 1, 0);
+  Graph q = std::move(b).Build().value();
+  GsiMatcher matcher(data);
+  Result<QueryResult> r = matcher.Find(q);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_matches(), 0u);
+}
+
+TEST(JoinEdgeCases, SingleVertexQueryReturnsCandidates) {
+  Graph data = RandomGraph(50, 2, 2, 2, 8);
+  GraphBuilder b;
+  b.AddVertex(data.vertex_label(0));
+  Graph q = std::move(b).Build().value();
+  GsiMatcher matcher(data);
+  Result<QueryResult> r = matcher.Find(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r->num_matches(), 1u);
+  size_t expected = data.VertexLabelFrequency(data.vertex_label(0));
+  // Signature filter may prune isolated vertices only by label: the count
+  // equals the label frequency.
+  EXPECT_EQ(r->num_matches(), expected);
+}
+
+// Injectivity: no result row may bind two query vertices to one data
+// vertex, and every result must be edge-consistent.
+TEST(JoinProperties, ResultsAreValidEmbeddings) {
+  for (uint64_t seed = 21; seed <= 24; ++seed) {
+    Graph data = RandomGraph(250, 3, 3, 3, seed);
+    Graph query = RandomQuery(data, 5, seed);
+    GsiMatcher matcher(data, GsiOptOptions());
+    Result<QueryResult> r = matcher.Find(query);
+    ASSERT_TRUE(r.ok());
+    for (size_t i = 0; i < r->num_matches(); ++i) {
+      std::vector<VertexId> m = r->MatchInQueryOrder(i);
+      // Injective.
+      std::vector<VertexId> sorted = m;
+      std::sort(sorted.begin(), sorted.end());
+      ASSERT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                  sorted.end());
+      // Label- and edge-preserving.
+      for (VertexId u = 0; u < query.num_vertices(); ++u) {
+        ASSERT_EQ(data.vertex_label(m[u]), query.vertex_label(u));
+        for (const Neighbor& n : query.neighbors(u)) {
+          ASSERT_TRUE(data.HasEdge(m[u], m[n.v], n.elabel));
+        }
+      }
+    }
+  }
+}
+
+// Bigger query sizes across optimization combos.
+class JoinQuerySize : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(JoinQuerySize, MatchesOracle) {
+  size_t nq = GetParam();
+  Graph data = RandomGraph(300, 3, 5, 4, 31);
+  Graph query = RandomQuery(data, nq, 31 + nq);
+  auto expected = EnumerateMatchesBruteForce(data, query);
+  auto base = RunGsi(data, query, DefaultGsiOptions());
+  auto opt = RunGsi(data, query, GsiOptOptions());
+  auto minus = RunGsi(data, query, GsiMinusOptions());
+  EXPECT_EQ(base, expected);
+  EXPECT_EQ(opt, expected);
+  EXPECT_EQ(minus, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, JoinQuerySize,
+                         ::testing::Values(2, 3, 4, 5, 6, 8));
+
+}  // namespace
+}  // namespace gsi

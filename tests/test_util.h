@@ -1,0 +1,42 @@
+#ifndef GSI_TESTS_TEST_UTIL_H_
+#define GSI_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/labeler.h"
+#include "graph/query_generator.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace gsi::testing {
+
+/// Random labeled scale-free graph for property tests.
+inline Graph RandomGraph(size_t n, size_t edges_per_vertex,
+                         size_t num_vlabels, size_t num_elabels,
+                         uint64_t seed) {
+  Rng rng(seed);
+  std::vector<RawEdge> edges = GenerateScaleFree(n, edges_per_vertex, rng);
+  LabelConfig lc;
+  lc.num_vertex_labels = num_vlabels;
+  lc.num_edge_labels = num_elabels;
+  lc.seed = seed + 1;
+  Result<Graph> g = AssignLabels(n, edges, lc);
+  GSI_CHECK(g.ok());
+  return std::move(g.value());
+}
+
+/// Random connected query extracted from `data` (guaranteed >= 1 match).
+inline Graph RandomQuery(const Graph& data, size_t num_vertices,
+                         uint64_t seed) {
+  QueryGenConfig qc;
+  qc.num_vertices = num_vertices;
+  std::vector<Graph> qs = GenerateQuerySet(data, qc, 1, seed);
+  GSI_CHECK(!qs.empty());
+  return std::move(qs[0]);
+}
+
+}  // namespace gsi::testing
+
+#endif  // GSI_TESTS_TEST_UTIL_H_

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/table_printer.h"
+
+namespace gsi {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad vertex");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad vertex");
+}
+
+TEST(ResultT, HoldsValueOrStatus) {
+  Result<int> ok = 42;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> err = Status::NotFound("nope");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.NextBounded(17);
+    EXPECT_LT(v, 17u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(ZipfTest, SkewsTowardSmallValues) {
+  ZipfSampler z(100, 1.0, 11);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[z.Sample()];
+  // Zipf(1.0): value 0 should be sampled far more than value 50.
+  EXPECT_GT(counts[0], 10 * std::max(1, counts[50]));
+}
+
+TEST(ZipfTest, AlphaZeroIsUniform) {
+  ZipfSampler z(10, 0.0, 13);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[z.Sample()];
+  for (int c : counts) {
+    EXPECT_GT(c, 1400);
+    EXPECT_LT(c, 2600);
+  }
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"long-name", "22"});
+  std::string s = t.ToString("demo");
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("| long-name | 22"), std::string::npos);
+  EXPECT_NE(s.find("| a         | 1 "), std::string::npos);
+}
+
+TEST(TablePrinterTest, Formatters) {
+  EXPECT_EQ(TablePrinter::FormatCount(1234567), "1,234,567");
+  EXPECT_EQ(TablePrinter::FormatCount(7), "7");
+  EXPECT_EQ(TablePrinter::FormatMs(0.1234), "0.123");
+  EXPECT_EQ(TablePrinter::FormatMs(12.34), "12.34");
+  EXPECT_EQ(TablePrinter::FormatMs(4400.0), "4400");
+  EXPECT_EQ(TablePrinter::FormatSpeedup(2.06), "2.1x");
+  EXPECT_EQ(TablePrinter::FormatPercent(0.3), "30%");
+}
+
+}  // namespace
+}  // namespace gsi
