@@ -1,8 +1,10 @@
 #include "bench_common.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <thread>
 
 #include "util/check.h"
 
@@ -27,6 +29,8 @@ const BenchEnv& Env() {
     e.scale = EnvDouble("GSI_BENCH_SCALE", 6.0);
     e.queries = EnvSize("GSI_BENCH_QUERIES", 5);
     e.query_vertices = EnvSize("GSI_BENCH_QSIZE", 8);
+    size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
+    e.threads = EnvSize("GSI_BENCH_THREADS", std::min<size_t>(4, hw));
     return e;
   }();
   return env;
@@ -65,10 +69,27 @@ const std::vector<Graph>& GetQueries(const std::string& dataset_name,
   return it->second;
 }
 
+Aggregate AggregateBatch(const BatchResult& batch) {
+  Aggregate agg;
+  agg.failed = batch.stats.failed;
+  for (const Result<QueryResult>& r : batch.per_query) {
+    if (r.ok()) AccumulateResult(agg, r.value());
+  }
+  return agg;
+}
+
 Aggregate RunGsi(const std::string& dataset_name, const GsiOptions& options,
                  const std::vector<Graph>& queries) {
   GsiMatcher matcher(GetDataset(dataset_name).graph, options);
   return RunQueries(matcher, queries);
+}
+
+Aggregate RunGsiBatch(const Graph& g, const GsiOptions& options,
+                      const std::vector<Graph>& queries) {
+  QueryEngine engine(g, options);
+  BatchOptions bo;
+  bo.num_threads = static_cast<int>(Env().threads);
+  return AggregateBatch(engine.RunBatch(queries, bo));
 }
 
 TableCollector::TableCollector(std::string title,

@@ -10,6 +10,7 @@
 #include "graph/graph.h"
 #include "graph/query_generator.h"
 #include "gsi/matcher.h"
+#include "gsi/query_engine.h"
 #include "util/table_printer.h"
 
 namespace gsi::bench {
@@ -19,10 +20,13 @@ namespace gsi::bench {
 ///   GSI_BENCH_QUERIES  queries per measurement (default 5; paper: 100)
 ///   GSI_BENCH_QSIZE    |V(Q)| (default 8; the paper's 12 at its 1000x
 ///                      larger scale lands in the same selectivity regime)
+///   GSI_BENCH_THREADS  QueryEngine workers for GSI runs (default:
+///                      min(4, hardware concurrency))
 struct BenchEnv {
   double scale = 6.0;
   size_t queries = 5;
   size_t query_vertices = 8;
+  size_t threads = 1;
 };
 const BenchEnv& Env();
 
@@ -59,6 +63,20 @@ struct Aggregate {
   }
 };
 
+/// Folds one successful query into an Aggregate (shared by the sequential
+/// and batch runners so the two cannot drift).
+inline void AccumulateResult(Aggregate& agg, const QueryResult& r) {
+  ++agg.ok;
+  agg.sum_ms += r.stats.total_ms;
+  agg.sum_filter_ms += r.stats.filter_ms;
+  agg.sum_join_ms += r.stats.join_ms;
+  agg.gld += r.stats.join.gld;
+  agg.gst += r.stats.join.gst;
+  agg.filter_gld += r.stats.filter.gld;
+  agg.matches += r.num_matches();
+  agg.min_candidate_sum += r.stats.min_candidate_size;
+}
+
 /// Runs `matcher.Find` over all queries; any engine with the QueryResult
 /// interface (GsiMatcher, EdgeJoinMatcher) works.
 template <typename Matcher>
@@ -70,22 +88,23 @@ Aggregate RunQueries(Matcher& matcher, const std::vector<Graph>& queries) {
       ++agg.failed;
       continue;
     }
-    ++agg.ok;
-    agg.sum_ms += r->stats.total_ms;
-    agg.sum_filter_ms += r->stats.filter_ms;
-    agg.sum_join_ms += r->stats.join_ms;
-    agg.gld += r->stats.join.gld;
-    agg.gst += r->stats.join.gst;
-    agg.filter_gld += r->stats.filter.gld;
-    agg.matches += r->num_matches();
-    agg.min_candidate_sum += r->stats.min_candidate_size;
+    AccumulateResult(agg, r.value());
   }
   return agg;
 }
 
+/// Folds a concurrent batch execution into the same Aggregate shape as the
+/// sequential RunQueries loop (per-query simulated costs are identical; the
+/// batch only changes host wall time).
+Aggregate AggregateBatch(const BatchResult& batch);
+
 /// Convenience: build a GsiMatcher over a dataset and run the workload.
 Aggregate RunGsi(const std::string& dataset_name, const GsiOptions& options,
                  const std::vector<Graph>& queries);
+
+/// Batch-engine run over a graph with Env().threads workers.
+Aggregate RunGsiBatch(const Graph& g, const GsiOptions& options,
+                      const std::vector<Graph>& queries);
 
 /// Collects rows during google-benchmark execution and prints the
 /// paper-style table afterwards. One collector per bench binary.

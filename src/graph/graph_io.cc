@@ -37,6 +37,7 @@ Result<Graph> ParseGraphText(const std::string& text) {
     return Status::InvalidArgument("expected 't <n> <m>' header");
   }
   std::vector<Label> labels(n, kInvalidLabel);
+  std::vector<char> seen(n, 0);
   std::vector<EdgeRecord> edges;
   edges.reserve(m);
   for (size_t i = 0; i < n; ++i) {
@@ -45,6 +46,11 @@ Result<Graph> ParseGraphText(const std::string& text) {
     if (!(in >> tag >> id >> label) || tag != "v" || id >= n) {
       return Status::InvalidArgument("bad vertex line");
     }
+    if (seen[id]) {
+      return Status::InvalidArgument("duplicate vertex line for id " +
+                                     std::to_string(id));
+    }
+    seen[id] = 1;
     labels[id] = static_cast<Label>(label);
   }
   for (size_t i = 0; i < m; ++i) {
@@ -57,6 +63,11 @@ Result<Graph> ParseGraphText(const std::string& text) {
     edges.push_back(EdgeRecord{static_cast<VertexId>(a),
                                static_cast<VertexId>(b),
                                static_cast<Label>(label)});
+  }
+  std::string rest;
+  if (in >> rest) {
+    return Status::InvalidArgument("trailing content after last edge: '" +
+                                   rest + "'");
   }
   return Graph::Create(n, std::move(labels), std::move(edges));
 }

@@ -42,7 +42,8 @@ FilterContext::FilterContext(gpusim::Device& dev, const Graph& data,
   }
 }
 
-std::vector<VertexId> FilterContext::SignatureCandidates(const Graph& query,
+std::vector<VertexId> FilterContext::SignatureCandidates(gpusim::Device& dev,
+                                                         const Graph& query,
                                                          VertexId u) const {
   const Graph& g = *data_;
   const size_t n = g.num_vertices();
@@ -51,7 +52,7 @@ std::vector<VertexId> FilterContext::SignatureCandidates(const Graph& query,
 
   std::vector<VertexId> out;
   size_t num_warps = (n + kWarpSize - 1) / kWarpSize;
-  gpusim::Launch(*dev_, num_warps, [&](gpusim::Warp& w) {
+  gpusim::Launch(dev, num_warps, [&](gpusim::Warp& w) {
     VertexId v0 = static_cast<VertexId>(w.global_id() * kWarpSize);
     if (v0 >= n) return;
     size_t lanes = std::min<size_t>(kWarpSize, n - v0);
@@ -97,7 +98,8 @@ std::vector<VertexId> FilterContext::SignatureCandidates(const Graph& query,
 }
 
 std::vector<VertexId> FilterContext::LabelDegreeCandidates(
-    const Graph& query, VertexId u, bool check_neighbors) const {
+    gpusim::Device& dev, const Graph& query, VertexId u,
+    bool check_neighbors) const {
   const Graph& g = *data_;
   const size_t n = g.num_vertices();
   const Label ulabel = query.vertex_label(u);
@@ -106,7 +108,7 @@ std::vector<VertexId> FilterContext::LabelDegreeCandidates(
 
   std::vector<VertexId> out;
   size_t num_warps = (n + kWarpSize - 1) / kWarpSize;
-  gpusim::Launch(*dev_, num_warps, [&](gpusim::Warp& w) {
+  gpusim::Launch(dev, num_warps, [&](gpusim::Warp& w) {
     VertexId v0 = static_cast<VertexId>(w.global_id() * kWarpSize);
     if (v0 >= n) return;
     size_t lanes = std::min<size_t>(kWarpSize, n - v0);
@@ -158,6 +160,11 @@ std::vector<VertexId> FilterContext::LabelDegreeCandidates(
 }
 
 Result<FilterResult> FilterContext::Filter(const Graph& query) const {
+  return Filter(*dev_, query);
+}
+
+Result<FilterResult> FilterContext::Filter(gpusim::Device& dev,
+                                           const Graph& query) const {
   FilterResult result;
   result.candidates.resize(query.num_vertices());
   result.min_candidate_size = SIZE_MAX;
@@ -165,13 +172,13 @@ Result<FilterResult> FilterContext::Filter(const Graph& query) const {
     std::vector<VertexId> cand;
     switch (options_.strategy) {
       case FilterStrategy::kSignature:
-        cand = SignatureCandidates(query, u);
+        cand = SignatureCandidates(dev, query, u);
         break;
       case FilterStrategy::kLabelDegreeNeighbor:
-        cand = LabelDegreeCandidates(query, u, /*check_neighbors=*/true);
+        cand = LabelDegreeCandidates(dev, query, u, /*check_neighbors=*/true);
         break;
       case FilterStrategy::kLabelDegree:
-        cand = LabelDegreeCandidates(query, u, /*check_neighbors=*/false);
+        cand = LabelDegreeCandidates(dev, query, u, /*check_neighbors=*/false);
         break;
     }
     if (cand.size() < result.min_candidate_size) {
@@ -179,7 +186,7 @@ Result<FilterResult> FilterContext::Filter(const Graph& query) const {
       result.min_candidate_vertex = u;
     }
     result.candidates[u] =
-        CandidateSet::Create(*dev_, u, std::move(cand),
+        CandidateSet::Create(dev, u, std::move(cand),
                              data_->num_vertices(), options_.build_bitmaps);
   }
   return result;

@@ -58,8 +58,13 @@ class FilterContext {
 
   /// Runs the filtering phase for `query` (massively parallel signature
   /// comparison kernel, one warp per 32 data vertices), producing candidate
-  /// sets. Costs are charged to the device.
+  /// sets. Costs are charged to the context's build device.
   Result<FilterResult> Filter(const Graph& query) const;
+
+  /// Same, but charges all device work (and allocates candidate buffers)
+  /// on `dev` instead of the build device. The context's precomputed tables
+  /// are only read, so concurrent calls with distinct devices are safe.
+  Result<FilterResult> Filter(gpusim::Device& dev, const Graph& query) const;
 
   const FilterOptions& options() const { return options_; }
   const SignatureTable* signature_table() const {
@@ -67,9 +72,11 @@ class FilterContext {
   }
 
  private:
-  std::vector<VertexId> SignatureCandidates(const Graph& query,
+  std::vector<VertexId> SignatureCandidates(gpusim::Device& dev,
+                                            const Graph& query,
                                             VertexId u) const;
-  std::vector<VertexId> LabelDegreeCandidates(const Graph& query, VertexId u,
+  std::vector<VertexId> LabelDegreeCandidates(gpusim::Device& dev,
+                                              const Graph& query, VertexId u,
                                               bool check_neighbors) const;
 
   gpusim::Device* dev_;

@@ -28,6 +28,46 @@ GsiOptions GsiMinusOptions() {
   return o;
 }
 
+Status ValidateGsiOptions(const GsiOptions& options) {
+  const JoinOptions& j = options.join;
+  if (options.device.num_sms < 1 || options.device.warps_per_block < 1 ||
+      options.device.warp_slots_per_sm < 1) {
+    return Status::InvalidArgument("device config requires >= 1 SM, warp "
+                                   "slot and warp per block");
+  }
+  if (options.filter.strategy == FilterStrategy::kSignature) {
+    // Signature::Encode aborts outside these bounds (signature.cc).
+    const int bits = options.filter.signature_bits;
+    if (bits <= kVertexLabelBits || bits > kMaxSignatureBits ||
+        bits % 32 != 0) {
+      return Status::InvalidArgument(
+          "filter.signature_bits must be a multiple of 32 in (" +
+          std::to_string(kVertexLabelBits) + ", " +
+          std::to_string(kMaxSignatureBits) + "], got " +
+          std::to_string(bits));
+    }
+  }
+  if (j.storage == StorageKind::kPcsr && (j.gpn < 2 || j.gpn > 16)) {
+    return Status::InvalidArgument("join.gpn must be in [2, 16], got " +
+                                   std::to_string(j.gpn));
+  }
+  if (j.max_rows == 0) {
+    return Status::InvalidArgument("join.max_rows must be positive");
+  }
+  if (j.load_balance) {
+    // W2 is fixed to the block size; PlanChunks requires W1 > W2 > W3 >= 32.
+    const uint32_t w2 = static_cast<uint32_t>(options.device.warps_per_block) *
+                        gpusim::kWarpSize;
+    if (!(j.w1 > w2 && w2 > j.w3 && j.w3 >= 32)) {
+      return Status::InvalidArgument(
+          "load balance requires W1 > W2 > W3 >= 32 (W1=" +
+          std::to_string(j.w1) + ", W2=block size " + std::to_string(w2) +
+          ", W3=" + std::to_string(j.w3) + ")");
+    }
+  }
+  return Status::Ok();
+}
+
 std::vector<VertexId> QueryResult::MatchInQueryOrder(size_t r) const {
   std::vector<VertexId> out(table.cols());
   for (size_t c = 0; c < table.cols(); ++c) {
@@ -62,14 +102,11 @@ std::unique_ptr<NeighborStore> BuildStore(gpusim::Device& dev,
   return nullptr;
 }
 
-GsiMatcher::GsiMatcher(const Graph& data, GsiOptions options)
-    : data_(&data), options_(options) {
-  dev_ = std::make_unique<gpusim::Device>(options.device);
-  store_ = BuildStore(*dev_, data, options.join.storage, options.join.gpn);
-  filter_ = std::make_unique<FilterContext>(*dev_, data, options.filter);
-}
-
-Result<QueryResult> GsiMatcher::Find(const Graph& query) {
+Result<QueryResult> ExecuteQuery(gpusim::Device& dev, const Graph& data,
+                                 const NeighborStore& store,
+                                 const FilterContext& filter,
+                                 const GsiOptions& options,
+                                 const Graph& query) {
   if (query.num_vertices() == 0) {
     return Status::InvalidArgument("empty query");
   }
@@ -81,42 +118,56 @@ Result<QueryResult> GsiMatcher::Find(const Graph& query) {
   QueryResult out;
 
   // --- Filtering phase.
-  gpusim::MemStats before = dev_->stats();
-  Result<FilterResult> filtered = filter_->Filter(query);
+  gpusim::MemStats before = dev.stats();
+  Result<FilterResult> filtered = filter.Filter(dev, query);
   if (!filtered.ok()) return filtered.status();
-  out.stats.filter = dev_->stats() - before;
+  out.stats.filter = dev.stats() - before;
   out.stats.min_candidate_size = filtered->min_candidate_size;
 
   if (query.num_vertices() == 1) {
     // Degenerate query: the candidate set is the answer.
     const CandidateSet& c = filtered->candidates[0];
-    out.table = MatchTable::Alloc(*dev_, c.size(), 1);
+    out.table = MatchTable::Alloc(dev, c.size(), 1);
     for (size_t i = 0; i < c.size(); ++i) out.table.Set(i, 0, c.list()[i]);
     out.column_to_query = {0};
   } else if (filtered->AnyEmpty()) {
     // Some query vertex has no candidates: zero matches, skip the join.
-    out.table = MatchTable::Alloc(*dev_, 0, query.num_vertices());
-    JoinPlan plan = MakeJoinPlan(query, *data_, filtered->candidates);
+    out.table = MatchTable::Alloc(dev, 0, query.num_vertices());
+    JoinPlan plan = MakeJoinPlan(query, data, filtered->candidates);
     out.column_to_query = plan.order;
   } else {
     // --- Joining phase.
-    JoinPlan plan = MakeJoinPlan(query, *data_, filtered->candidates);
-    before = dev_->stats();
-    JoinEngine join(dev_.get(), store_.get(), options_.join);
+    JoinPlan plan = MakeJoinPlan(query, data, filtered->candidates);
+    before = dev.stats();
+    JoinEngine join(&dev, &store, options.join);
     Result<MatchTable> table = join.Run(plan, filtered->candidates);
     if (!table.ok()) return table.status();
-    out.stats.join = dev_->stats() - before;
+    out.stats.join = dev.stats() - before;
     out.stats.join_detail = join.stats();
     out.table = std::move(table.value());
     out.column_to_query = plan.order;
   }
 
-  out.stats.filter_ms = out.stats.filter.SimulatedMs(dev_->config());
-  out.stats.join_ms = out.stats.join.SimulatedMs(dev_->config());
+  out.stats.filter_ms = out.stats.filter.SimulatedMs(dev.config());
+  out.stats.join_ms = out.stats.join.SimulatedMs(dev.config());
   out.stats.total_ms = out.stats.filter_ms + out.stats.join_ms;
   out.stats.wall_ms = wall.ElapsedMs();
   out.stats.num_matches = out.table.rows();
   return out;
+}
+
+GsiMatcher::GsiMatcher(const Graph& data, GsiOptions options)
+    : data_(&data), options_(options) {
+  dev_ = std::make_unique<gpusim::Device>(options.device);
+  init_status_ = ValidateGsiOptions(options);
+  if (!init_status_.ok()) return;  // Find reports the error.
+  store_ = BuildStore(*dev_, data, options.join.storage, options.join.gpn);
+  filter_ = std::make_unique<FilterContext>(*dev_, data, options.filter);
+}
+
+Result<QueryResult> GsiMatcher::Find(const Graph& query) {
+  if (!init_status_.ok()) return init_status_;
+  return ExecuteQuery(*dev_, *data_, *store_, *filter_, options_, query);
 }
 
 }  // namespace gsi

@@ -30,6 +30,12 @@ GsiOptions GsiOptOptions();
 /// baseline column of Table VI).
 GsiOptions GsiMinusOptions();
 
+/// Validates user-supplied tuning values before they reach code that treats
+/// violations as programming errors (PlanChunks aborts on W1/W3 misuse,
+/// PCSR build aborts on a bad group size). Checked up front by GsiMatcher
+/// and QueryEngine so bad configurations surface as InvalidArgument.
+Status ValidateGsiOptions(const GsiOptions& options);
+
 /// Per-query measurements (all "time" values are simulated device time; see
 /// gpusim::DeviceConfig for the cost model).
 struct QueryStats {
@@ -60,6 +66,18 @@ struct QueryResult {
   std::vector<std::vector<VertexId>> AllMatchesSorted() const;
 };
 
+/// Runs one query against prebuilt shared structures, charging every device
+/// allocation and memory transaction to `dev` (filter + join contexts are
+/// created per execution). `store` and `filter` are only read, so concurrent
+/// calls are safe as long as each caller brings its own device — this is the
+/// execution core shared by GsiMatcher (one device) and QueryEngine (one
+/// device per worker thread).
+Result<QueryResult> ExecuteQuery(gpusim::Device& dev, const Graph& data,
+                                 const NeighborStore& store,
+                                 const FilterContext& filter,
+                                 const GsiOptions& options,
+                                 const Graph& query);
+
 /// GSI: GPU-friendly subgraph isomorphism (the paper's system).
 ///
 ///   Graph data = ...;
@@ -69,22 +87,31 @@ struct QueryResult {
 ///
 /// The data graph must outlive the matcher. One matcher owns one simulated
 /// device; stats accumulate across queries (use Find's per-query stats for
-/// individual measurements).
+/// individual measurements). For concurrent multi-query execution over one
+/// data graph use QueryEngine (query_engine.h).
 class GsiMatcher {
  public:
   explicit GsiMatcher(const Graph& data,
                       GsiOptions options = DefaultGsiOptions());
 
-  /// Enumerates all matches of `query` (connected, >= 1 vertex).
+  /// Enumerates all matches of `query` (connected, >= 1 vertex). Returns
+  /// InvalidArgument without running if the matcher was constructed with
+  /// invalid tuning options (see ValidateGsiOptions).
   Result<QueryResult> Find(const Graph& query);
 
+  /// Not Ok when the constructor rejected the options; Find reports it too.
+  const Status& init_status() const { return init_status_; }
+
   gpusim::Device& device() { return *dev_; }
+  /// Valid only when init_status().ok() (no structures are built for
+  /// rejected options).
   const NeighborStore& store() const { return *store_; }
   const GsiOptions& options() const { return options_; }
 
  private:
   const Graph* data_;
   GsiOptions options_;
+  Status init_status_;
   std::unique_ptr<gpusim::Device> dev_;
   std::unique_ptr<NeighborStore> store_;
   std::unique_ptr<FilterContext> filter_;

@@ -1,0 +1,107 @@
+#include "gsi/query_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace gsi {
+namespace {
+
+/// Nearest-rank percentile (ceil(p*N)-1) of an ascending vector; 0 when
+/// empty. Rounds up so small batches report the tail, not hide it.
+double Percentile(const std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0;
+  size_t rank = static_cast<size_t>(
+      std::ceil(p * static_cast<double>(sorted_ms.size())));
+  return sorted_ms[std::min(rank == 0 ? 0 : rank - 1, sorted_ms.size() - 1)];
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const Graph& data, GsiOptions options)
+    : data_(&data), options_(options) {
+  init_status_ = ValidateGsiOptions(options);
+  if (!init_status_.ok()) return;  // Run/RunBatch report the error.
+  build_dev_ = std::make_unique<gpusim::Device>(options.device);
+  store_ =
+      BuildStore(*build_dev_, data, options.join.storage, options.join.gpn);
+  filter_ = std::make_unique<FilterContext>(*build_dev_, data, options.filter);
+}
+
+Result<QueryResult> QueryEngine::Run(const Graph& query) const {
+  if (!init_status_.ok()) return init_status_;
+  gpusim::Device dev(options_.device);
+  return ExecuteQuery(dev, *data_, *store_, *filter_, options_, query);
+}
+
+BatchResult QueryEngine::RunBatch(std::span<const Graph> queries,
+                                  const BatchOptions& options) const {
+  BatchResult batch;
+  batch.stats.total = queries.size();
+  if (!init_status_.ok()) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      batch.per_query.emplace_back(init_status_);
+    }
+    batch.stats.failed = queries.size();
+    return batch;
+  }
+  if (queries.empty()) return batch;
+
+  const size_t num_workers = std::clamp<size_t>(
+      options.num_threads < 1 ? 1 : static_cast<size_t>(options.num_threads),
+      1, queries.size());
+
+  // Workers pull query indices from a shared counter; each owns a private
+  // device, so all simulated costs of query i land in slot i's stats.
+  std::vector<std::optional<Result<QueryResult>>> slots(queries.size());
+  std::atomic<size_t> next{0};
+  std::mutex agg_mu;
+  WallTimer wall;
+  {
+    ThreadPool pool(num_workers);
+    for (size_t t = 0; t < num_workers; ++t) {
+      pool.Submit([&] {
+        gpusim::Device dev(options_.device);
+        for (size_t i = next.fetch_add(1); i < queries.size();
+             i = next.fetch_add(1)) {
+          slots[i] = ExecuteQuery(dev, *data_, *store_, *filter_, options_,
+                                  queries[i]);
+        }
+        std::lock_guard<std::mutex> lock(agg_mu);
+        batch.stats.device += dev.stats();
+      });
+    }
+    pool.Wait();
+  }
+  batch.stats.wall_ms = wall.ElapsedMs();
+
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(queries.size());
+  for (std::optional<Result<QueryResult>>& slot : slots) {
+    Result<QueryResult>& r = *slot;
+    if (r.ok()) {
+      ++batch.stats.ok;
+      batch.stats.sum_simulated_ms += r->stats.total_ms;
+      latencies_ms.push_back(r->stats.total_ms);
+    } else {
+      ++batch.stats.failed;
+    }
+    batch.per_query.push_back(std::move(r));
+  }
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  batch.stats.p50_simulated_ms = Percentile(latencies_ms, 0.5);
+  batch.stats.p99_simulated_ms = Percentile(latencies_ms, 0.99);
+  if (batch.stats.wall_ms > 0) {
+    batch.stats.queries_per_sec = static_cast<double>(queries.size()) /
+                                  (batch.stats.wall_ms / 1000.0);
+  }
+  return batch;
+}
+
+}  // namespace gsi

@@ -1,0 +1,94 @@
+#ifndef GSI_GSI_QUERY_ENGINE_H_
+#define GSI_GSI_QUERY_ENGINE_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "graph/graph.h"
+#include "gsi/filter.h"
+#include "gsi/matcher.h"
+#include "storage/neighbor_store.h"
+#include "util/status.h"
+
+namespace gsi {
+
+/// Configuration of one RunBatch call.
+struct BatchOptions {
+  /// Worker threads; each owns one simulated device. Clamped to
+  /// [1, number of queries].
+  int num_threads = 1;
+};
+
+/// Aggregate measurements of one batch execution.
+struct BatchStats {
+  size_t total = 0;              ///< queries submitted
+  size_t ok = 0;                 ///< queries that produced a result
+  size_t failed = 0;             ///< queries rejected (bad query, row cap...)
+  double wall_ms = 0;            ///< host wall time of the whole batch
+  double queries_per_sec = 0;    ///< total / wall time
+  double sum_simulated_ms = 0;   ///< sum of per-query simulated device time
+  double p50_simulated_ms = 0;   ///< median simulated latency (ok queries)
+  double p99_simulated_ms = 0;   ///< 99th-percentile simulated latency
+  gpusim::MemStats device;       ///< counters summed over all worker devices
+};
+
+/// Result of one RunBatch call; `per_query[i]` corresponds to `queries[i]`.
+struct BatchResult {
+  std::vector<Result<QueryResult>> per_query;
+  BatchStats stats;
+
+  size_t num_ok() const { return stats.ok; }
+};
+
+/// Concurrent batch query engine: builds the data-graph structures (PCSR /
+/// signature table) once, then serves many queries over them in parallel.
+///
+///   QueryEngine engine(data, GsiOptOptions());
+///   BatchOptions bo;
+///   bo.num_threads = 4;
+///   BatchResult batch = engine.RunBatch(queries, bo);
+///   batch.stats.queries_per_sec;
+///
+/// The precomputed structures are immutable after construction and shared
+/// by reference across worker threads; every worker owns a private
+/// gpusim::Device, so per-query stats are isolated and results are
+/// bit-identical to sequential GsiMatcher::Find. The data graph must
+/// outlive the engine.
+class QueryEngine {
+ public:
+  explicit QueryEngine(const Graph& data,
+                       GsiOptions options = DefaultGsiOptions());
+
+  /// Runs one query on a fresh private device (thread-safe).
+  Result<QueryResult> Run(const Graph& query) const;
+
+  /// Runs every query, spreading them over options.num_threads workers.
+  /// Always returns one entry per query, in input order.
+  BatchResult RunBatch(std::span<const Graph> queries,
+                       const BatchOptions& options = BatchOptions()) const;
+
+  /// Not Ok when the constructor rejected the options (see
+  /// ValidateGsiOptions); Run and RunBatch report it per query.
+  const Status& init_status() const { return init_status_; }
+
+  const GsiOptions& options() const { return options_; }
+  /// Valid only when init_status().ok().
+  const NeighborStore& store() const { return *store_; }
+
+ private:
+  const Graph* data_;
+  GsiOptions options_;
+  Status init_status_;
+  /// Device the shared structures were built on; never used for query
+  /// execution (workers bring their own), it only holds the build-time
+  /// allocations and their address ranges.
+  std::unique_ptr<gpusim::Device> build_dev_;
+  std::unique_ptr<NeighborStore> store_;
+  std::unique_ptr<FilterContext> filter_;
+};
+
+}  // namespace gsi
+
+#endif  // GSI_GSI_QUERY_ENGINE_H_

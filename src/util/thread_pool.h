@@ -1,0 +1,54 @@
+#ifndef GSI_UTIL_THREAD_POOL_H_
+#define GSI_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gsi {
+
+/// Fixed-size worker pool for host-side parallelism (the simulated devices
+/// are cheap to run concurrently — one per worker). Tasks are run in FIFO
+/// order; Wait() blocks until every submitted task has finished.
+///
+///   ThreadPool pool(4);
+///   for (auto& item : work) pool.Submit([&item] { Process(item); });
+///   pool.Wait();
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  /// Waits for pending tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks may Submit further tasks but must not call
+  /// Wait() (deadlock).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is executing.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;   // queue non-empty or stopping
+  std::condition_variable all_done_;     // pending_ dropped to zero
+  std::deque<std::function<void()>> queue_;
+  size_t pending_ = 0;  // queued + currently executing tasks
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gsi
+
+#endif  // GSI_UTIL_THREAD_POOL_H_

@@ -117,6 +117,22 @@ TEST(GraphIo, ParseRejectsGarbage) {
   EXPECT_FALSE(ParseGraphText("t 2 1\nv 0 0\nv 5 0\ne 0 1 0\n").ok());
 }
 
+TEST(GraphIo, ParseRejectsDuplicateVertexLine) {
+  // The duplicate used to be accepted silently, leaving vertex 1 labeled
+  // kInvalidLabel.
+  Result<Graph> g = ParseGraphText("t 2 1\nv 0 0\nv 0 1\ne 0 1 0\n");
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphIo, ParseRejectsTrailingContent) {
+  // Anything after the last declared edge used to be ignored.
+  EXPECT_FALSE(ParseGraphText("t 2 1\nv 0 0\nv 1 0\ne 0 1 0\ne 1 0 1\n").ok());
+  EXPECT_FALSE(ParseGraphText("t 2 1\nv 0 0\nv 1 0\ne 0 1 0\ngarbage\n").ok());
+  // Trailing whitespace/newlines remain fine.
+  EXPECT_TRUE(ParseGraphText("t 2 1\nv 0 0\nv 1 0\ne 0 1 0\n\n  \n").ok());
+}
+
 TEST(Generators, ErdosRenyiHasRequestedEdges) {
   Rng rng(3);
   auto edges = GenerateErdosRenyi(100, 300, rng);

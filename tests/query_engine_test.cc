@@ -1,0 +1,215 @@
+// QueryEngine: concurrent batches must be bit-identical to sequential
+// GsiMatcher::Find — same match sets AND same per-query simulated device
+// counters (worker devices are private, so nothing leaks across queries) —
+// and invalid tuning options must surface as InvalidArgument, not abort.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gsi/matcher.h"
+#include "gsi/query_engine.h"
+#include "test_util.h"
+
+namespace gsi {
+namespace {
+
+/// 5 data graphs x 10 queries = the 50 generated query/data pairs of the
+/// batch-vs-sequential acceptance bar.
+struct Workload {
+  Graph data;
+  std::vector<Graph> queries;
+};
+
+std::vector<Workload> MakeWorkloads() {
+  std::vector<Workload> out;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Workload w;
+    w.data = testing::RandomGraph(/*n=*/300, /*edges_per_vertex=*/3,
+                                  /*num_vlabels=*/4, /*num_elabels=*/3,
+                                  seed * 100);
+    for (uint64_t q = 0; q < 10; ++q) {
+      w.queries.push_back(testing::RandomQuery(w.data, /*num_vertices=*/5,
+                                               seed * 1000 + q));
+    }
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+TEST(QueryEngine, BatchMatchesSequentialOn50Pairs) {
+  for (const GsiOptions& options : {DefaultGsiOptions(), GsiOptOptions()}) {
+    for (Workload& w : MakeWorkloads()) {
+      GsiMatcher sequential(w.data, options);
+      QueryEngine engine(w.data, options);
+      ASSERT_TRUE(engine.init_status().ok());
+
+      BatchOptions bo;
+      bo.num_threads = 4;
+      BatchResult batch = engine.RunBatch(w.queries, bo);
+      ASSERT_EQ(batch.per_query.size(), w.queries.size());
+      EXPECT_EQ(batch.stats.total, w.queries.size());
+      EXPECT_EQ(batch.stats.ok + batch.stats.failed, batch.stats.total);
+
+      for (size_t i = 0; i < w.queries.size(); ++i) {
+        Result<QueryResult> expected = sequential.Find(w.queries[i]);
+        const Result<QueryResult>& got = batch.per_query[i];
+        ASSERT_EQ(expected.ok(), got.ok()) << "query " << i;
+        if (!expected.ok()) continue;
+        EXPECT_EQ(got->AllMatchesSorted(), expected->AllMatchesSorted())
+            << "query " << i;
+      }
+    }
+  }
+}
+
+TEST(QueryEngine, PerQueryStatsIsolatedAcrossThreads) {
+  // The simulation is deterministic, so if worker devices were shared (or
+  // counters leaked across queries) the per-query MemStats deltas could not
+  // all equal their sequential values.
+  Workload w = std::move(MakeWorkloads()[0]);
+  GsiMatcher sequential(w.data, GsiOptOptions());
+  QueryEngine engine(w.data, GsiOptOptions());
+
+  BatchOptions bo;
+  bo.num_threads = 4;
+  BatchResult batch = engine.RunBatch(w.queries, bo);
+
+  gpusim::MemStats expected_sum;
+  for (size_t i = 0; i < w.queries.size(); ++i) {
+    Result<QueryResult> expected = sequential.Find(w.queries[i]);
+    const Result<QueryResult>& got = batch.per_query[i];
+    ASSERT_TRUE(expected.ok() && got.ok()) << "query " << i;
+    EXPECT_EQ(got->stats.filter.gld, expected->stats.filter.gld) << i;
+    EXPECT_EQ(got->stats.join.gld, expected->stats.join.gld) << i;
+    EXPECT_EQ(got->stats.join.gst, expected->stats.join.gst) << i;
+    EXPECT_EQ(got->stats.join.simulated_cycles,
+              expected->stats.join.simulated_cycles)
+        << i;
+    EXPECT_DOUBLE_EQ(got->stats.total_ms, expected->stats.total_ms) << i;
+    expected_sum += expected->stats.filter;
+    expected_sum += expected->stats.join;
+  }
+  // The aggregate device counters are the sum of the per-query phases.
+  EXPECT_EQ(batch.stats.device.gld, expected_sum.gld);
+  EXPECT_EQ(batch.stats.device.gst, expected_sum.gst);
+}
+
+TEST(QueryEngine, BatchStatsAggregates) {
+  Workload w = std::move(MakeWorkloads()[1]);
+  QueryEngine engine(w.data, GsiOptOptions());
+  BatchOptions bo;
+  bo.num_threads = 2;
+  BatchResult batch = engine.RunBatch(w.queries, bo);
+  EXPECT_EQ(batch.stats.ok, w.queries.size());  // generated queries match
+  EXPECT_GT(batch.stats.queries_per_sec, 0);
+  EXPECT_GT(batch.stats.sum_simulated_ms, 0);
+  EXPECT_LE(batch.stats.p50_simulated_ms, batch.stats.p99_simulated_ms);
+  EXPECT_GT(batch.stats.p50_simulated_ms, 0);
+}
+
+TEST(QueryEngine, EmptyBatchAndThreadClamping) {
+  Workload w = std::move(MakeWorkloads()[2]);
+  QueryEngine engine(w.data, DefaultGsiOptions());
+
+  BatchResult empty = engine.RunBatch({});
+  EXPECT_TRUE(empty.per_query.empty());
+  EXPECT_EQ(empty.stats.total, 0u);
+
+  // More threads than queries, and a nonsense thread count, both clamp.
+  std::vector<Graph> one(w.queries.begin(), w.queries.begin() + 1);
+  for (int threads : {-3, 0, 64}) {
+    BatchOptions bo;
+    bo.num_threads = threads;
+    BatchResult b = engine.RunBatch(one, bo);
+    ASSERT_EQ(b.per_query.size(), 1u);
+    EXPECT_TRUE(b.per_query[0].ok());
+  }
+}
+
+TEST(QueryEngine, SingleRunMatchesSequential) {
+  Workload w = std::move(MakeWorkloads()[3]);
+  GsiMatcher sequential(w.data, GsiOptOptions());
+  QueryEngine engine(w.data, GsiOptOptions());
+  Result<QueryResult> expected = sequential.Find(w.queries[0]);
+  Result<QueryResult> got = engine.Run(w.queries[0]);
+  ASSERT_TRUE(expected.ok() && got.ok());
+  EXPECT_EQ(got->AllMatchesSorted(), expected->AllMatchesSorted());
+}
+
+TEST(QueryEngine, RejectsInvalidQueries) {
+  Workload w = std::move(MakeWorkloads()[4]);
+  QueryEngine engine(w.data, DefaultGsiOptions());
+  Result<QueryResult> r = engine.Run(Graph());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- Regression: user-supplied tuning values used to abort the process in
+// PlanChunks (GSI_CHECK_MSG) or PCSR build; they must be InvalidArgument.
+
+GsiOptions BadLoadBalanceOptions() {
+  GsiOptions o = GsiOptOptions();
+  o.join.w1 = 64;  // violates W1 > W2 (block size 1024)
+  o.join.w3 = 16;  // violates W3 >= 32
+  return o;
+}
+
+TEST(OptionsValidation, BadLoadBalanceThresholdsAreInvalidArgument) {
+  Workload w = std::move(MakeWorkloads()[0]);
+  GsiMatcher matcher(w.data, BadLoadBalanceOptions());
+  EXPECT_EQ(matcher.init_status().code(), StatusCode::kInvalidArgument);
+  Result<QueryResult> r = matcher.Find(w.queries[0]);
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  QueryEngine engine(w.data, BadLoadBalanceOptions());
+  EXPECT_EQ(engine.init_status().code(), StatusCode::kInvalidArgument);
+  BatchResult batch = engine.RunBatch(w.queries);
+  EXPECT_EQ(batch.stats.failed, w.queries.size());
+  for (const Result<QueryResult>& q : batch.per_query) {
+    EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(OptionsValidation, BadGpnAndMaxRowsAreInvalidArgument) {
+  Workload w = std::move(MakeWorkloads()[0]);
+
+  GsiOptions bad_gpn;
+  bad_gpn.join.gpn = 0;
+  EXPECT_EQ(GsiMatcher(w.data, bad_gpn).init_status().code(),
+            StatusCode::kInvalidArgument);
+  bad_gpn.join.gpn = 17;
+  EXPECT_EQ(GsiMatcher(w.data, bad_gpn).init_status().code(),
+            StatusCode::kInvalidArgument);
+
+  GsiOptions bad_rows;
+  bad_rows.join.max_rows = 0;
+  EXPECT_EQ(QueryEngine(w.data, bad_rows).init_status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Signature width outside Signature::Encode's bounds used to abort inside
+  // the constructor before init_status could report.
+  for (int bits : {0, 32, 100, 544}) {
+    GsiOptions bad_bits;
+    bad_bits.filter.signature_bits = bits;
+    EXPECT_EQ(QueryEngine(w.data, bad_bits).init_status().code(),
+              StatusCode::kInvalidArgument)
+        << bits;
+  }
+  // Non-signature strategies never encode; a stale width must not reject.
+  GsiOptions ld;
+  ld.filter.strategy = FilterStrategy::kLabelDegree;
+  ld.filter.signature_bits = 0;
+  EXPECT_TRUE(QueryEngine(w.data, ld).init_status().ok());
+
+  // CSR storage never consults gpn; a stale gpn value must not reject it.
+  GsiOptions csr = GsiMinusOptions();
+  csr.join.gpn = 0;
+  EXPECT_TRUE(GsiMatcher(w.data, csr).init_status().ok());
+
+  EXPECT_TRUE(ValidateGsiOptions(DefaultGsiOptions()).ok());
+  EXPECT_TRUE(ValidateGsiOptions(GsiOptOptions()).ok());
+  EXPECT_TRUE(ValidateGsiOptions(GsiMinusOptions()).ok());
+}
+
+}  // namespace
+}  // namespace gsi

@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <vector>
 
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/table_printer.h"
+#include "util/thread_pool.h"
 
 namespace gsi {
 namespace {
@@ -99,6 +102,41 @@ TEST(TablePrinterTest, Formatters) {
   EXPECT_EQ(TablePrinter::FormatMs(4400.0), "4400");
   EXPECT_EQ(TablePrinter::FormatSpeedup(2.06), "2.1x");
   EXPECT_EQ(TablePrinter::FormatPercent(0.3), "30%");
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 200);
+  // The pool is reusable after Wait.
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 201);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // ~ThreadPool joins after finishing all queued work
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ClampsToAtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
 }
 
 }  // namespace
