@@ -1,0 +1,173 @@
+// Service throughput: the streamed QueryService (async submit/poll over a
+// bounded admission queue) vs QueryEngine::RunBatch on the same
+// repeated-shape workload, plus the filter-phase saving from the
+// signature-keyed FilterCache. Every mode executes the identical query
+// stream, so ok-counts and match work line up; only the serving layer and
+// the cache differ.
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "service/query_service.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace gsi::bench {
+namespace {
+
+/// Each query shape appears this many times in the stream — the repeats
+/// are what the filter cache can serve.
+constexpr size_t kRepeats = 4;
+
+TableCollector& Table() {
+  static auto& t = *new TableCollector(
+      "Service throughput: streamed submit/poll vs RunBatch on a "
+      "repeated-shape stream (GSI-opt)",
+      {"Mode", "Wall ms", "Queries/s", "ok", "Filter ms (sum)", "p50 sim ms",
+       "p99 sim ms", "Cache hit rate"});
+  return t;
+}
+
+const Graph& Data() { return GetDataset("enron").graph; }
+
+const std::vector<Graph>& Stream() {
+  static auto& stream = *new std::vector<Graph>([] {
+    const std::vector<Graph>& base =
+        GetQueries("enron", Env().query_vertices, 0, Env().queries);
+    std::vector<Graph> s;
+    s.reserve(base.size() * kRepeats);
+    for (size_t r = 0; r < kRepeats; ++r) {
+      s.insert(s.end(), base.begin(), base.end());
+    }
+    return s;
+  }());
+  return stream;
+}
+
+struct Outcome {
+  double wall_ms = 0;
+  double qps = 0;
+  size_t ok = 0;
+  double sum_filter_ms = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double cache_hit_rate = 0;
+};
+
+void Record(benchmark::State& state, const std::string& mode,
+            const Outcome& o) {
+  state.counters["qps"] = o.qps;
+  state.counters["sum_filter_ms"] = o.sum_filter_ms;
+  Table().AddRow({mode, TablePrinter::FormatMs(o.wall_ms),
+                  TablePrinter::FormatCount(static_cast<uint64_t>(o.qps)),
+                  std::to_string(o.ok), TablePrinter::FormatMs(o.sum_filter_ms),
+                  TablePrinter::FormatMs(o.p50_ms),
+                  TablePrinter::FormatMs(o.p99_ms),
+                  TablePrinter::FormatPercent(o.cache_hit_rate)});
+}
+
+Outcome RunViaBatch() {
+  QueryEngine engine(Data(), GsiOptOptions());
+  BatchOptions bo;
+  bo.num_threads = static_cast<int>(Env().threads);
+  BatchResult batch = engine.RunBatch(Stream(), bo);
+  Outcome o;
+  o.wall_ms = batch.stats.wall_ms;
+  o.qps = batch.stats.ok_queries_per_sec;
+  o.ok = batch.stats.ok;
+  for (const Result<QueryResult>& r : batch.per_query) {
+    if (r.ok()) o.sum_filter_ms += r->stats.filter_ms;
+  }
+  o.p50_ms = batch.stats.p50_simulated_ms;
+  o.p99_ms = batch.stats.p99_simulated_ms;
+  return o;
+}
+
+Outcome RunViaService(bool enable_cache) {
+  ServiceOptions so;
+  so.num_workers = static_cast<int>(Env().threads);
+  // Throughput run: backpressure instead of shedding, so every query
+  // executes and the comparison against RunBatch is apples-to-apples.
+  so.overload = OverloadPolicy::kBlock;
+  so.max_queue_depth = 512;
+  so.enable_filter_cache = enable_cache;
+  QueryService service(Data(), GsiOptOptions(), so);
+
+  Outcome o;
+  WallTimer wall;
+  std::vector<QueryTicket> tickets;
+  tickets.reserve(Stream().size());
+  for (const Graph& q : Stream()) {
+    Result<QueryTicket> t = service.Submit(q);
+    GSI_CHECK(t.ok());
+    tickets.push_back(*t);
+  }
+  for (const QueryTicket& t : tickets) {
+    Result<QueryResult> r = service.Wait(t);
+    if (r.ok()) {
+      ++o.ok;
+      o.sum_filter_ms += r->stats.filter_ms;
+    }
+  }
+  o.wall_ms = wall.ElapsedMs();
+  if (o.wall_ms > 0) {
+    o.qps = static_cast<double>(o.ok) / (o.wall_ms / 1000.0);
+  }
+  ServiceStats stats = service.stats();
+  o.p50_ms = stats.p50_simulated_ms;
+  o.p99_ms = stats.p99_simulated_ms;
+  o.cache_hit_rate = stats.cache.HitRate();
+  return o;
+}
+
+void BM_RunBatch(benchmark::State& state) {
+  Outcome o;
+  for (auto _ : state) {
+    o = RunViaBatch();
+    state.SetIterationTime(std::max(1e-9, o.wall_ms / 1000.0));
+  }
+  Record(state, "RunBatch", o);
+}
+
+void BM_ServiceStreamed(benchmark::State& state) {
+  Outcome o;
+  for (auto _ : state) {
+    o = RunViaService(/*enable_cache=*/false);
+    state.SetIterationTime(std::max(1e-9, o.wall_ms / 1000.0));
+  }
+  Record(state, "Service (cache off)", o);
+}
+
+void BM_ServiceCached(benchmark::State& state) {
+  Outcome cold;
+  Outcome warm;
+  for (auto _ : state) {
+    cold = RunViaService(/*enable_cache=*/false);
+    warm = RunViaService(/*enable_cache=*/true);
+    state.SetIterationTime(std::max(1e-9, warm.wall_ms / 1000.0));
+  }
+  state.counters["filter_speedup"] =
+      warm.sum_filter_ms > 0 ? cold.sum_filter_ms / warm.sum_filter_ms : 0;
+  Record(state, "Service (cache on)", warm);
+}
+
+void RegisterAll() {
+  for (auto [name, fn] :
+       {std::pair{"service_throughput/run_batch", &BM_RunBatch},
+        std::pair{"service_throughput/service_stream", &BM_ServiceStreamed},
+        std::pair{"service_throughput/service_cached", &BM_ServiceCached}}) {
+    benchmark::RegisterBenchmark(name, fn)
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace gsi::bench
+
+int main(int argc, char** argv) {
+  gsi::bench::RegisterAll();
+  return gsi::bench::BenchMain(argc, argv, {&gsi::bench::Table()});
+}

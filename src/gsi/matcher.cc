@@ -102,11 +102,9 @@ std::unique_ptr<NeighborStore> BuildStore(gpusim::Device& dev,
   return nullptr;
 }
 
-Result<QueryResult> ExecuteQuery(gpusim::Device& dev, const Graph& data,
-                                 const NeighborStore& store,
-                                 const FilterContext& filter,
-                                 const GsiOptions& options,
-                                 const Graph& query) {
+Result<FilterResult> RunFilterStage(gpusim::Device& dev,
+                                    const FilterContext& filter,
+                                    const Graph& query, QueryStats& stats) {
   if (query.num_vertices() == 0) {
     return Status::InvalidArgument("empty query");
   }
@@ -114,33 +112,38 @@ Result<QueryResult> ExecuteQuery(gpusim::Device& dev, const Graph& data,
     return Status::InvalidArgument(
         "query must be connected (run components separately)");
   }
-  WallTimer wall;
-  QueryResult out;
-
-  // --- Filtering phase.
   gpusim::MemStats before = dev.stats();
   Result<FilterResult> filtered = filter.Filter(dev, query);
-  if (!filtered.ok()) return filtered.status();
-  out.stats.filter = dev.stats() - before;
-  out.stats.min_candidate_size = filtered->min_candidate_size;
+  if (!filtered.ok()) return filtered;
+  stats.filter = dev.stats() - before;
+  stats.min_candidate_size = filtered->min_candidate_size;
+  return filtered;
+}
+
+Result<QueryResult> RunJoinStage(gpusim::Device& dev, const Graph& data,
+                                 const NeighborStore& store,
+                                 const GsiOptions& options, const Graph& query,
+                                 FilterResult filtered, QueryStats stats) {
+  QueryResult out;
+  out.stats = stats;
 
   if (query.num_vertices() == 1) {
     // Degenerate query: the candidate set is the answer.
-    const CandidateSet& c = filtered->candidates[0];
+    const CandidateSet& c = filtered.candidates[0];
     out.table = MatchTable::Alloc(dev, c.size(), 1);
     for (size_t i = 0; i < c.size(); ++i) out.table.Set(i, 0, c.list()[i]);
     out.column_to_query = {0};
-  } else if (filtered->AnyEmpty()) {
+  } else if (filtered.AnyEmpty()) {
     // Some query vertex has no candidates: zero matches, skip the join.
     out.table = MatchTable::Alloc(dev, 0, query.num_vertices());
-    JoinPlan plan = MakeJoinPlan(query, data, filtered->candidates);
+    JoinPlan plan = MakeJoinPlan(query, data, filtered.candidates);
     out.column_to_query = plan.order;
   } else {
     // --- Joining phase.
-    JoinPlan plan = MakeJoinPlan(query, data, filtered->candidates);
-    before = dev.stats();
+    JoinPlan plan = MakeJoinPlan(query, data, filtered.candidates);
+    gpusim::MemStats before = dev.stats();
     JoinEngine join(&dev, &store, options.join);
-    Result<MatchTable> table = join.Run(plan, filtered->candidates);
+    Result<MatchTable> table = join.Run(plan, filtered.candidates);
     if (!table.ok()) return table.status();
     out.stats.join = dev.stats() - before;
     out.stats.join_detail = join.stats();
@@ -151,8 +154,22 @@ Result<QueryResult> ExecuteQuery(gpusim::Device& dev, const Graph& data,
   out.stats.filter_ms = out.stats.filter.SimulatedMs(dev.config());
   out.stats.join_ms = out.stats.join.SimulatedMs(dev.config());
   out.stats.total_ms = out.stats.filter_ms + out.stats.join_ms;
-  out.stats.wall_ms = wall.ElapsedMs();
   out.stats.num_matches = out.table.rows();
+  return out;
+}
+
+Result<QueryResult> ExecuteQuery(gpusim::Device& dev, const Graph& data,
+                                 const NeighborStore& store,
+                                 const FilterContext& filter,
+                                 const GsiOptions& options,
+                                 const Graph& query) {
+  WallTimer wall;
+  QueryStats stats;
+  Result<FilterResult> filtered = RunFilterStage(dev, filter, query, stats);
+  if (!filtered.ok()) return filtered.status();
+  Result<QueryResult> out = RunJoinStage(dev, data, store, options, query,
+                                         std::move(filtered.value()), stats);
+  if (out.ok()) out->stats.wall_ms = wall.ElapsedMs();
   return out;
 }
 

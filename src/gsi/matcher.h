@@ -66,12 +66,31 @@ struct QueryResult {
   std::vector<std::vector<VertexId>> AllMatchesSorted() const;
 };
 
+/// Stage 1 of query execution: validates `query` (non-empty, connected) and
+/// runs the filtering phase on `dev`, recording the phase's device counters
+/// and the min-candidate metric into `stats`. Exposed separately so a
+/// serving layer can satisfy this stage from a cache of candidate sets and
+/// still run RunJoinStage below (QueryService does exactly that).
+Result<FilterResult> RunFilterStage(gpusim::Device& dev,
+                                    const FilterContext& filter,
+                                    const Graph& query, QueryStats& stats);
+
+/// Stage 2: joining phase over candidate sets produced by RunFilterStage
+/// (or rematerialized from a FilterCache). Consumes `filtered`; `stats`
+/// carries the filter-phase counters forward and is finalized (per-phase
+/// simulated times, match count) into the returned result. Host wall time
+/// (`stats.wall_ms`) is the caller's responsibility.
+Result<QueryResult> RunJoinStage(gpusim::Device& dev, const Graph& data,
+                                 const NeighborStore& store,
+                                 const GsiOptions& options, const Graph& query,
+                                 FilterResult filtered, QueryStats stats);
+
 /// Runs one query against prebuilt shared structures, charging every device
 /// allocation and memory transaction to `dev` (filter + join contexts are
 /// created per execution). `store` and `filter` are only read, so concurrent
 /// calls are safe as long as each caller brings its own device — this is the
 /// execution core shared by GsiMatcher (one device) and QueryEngine (one
-/// device per worker thread).
+/// device per worker thread). Equivalent to RunFilterStage + RunJoinStage.
 Result<QueryResult> ExecuteQuery(gpusim::Device& dev, const Graph& data,
                                  const NeighborStore& store,
                                  const FilterContext& filter,

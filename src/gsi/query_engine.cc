@@ -2,27 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cmath>
 #include <mutex>
 #include <optional>
 #include <utility>
 
+#include "util/percentile.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace gsi {
-namespace {
-
-/// Nearest-rank percentile (ceil(p*N)-1) of an ascending vector; 0 when
-/// empty. Rounds up so small batches report the tail, not hide it.
-double Percentile(const std::vector<double>& sorted_ms, double p) {
-  if (sorted_ms.empty()) return 0;
-  size_t rank = static_cast<size_t>(
-      std::ceil(p * static_cast<double>(sorted_ms.size())));
-  return sorted_ms[std::min(rank == 0 ? 0 : rank - 1, sorted_ms.size() - 1)];
-}
-
-}  // namespace
 
 QueryEngine::QueryEngine(const Graph& data, GsiOptions options)
     : data_(&data), options_(options) {
@@ -56,6 +44,7 @@ BatchResult QueryEngine::RunBatch(std::span<const Graph> queries,
   const size_t num_workers = std::clamp<size_t>(
       options.num_threads < 1 ? 1 : static_cast<size_t>(options.num_threads),
       1, queries.size());
+  batch.stats.num_workers = num_workers;
 
   // Workers pull query indices from a shared counter; each owns a private
   // device, so all simulated costs of query i land in slot i's stats.
@@ -95,11 +84,13 @@ BatchResult QueryEngine::RunBatch(std::span<const Graph> queries,
     batch.per_query.push_back(std::move(r));
   }
   std::sort(latencies_ms.begin(), latencies_ms.end());
-  batch.stats.p50_simulated_ms = Percentile(latencies_ms, 0.5);
-  batch.stats.p99_simulated_ms = Percentile(latencies_ms, 0.99);
+  batch.stats.p50_simulated_ms = PercentileOfSorted(latencies_ms, 0.5);
+  batch.stats.p99_simulated_ms = PercentileOfSorted(latencies_ms, 0.99);
   if (batch.stats.wall_ms > 0) {
     batch.stats.queries_per_sec = static_cast<double>(queries.size()) /
                                   (batch.stats.wall_ms / 1000.0);
+    batch.stats.ok_queries_per_sec = static_cast<double>(batch.stats.ok) /
+                                     (batch.stats.wall_ms / 1000.0);
   }
   return batch;
 }

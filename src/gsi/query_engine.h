@@ -26,8 +26,10 @@ struct BatchStats {
   size_t total = 0;              ///< queries submitted
   size_t ok = 0;                 ///< queries that produced a result
   size_t failed = 0;             ///< queries rejected (bad query, row cap...)
+  size_t num_workers = 0;        ///< worker threads that ran (after clamping)
   double wall_ms = 0;            ///< host wall time of the whole batch
-  double queries_per_sec = 0;    ///< total / wall time
+  double queries_per_sec = 0;    ///< total / wall time (failures included)
+  double ok_queries_per_sec = 0; ///< ok / wall time (goodput; 0 if all fail)
   double sum_simulated_ms = 0;   ///< sum of per-query simulated device time
   double p50_simulated_ms = 0;   ///< median simulated latency (ok queries)
   double p99_simulated_ms = 0;   ///< 99th-percentile simulated latency
@@ -76,6 +78,10 @@ class QueryEngine {
   const GsiOptions& options() const { return options_; }
   /// Valid only when init_status().ok().
   const NeighborStore& store() const { return *store_; }
+  /// Precomputed filtering context; valid only when init_status().ok().
+  /// Read-only, so callers may run RunFilterStage against it concurrently
+  /// as long as each brings its own device (QueryService does).
+  const FilterContext& filter() const { return *filter_; }
 
  private:
   const Graph* data_;

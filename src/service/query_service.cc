@@ -1,0 +1,249 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "util/percentile.h"
+#include "util/timer.h"
+
+namespace gsi {
+
+using internal::TicketState;
+using Phase = internal::TicketState::Phase;
+using Clock = std::chrono::steady_clock;
+
+QueryService::QueryService(const Graph& data, GsiOptions gsi_options,
+                           ServiceOptions options)
+    : data_(&data), options_(options), engine_(data, gsi_options) {
+  init_status_ = engine_.init_status();
+  if (init_status_.ok() && options_.max_queue_depth == 0) {
+    // Depth 0 would reject every Submit under kReject and deadlock every
+    // Submit under kBlock (the space predicate could never hold).
+    init_status_ = Status::InvalidArgument(
+        "ServiceOptions.max_queue_depth must be >= 1");
+  }
+  if (!init_status_.ok()) return;  // Submit reports the error.
+  if (options_.enable_filter_cache) {
+    FilterCache::Options co;
+    co.max_bytes = options_.filter_cache_bytes;
+    cache_ = std::make_unique<FilterCache>(co);
+  }
+  const size_t workers =
+      options_.num_workers < 1 ? 1 : static_cast<size_t>(options_.num_workers);
+  pool_ = std::make_unique<ThreadPool>(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    pool_->Submit([this] { WorkerLoop(); });
+  }
+}
+
+QueryService::~QueryService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    // Fail whatever never reached a worker; running queries finish below.
+    while (!queue_.empty()) {
+      TicketPtr t = std::move(queue_.front());
+      queue_.pop_front();
+      FinishLocked(t, Status::Cancelled("service shut down before ticket " +
+                                        std::to_string(t->id) + " started"));
+    }
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  pool_.reset();  // drains the worker loops and joins
+}
+
+Result<QueryTicket> QueryService::Submit(Graph query,
+                                         const SubmitOptions& options) {
+  if (!init_status_.ok()) return init_status_;
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.submitted;
+  if (queue_.size() >= options_.max_queue_depth && !stopping_) {
+    if (options_.overload == OverloadPolicy::kReject) {
+      ++stats_.rejected;
+      return Status::ResourceExhausted(
+          "admission queue full (max_queue_depth=" +
+          std::to_string(options_.max_queue_depth) + "); retry later");
+    }
+    space_cv_.wait(lock, [this] {
+      return stopping_ || queue_.size() < options_.max_queue_depth;
+    });
+  }
+  if (stopping_) {
+    ++stats_.rejected;
+    return Status::Cancelled("service is shutting down");
+  }
+
+  auto ticket = std::make_shared<TicketState>();
+  ticket->id = next_id_++;
+  ticket->query = std::move(query);
+  const double deadline_ms = options.deadline_ms > 0
+                                 ? options.deadline_ms
+                                 : options_.default_deadline_ms;
+  if (deadline_ms > 0) {
+    ticket->has_deadline = true;
+    ticket->deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               deadline_ms));
+  }
+  queue_.push_back(ticket);
+  ++stats_.admitted;
+  lock.unlock();
+  work_cv_.notify_one();
+  return QueryTicket(std::move(ticket));
+}
+
+std::optional<Result<QueryResult>> QueryService::Poll(
+    const QueryTicket& ticket) {
+  if (!ticket.valid()) {
+    return Result<QueryResult>(Status::InvalidArgument("invalid ticket"));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  TicketState& t = *ticket.state_;
+  if (t.phase != Phase::kDone) return std::nullopt;
+  if (t.taken) {
+    return Result<QueryResult>(Status::Internal(
+        "result of ticket " + std::to_string(t.id) + " already taken"));
+  }
+  t.taken = true;
+  return std::move(*t.result);
+}
+
+Result<QueryResult> QueryService::Wait(const QueryTicket& ticket) {
+  if (!ticket.valid()) return Status::InvalidArgument("invalid ticket");
+  std::unique_lock<std::mutex> lock(mu_);
+  TicketState& t = *ticket.state_;
+  done_cv_.wait(lock, [&t] { return t.phase == Phase::kDone; });
+  if (t.taken) {
+    return Status::Internal("result of ticket " + std::to_string(t.id) +
+                            " already taken");
+  }
+  t.taken = true;
+  return std::move(*t.result);
+}
+
+bool QueryService::Cancel(const QueryTicket& ticket) {
+  if (!ticket.valid()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ticket.state_->phase != Phase::kQueued) return false;
+  auto it = std::find(queue_.begin(), queue_.end(), ticket.state_);
+  if (it == queue_.end()) return false;  // being picked up right now
+  queue_.erase(it);
+  FinishLocked(ticket.state_,
+               Status::Cancelled("ticket " + std::to_string(ticket.id()) +
+                                 " cancelled before execution"));
+  space_cv_.notify_one();
+  return true;
+}
+
+void QueryService::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock,
+                [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+ServiceStats QueryService::stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  ServiceStats out = stats_;
+  out.queue_depth = queue_.size();
+  out.in_flight = in_flight_;
+  std::vector<double> latencies = latencies_ms_;
+  lock.unlock();  // percentile sort and cache snapshot need no service lock
+  std::sort(latencies.begin(), latencies.end());
+  out.p50_simulated_ms = PercentileOfSorted(latencies, 0.5);
+  out.p99_simulated_ms = PercentileOfSorted(latencies, 0.99);
+  if (cache_) out.cache = cache_->stats();
+  return out;
+}
+
+void QueryService::FinishLocked(const TicketPtr& ticket,
+                                Result<QueryResult> result) {
+  if (result.ok()) {
+    ++stats_.completed_ok;
+    stats_.sum_simulated_ms += result->stats.total_ms;
+    if (latencies_ms_.size() < kLatencyWindow) {
+      latencies_ms_.push_back(result->stats.total_ms);
+    } else {
+      latencies_ms_[latency_cursor_] = result->stats.total_ms;
+      latency_cursor_ = (latency_cursor_ + 1) % kLatencyWindow;
+    }
+  } else if (result.status().code() == StatusCode::kDeadlineExceeded) {
+    ++stats_.expired;
+  } else if (result.status().code() == StatusCode::kCancelled) {
+    ++stats_.cancelled;
+  } else {
+    ++stats_.failed;
+  }
+  ticket->result = std::move(result);
+  ticket->phase = Phase::kDone;
+  done_cv_.notify_all();
+}
+
+void QueryService::WorkerLoop() {
+  // One private device per worker, reused across queries: per-query stats
+  // are deltas (RunFilterStage/RunJoinStage), so isolation matches
+  // QueryEngine::RunBatch.
+  gpusim::Device dev(engine_.options().device);
+  for (;;) {
+    TicketPtr ticket;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      ticket = std::move(queue_.front());
+      queue_.pop_front();
+      space_cv_.notify_one();
+      if (ticket->has_deadline && Clock::now() > ticket->deadline) {
+        FinishLocked(ticket,
+                     Status::DeadlineExceeded(
+                         "ticket " + std::to_string(ticket->id) +
+                         " spent longer than its deadline in the queue"));
+        continue;
+      }
+      ticket->phase = Phase::kRunning;
+      ++in_flight_;
+    }
+    Result<QueryResult> result = RunOne(dev, ticket->query);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      FinishLocked(ticket, std::move(result));
+    }
+  }
+}
+
+Result<QueryResult> QueryService::RunOne(gpusim::Device& dev,
+                                         const Graph& query) {
+  const GsiOptions& go = engine_.options();
+  if (!cache_) {
+    return ExecuteQuery(dev, *data_, engine_.store(), engine_.filter(), go,
+                        query);
+  }
+  WallTimer wall;
+  QueryStats stats;
+  FilterResult filtered;
+  const std::string key = FilterCache::KeyOf(query);
+  if (std::shared_ptr<const FilterCache::Entry> hit = cache_->Lookup(key)) {
+    // Hit: skip the signature-scan kernels, re-upload the memoized
+    // candidate lists (and bitset kernel) onto this worker's device.
+    gpusim::MemStats before = dev.stats();
+    filtered = FilterCache::Materialize(dev, *hit, data_->num_vertices(),
+                                        go.filter.build_bitmaps);
+    stats.filter = dev.stats() - before;
+    stats.min_candidate_size = hit->min_candidate_size;
+  } else {
+    Result<FilterResult> fresh = RunFilterStage(dev, engine_.filter(), query,
+                                                stats);
+    if (!fresh.ok()) return fresh.status();
+    cache_->Insert(key, FilterCache::MakeEntry(*fresh));
+    filtered = std::move(fresh.value());
+  }
+  Result<QueryResult> out = RunJoinStage(dev, *data_, engine_.store(), go,
+                                         query, std::move(filtered), stats);
+  if (out.ok()) out->stats.wall_ms = wall.ElapsedMs();
+  return out;
+}
+
+}  // namespace gsi

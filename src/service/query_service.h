@@ -1,0 +1,207 @@
+#ifndef GSI_SERVICE_QUERY_SERVICE_H_
+#define GSI_SERVICE_QUERY_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "gsi/matcher.h"
+#include "gsi/query_engine.h"
+#include "service/filter_cache.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace gsi {
+
+/// What Submit does when the bounded admission queue is full.
+enum class OverloadPolicy {
+  kReject,  ///< fail fast with ResourceExhausted (shed load)
+  kBlock,   ///< block the submitter until a slot frees (backpressure)
+};
+
+/// Configuration of a QueryService instance.
+struct ServiceOptions {
+  /// Long-lived worker threads; each owns one private simulated device, so
+  /// per-query stats stay isolated exactly as in QueryEngine::RunBatch.
+  int num_workers = 2;
+  /// Maximum admitted-but-not-started queries. Running queries do not
+  /// count: the queue bounds waiting work, the workers bound running work.
+  size_t max_queue_depth = 256;
+  OverloadPolicy overload = OverloadPolicy::kReject;
+  /// Deadline applied to tickets submitted without one (0 = none). The
+  /// deadline bounds queueing delay: a ticket still queued when it expires
+  /// fails with DeadlineExceeded; one that started in time runs to
+  /// completion.
+  double default_deadline_ms = 0;
+  /// Share filtering work between queries with identical signatures
+  /// (FilterCache). Match results are bit-identical either way.
+  bool enable_filter_cache = true;
+  size_t filter_cache_bytes = 64ull << 20;
+};
+
+/// Per-submission overrides.
+struct SubmitOptions {
+  /// Queueing deadline for this ticket (0 = ServiceOptions default).
+  double deadline_ms = 0;
+};
+
+/// Point-in-time snapshot of service health (stats()).
+struct ServiceStats {
+  size_t queue_depth = 0;        ///< admitted, waiting for a worker
+  size_t in_flight = 0;          ///< currently executing
+  uint64_t submitted = 0;        ///< Submit calls (admitted + rejected)
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;         ///< ResourceExhausted under kReject
+  uint64_t cancelled = 0;        ///< Cancel'd before a worker picked them up
+  uint64_t expired = 0;          ///< queued past their deadline
+  uint64_t completed_ok = 0;
+  uint64_t failed = 0;           ///< executed but returned an error
+  double sum_simulated_ms = 0;   ///< over all completed-ok queries
+  /// Simulated-latency percentiles over a sliding window of the most
+  /// recent completed-ok queries (the service is long-lived; an all-time
+  /// reservoir would grow without bound).
+  double p50_simulated_ms = 0;
+  double p99_simulated_ms = 0;
+  FilterCache::Stats cache;      ///< zeros when the cache is disabled
+};
+
+namespace internal {
+/// Shared state of one submitted query. All fields are guarded by the
+/// owning service's mutex; implementation detail of QueryService.
+struct TicketState {
+  enum class Phase { kQueued, kRunning, kDone } phase = Phase::kQueued;
+  uint64_t id = 0;
+  Graph query;
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+  /// Set exactly when phase becomes kDone; moved out by the first
+  /// Poll/Wait that observes it.
+  std::optional<Result<QueryResult>> result;
+  bool taken = false;
+};
+}  // namespace internal
+
+/// Handle to one submitted query; cheap to copy, futures-style: the result
+/// is consumed by the first successful Poll/Wait.
+class QueryTicket {
+ public:
+  QueryTicket() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  uint64_t id() const { return state_ ? state_->id : 0; }
+
+ private:
+  friend class QueryService;
+  explicit QueryTicket(std::shared_ptr<internal::TicketState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<internal::TicketState> state_;
+};
+
+/// Long-lived serving layer over QueryEngine: callers stream queries in via
+/// Submit and collect results via Poll/Wait instead of handing RunBatch a
+/// complete span and blocking until it drains.
+///
+///   QueryService service(data, GsiOptOptions(), ServiceOptions{});
+///   Result<QueryTicket> t = service.Submit(query);     // async
+///   if (!t.ok()) { /* queue full under kReject */ }
+///   Result<QueryResult> r = service.Wait(*t);          // or Poll
+///
+/// Admission control: the queue holds at most max_queue_depth waiting
+/// tickets; beyond that Submit sheds load (kReject -> ResourceExhausted) or
+/// applies backpressure (kBlock). Queued tickets can be cancelled and
+/// expire via per-query deadlines; running ones always finish.
+///
+/// Execution reuses the staged core of matcher.h (RunFilterStage +
+/// RunJoinStage). With the filter cache enabled, repeated query shapes skip
+/// the signature-scan kernels and rematerialize memoized candidate sets, so
+/// match tables stay bit-identical to sequential GsiMatcher::Find while the
+/// filter phase gets cheaper.
+///
+/// Thread-safe. The data graph must outlive the service. The destructor
+/// cancels still-queued tickets, lets running queries finish, and joins the
+/// workers.
+class QueryService {
+ public:
+  explicit QueryService(const Graph& data,
+                        GsiOptions gsi_options = GsiOptOptions(),
+                        ServiceOptions options = ServiceOptions());
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Admits `query` into the service. Fails with ResourceExhausted when the
+  /// queue is full under kReject (blocks under kBlock), or with the
+  /// constructor's error when the GsiOptions were invalid.
+  Result<QueryTicket> Submit(Graph query,
+                             const SubmitOptions& options = SubmitOptions());
+
+  /// Non-blocking: nullopt while queued/running; once finished, moves the
+  /// result out (exactly one Poll/Wait call gets it; later calls return an
+  /// Internal "already taken" status).
+  std::optional<Result<QueryResult>> Poll(const QueryTicket& ticket);
+
+  /// Blocks until the ticket finishes, then moves the result out.
+  Result<QueryResult> Wait(const QueryTicket& ticket);
+
+  /// Cancels a not-yet-started ticket: true if it was removed from the
+  /// queue (its result becomes Cancelled); false if it already started or
+  /// finished.
+  bool Cancel(const QueryTicket& ticket);
+
+  /// Blocks until no ticket is queued or running (stream-then-drain usage).
+  void Drain();
+
+  ServiceStats stats() const;
+
+  /// Not Ok when the GsiOptions or ServiceOptions were rejected (e.g.
+  /// max_queue_depth = 0, which would deadlock kBlock submitters); Submit
+  /// reports it per call.
+  const Status& init_status() const { return init_status_; }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  using TicketPtr = std::shared_ptr<internal::TicketState>;
+
+  void WorkerLoop();
+  /// Executes one query on `dev`, going through the filter cache when
+  /// enabled.
+  Result<QueryResult> RunOne(gpusim::Device& dev, const Graph& query);
+  void FinishLocked(const TicketPtr& ticket, Result<QueryResult> result);
+
+  /// Completed-ok latencies kept for the percentile snapshot.
+  static constexpr size_t kLatencyWindow = 4096;
+
+  const Graph* data_;
+  ServiceOptions options_;
+  QueryEngine engine_;  // shared immutable PCSR + signature structures
+  Status init_status_;
+  std::unique_ptr<FilterCache> cache_;  // null when disabled
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // queue non-empty or stopping
+  std::condition_variable space_cv_;  // queue below max_queue_depth
+  std::condition_variable done_cv_;   // some ticket finished / drained
+  std::deque<TicketPtr> queue_;
+  size_t in_flight_ = 0;
+  uint64_t next_id_ = 1;
+  bool stopping_ = false;
+  ServiceStats stats_;                  // counters; depth fields derived
+  /// Ring of the last kLatencyWindow completed-ok total_ms values.
+  std::vector<double> latencies_ms_;
+  size_t latency_cursor_ = 0;
+
+  /// Declared last so workers die before the state they use.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace gsi
+
+#endif  // GSI_SERVICE_QUERY_SERVICE_H_

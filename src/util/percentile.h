@@ -1,0 +1,22 @@
+#ifndef GSI_UTIL_PERCENTILE_H_
+#define GSI_UTIL_PERCENTILE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+
+namespace gsi {
+
+/// Nearest-rank percentile (ceil(p*N)-1) of an ascending sequence; 0 when
+/// empty. Rounds up so small samples report the tail, not hide it. Shared
+/// by BatchStats (query_engine.cc) and ServiceStats (query_service.cc).
+inline double PercentileOfSorted(std::span<const double> sorted, double p) {
+  if (sorted.empty()) return 0;
+  size_t rank =
+      static_cast<size_t>(std::ceil(p * static_cast<double>(sorted.size())));
+  return sorted[std::min(rank == 0 ? 0 : rank - 1, sorted.size() - 1)];
+}
+
+}  // namespace gsi
+
+#endif  // GSI_UTIL_PERCENTILE_H_

@@ -16,6 +16,8 @@ enum class StatusCode {
   kNotFound,
   kResourceExhausted,  // e.g. intermediate-table row cap exceeded
   kInternal,
+  kDeadlineExceeded,  // query sat in the admission queue past its deadline
+  kCancelled,         // ticket cancelled before execution started
 };
 
 /// A success-or-error value. Cheap to copy on the OK path.
@@ -37,6 +39,12 @@ class Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,131 @@
+// FilterCache: the signature key must separate structurally different
+// queries, the LRU must respect its byte budget, and a Materialize'd entry
+// must reproduce the filter stage's candidate sets exactly.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "gsi/matcher.h"
+#include "service/filter_cache.h"
+#include "test_util.h"
+
+namespace gsi {
+namespace {
+
+std::shared_ptr<const FilterCache::Entry> EntryOfBytes(size_t bytes) {
+  auto e = std::make_shared<FilterCache::Entry>();
+  e->candidates.emplace_back(bytes / sizeof(VertexId));
+  e->bytes = bytes;
+  return e;
+}
+
+TEST(FilterCacheKey, IdenticalShapesShareAKey) {
+  Graph data = testing::RandomGraph(200, 3, 4, 3, 17);
+  Graph q1 = testing::RandomQuery(data, 5, 99);
+  Graph q2 = testing::RandomQuery(data, 5, 99);  // same seed, same query
+  EXPECT_EQ(FilterCache::KeyOf(q1), FilterCache::KeyOf(q2));
+
+  Graph q3 = testing::RandomQuery(data, 5, 100);
+  EXPECT_NE(FilterCache::KeyOf(q1), FilterCache::KeyOf(q3));
+}
+
+TEST(FilterCacheKey, LabelsAndEdgesChangeTheKey) {
+  auto make = [](Label vlabel, Label elabel) {
+    return Graph::Create(2, {0, vlabel}, {{0, 1, elabel}}).value();
+  };
+  EXPECT_EQ(FilterCache::KeyOf(make(1, 0)), FilterCache::KeyOf(make(1, 0)));
+  EXPECT_NE(FilterCache::KeyOf(make(1, 0)), FilterCache::KeyOf(make(2, 0)));
+  EXPECT_NE(FilterCache::KeyOf(make(1, 0)), FilterCache::KeyOf(make(1, 1)));
+  // An extra vertex changes the key even with no extra edges in common.
+  Graph bigger = Graph::Create(3, {0, 1, 0}, {{0, 1, 0}, {1, 2, 0}}).value();
+  EXPECT_NE(FilterCache::KeyOf(make(1, 0)), FilterCache::KeyOf(bigger));
+}
+
+TEST(FilterCache, HitMissAndLruEviction) {
+  FilterCache::Options opts;
+  opts.max_bytes = 1000;
+  FilterCache cache(opts);
+
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  cache.Insert("a", EntryOfBytes(400));
+  cache.Insert("b", EntryOfBytes(400));
+  EXPECT_NE(cache.Lookup("a"), nullptr);  // "a" is now most recently used
+
+  // Inserting "c" busts the budget; "b" is the LRU victim.
+  cache.Insert("c", EntryOfBytes(400));
+  EXPECT_EQ(cache.Lookup("b"), nullptr);
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_NE(cache.Lookup("c"), nullptr);
+
+  FilterCache::Stats s = cache.stats();
+  EXPECT_EQ(s.insertions, 3u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.bytes, 800u);
+  EXPECT_EQ(s.hits, 3u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_NEAR(s.HitRate(), 3.0 / 5.0, 1e-12);
+}
+
+TEST(FilterCache, OversizedEntriesAreNeverAdmitted) {
+  FilterCache::Options opts;
+  opts.max_bytes = 100;
+  FilterCache cache(opts);
+  cache.Insert("huge", EntryOfBytes(400));
+  EXPECT_EQ(cache.Lookup("huge"), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+TEST(FilterCache, ClearDropsEverything) {
+  FilterCache cache;
+  cache.Insert("a", EntryOfBytes(64));
+  cache.Clear();
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+TEST(FilterCache, MaterializeReproducesTheFilterStage) {
+  Graph data = testing::RandomGraph(300, 3, 4, 3, 23);
+  Graph query = testing::RandomQuery(data, 5, 7);
+  GsiOptions options = GsiOptOptions();
+
+  gpusim::Device build_dev(options.device);
+  FilterContext context(build_dev, data, options.filter);
+
+  gpusim::Device dev_a(options.device);
+  QueryStats stats;
+  Result<FilterResult> fresh = RunFilterStage(dev_a, context, query, stats);
+  ASSERT_TRUE(fresh.ok());
+
+  auto entry = FilterCache::MakeEntry(*fresh);
+  EXPECT_GT(entry->bytes, 0u);
+  EXPECT_EQ(entry->candidates.size(), query.num_vertices());
+  EXPECT_EQ(entry->min_candidate_size, fresh->min_candidate_size);
+
+  gpusim::Device dev_b(options.device);
+  FilterResult warmed = FilterCache::Materialize(
+      dev_b, *entry, data.num_vertices(), options.filter.build_bitmaps);
+  ASSERT_EQ(warmed.candidates.size(), fresh->candidates.size());
+  for (VertexId u = 0; u < query.num_vertices(); ++u) {
+    const CandidateSet& a = fresh->candidates[u];
+    const CandidateSet& b = warmed.candidates[u];
+    ASSERT_EQ(a.size(), b.size()) << "vertex " << u;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a.list()[i], b.list()[i]);
+    }
+    EXPECT_EQ(a.has_bitmap(), b.has_bitmap());
+  }
+  EXPECT_EQ(warmed.min_candidate_size, fresh->min_candidate_size);
+  EXPECT_EQ(warmed.min_candidate_vertex, fresh->min_candidate_vertex);
+
+  // The rematerialization must be cheaper than the signature scan it
+  // replaces: it only touches the candidates, not all of |V(G)|.
+  EXPECT_LT(dev_b.stats().simulated_cycles, dev_a.stats().simulated_cycles);
+}
+
+}  // namespace
+}  // namespace gsi

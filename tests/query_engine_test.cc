@@ -103,9 +103,59 @@ TEST(QueryEngine, BatchStatsAggregates) {
   BatchResult batch = engine.RunBatch(w.queries, bo);
   EXPECT_EQ(batch.stats.ok, w.queries.size());  // generated queries match
   EXPECT_GT(batch.stats.queries_per_sec, 0);
+  // With zero failures the goodput equals the raw throughput.
+  EXPECT_DOUBLE_EQ(batch.stats.ok_queries_per_sec,
+                   batch.stats.queries_per_sec);
+  EXPECT_EQ(batch.stats.num_workers, 2u);
   EXPECT_GT(batch.stats.sum_simulated_ms, 0);
   EXPECT_LE(batch.stats.p50_simulated_ms, batch.stats.p99_simulated_ms);
   EXPECT_GT(batch.stats.p50_simulated_ms, 0);
+}
+
+// Regression: queries_per_sec counted failed queries in its numerator, so a
+// batch where every query fails still reported a rosy throughput and
+// silently-zero percentiles. The ok-based goodput must report 0.
+TEST(QueryEngine, AllFailedBatchReportsZeroGoodput) {
+  Workload w = std::move(MakeWorkloads()[0]);
+  QueryEngine engine(w.data, DefaultGsiOptions());
+  std::vector<Graph> bad(8);  // empty queries -> InvalidArgument each
+  BatchOptions bo;
+  bo.num_threads = 4;
+  BatchResult batch = engine.RunBatch(bad, bo);
+  EXPECT_EQ(batch.stats.total, bad.size());
+  EXPECT_EQ(batch.stats.ok, 0u);
+  EXPECT_EQ(batch.stats.failed, bad.size());
+  EXPECT_EQ(batch.stats.ok_queries_per_sec, 0);
+  // The raw rate still counts submissions; the percentiles stay 0 because
+  // there is no successful latency to report.
+  EXPECT_GT(batch.stats.queries_per_sec, 0);
+  EXPECT_EQ(batch.stats.p50_simulated_ms, 0);
+  EXPECT_EQ(batch.stats.p99_simulated_ms, 0);
+  for (const Result<QueryResult>& r : batch.per_query) {
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(QueryEngine, ReportsClampedWorkerCount) {
+  Workload w = std::move(MakeWorkloads()[2]);
+  QueryEngine engine(w.data, DefaultGsiOptions());
+
+  BatchOptions bo;
+  bo.num_threads = 4;
+  EXPECT_EQ(engine.RunBatch(w.queries, bo).stats.num_workers, 4u);
+
+  // More workers than queries clamps to the query count; nonsense thread
+  // counts clamp to one.
+  std::vector<Graph> one(w.queries.begin(), w.queries.begin() + 1);
+  bo.num_threads = 64;
+  EXPECT_EQ(engine.RunBatch(one, bo).stats.num_workers, 1u);
+  bo.num_threads = -3;
+  EXPECT_EQ(engine.RunBatch(one, bo).stats.num_workers, 1u);
+
+  // Nothing ran: no workers, and the empty batch keeps every rate at 0.
+  BatchResult empty = engine.RunBatch({});
+  EXPECT_EQ(empty.stats.num_workers, 0u);
+  EXPECT_EQ(empty.stats.ok_queries_per_sec, 0);
 }
 
 TEST(QueryEngine, EmptyBatchAndThreadClamping) {

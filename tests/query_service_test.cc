@@ -1,0 +1,294 @@
+// QueryService: streamed submit/poll results must be bit-identical to
+// sequential GsiMatcher::Find (with and without the filter cache), the
+// bounded admission queue must shed or backpressure load, and queued
+// tickets must support cancellation and deadlines.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "gsi/matcher.h"
+#include "service/query_service.h"
+#include "test_util.h"
+
+namespace gsi {
+namespace {
+
+/// Small data graph: fast queries for correctness sweeps.
+Graph SmallData(uint64_t seed) {
+  return testing::RandomGraph(300, 3, 4, 3, seed);
+}
+
+/// Large data graph: each query runs long enough (milliseconds) that a
+/// burst of microsecond-scale Submits deterministically outpaces the
+/// workers (used by the overload / cancellation / deadline tests).
+const Graph& HeavyData() {
+  static const Graph& g = *new Graph(testing::RandomGraph(3000, 4, 3, 2, 5));
+  return g;
+}
+
+TEST(QueryService, StreamedResultsMatchSequentialFind) {
+  for (bool cache : {false, true}) {
+    for (uint64_t seed : {1, 2, 3}) {
+      Graph data = SmallData(seed * 100);
+      std::vector<Graph> queries;
+      for (uint64_t q = 0; q < 10; ++q) {
+        queries.push_back(testing::RandomQuery(data, 5, seed * 1000 + q));
+      }
+      GsiMatcher sequential(data, GsiOptOptions());
+
+      ServiceOptions so;
+      so.num_workers = 4;
+      so.enable_filter_cache = cache;
+      QueryService service(data, GsiOptOptions(), so);
+      ASSERT_TRUE(service.init_status().ok());
+
+      std::vector<QueryTicket> tickets;
+      for (const Graph& q : queries) {
+        Result<QueryTicket> t = service.Submit(q);
+        ASSERT_TRUE(t.ok());
+        tickets.push_back(*t);
+      }
+      for (size_t i = 0; i < queries.size(); ++i) {
+        Result<QueryResult> expected = sequential.Find(queries[i]);
+        Result<QueryResult> got = service.Wait(tickets[i]);
+        ASSERT_EQ(expected.ok(), got.ok()) << "query " << i;
+        if (!expected.ok()) continue;
+        EXPECT_EQ(got->AllMatchesSorted(), expected->AllMatchesSorted())
+            << "query " << i << " cache=" << cache;
+      }
+    }
+  }
+}
+
+TEST(QueryService, CacheHitsStayBitIdenticalAndSpeedUpTheFilterPhase) {
+  Graph data = SmallData(42);
+  Graph query = testing::RandomQuery(data, 5, 4242);
+  GsiMatcher sequential(data, GsiOptOptions());
+  Result<QueryResult> expected = sequential.Find(query);
+  ASSERT_TRUE(expected.ok());
+
+  ServiceOptions so;
+  so.num_workers = 1;
+  so.enable_filter_cache = true;
+  QueryService service(data, GsiOptOptions(), so);
+
+  // Cold pass misses and populates; warm pass hits.
+  Result<QueryTicket> cold = service.Submit(query);
+  ASSERT_TRUE(cold.ok());
+  Result<QueryResult> cold_r = service.Wait(*cold);
+  ASSERT_TRUE(cold_r.ok());
+
+  Result<QueryTicket> warm = service.Submit(query);
+  ASSERT_TRUE(warm.ok());
+  Result<QueryResult> warm_r = service.Wait(*warm);
+  ASSERT_TRUE(warm_r.ok());
+
+  EXPECT_EQ(cold_r->AllMatchesSorted(), expected->AllMatchesSorted());
+  EXPECT_EQ(warm_r->AllMatchesSorted(), expected->AllMatchesSorted());
+
+  // Identical join work, strictly cheaper filter work on the hit.
+  EXPECT_EQ(warm_r->stats.join.simulated_cycles,
+            cold_r->stats.join.simulated_cycles);
+  EXPECT_LT(warm_r->stats.filter.simulated_cycles,
+            cold_r->stats.filter.simulated_cycles);
+  EXPECT_EQ(warm_r->stats.min_candidate_size,
+            cold_r->stats.min_candidate_size);
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cache.misses, 1u);
+  EXPECT_EQ(stats.cache.hits, 1u);
+  EXPECT_EQ(stats.cache.entries, 1u);
+  EXPECT_GT(stats.cache.bytes, 0u);
+}
+
+TEST(QueryService, RejectsWithResourceExhaustedWhenQueueIsFull) {
+  ServiceOptions so;
+  so.num_workers = 1;
+  so.max_queue_depth = 2;
+  so.overload = OverloadPolicy::kReject;
+  QueryService service(HeavyData(), GsiOptOptions(), so);
+
+  Graph query = testing::RandomQuery(HeavyData(), 6, 9);
+  size_t rejected = 0;
+  std::vector<QueryTicket> tickets;
+  // 40 instant Submits against a single worker chewing multi-ms queries:
+  // the depth-2 queue must overflow.
+  for (int i = 0; i < 40; ++i) {
+    Result<QueryTicket> t = service.Submit(query);
+    if (t.ok()) {
+      tickets.push_back(*t);
+    } else {
+      EXPECT_EQ(t.status().code(), StatusCode::kResourceExhausted);
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0u);
+
+  for (const QueryTicket& t : tickets) {
+    // Every admitted ticket resolves: ok, or a per-query engine error
+    // (e.g. the intermediate-row cap) — never cancelled or dropped.
+    Result<QueryResult> r = service.Wait(t);
+    EXPECT_NE(r.status().code(), StatusCode::kCancelled)
+        << r.status().ToString();
+  }
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 40u);
+  EXPECT_EQ(stats.rejected, rejected);
+  EXPECT_EQ(stats.admitted, 40u - rejected);
+  EXPECT_EQ(stats.completed_ok + stats.failed, tickets.size());
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.in_flight, 0u);
+}
+
+TEST(QueryService, BlockPolicyBackpressuresInsteadOfRejecting) {
+  ServiceOptions so;
+  so.num_workers = 2;
+  so.max_queue_depth = 2;
+  so.overload = OverloadPolicy::kBlock;
+  Graph data = SmallData(7);
+  QueryService service(data, GsiOptOptions(), so);
+
+  Graph query = testing::RandomQuery(data, 5, 11);
+  std::vector<QueryTicket> tickets;
+  for (int i = 0; i < 30; ++i) {
+    Result<QueryTicket> t = service.Submit(query);
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    tickets.push_back(*t);
+  }
+  service.Drain();
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.admitted, 30u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.completed_ok, 30u);
+  EXPECT_GT(stats.p50_simulated_ms, 0);
+  EXPECT_LE(stats.p50_simulated_ms, stats.p99_simulated_ms);
+}
+
+TEST(QueryService, CancelRemovesQueuedTicket) {
+  ServiceOptions so;
+  so.num_workers = 1;
+  so.max_queue_depth = 64;
+  QueryService service(HeavyData(), GsiOptOptions(), so);
+
+  Graph query = testing::RandomQuery(HeavyData(), 6, 13);
+  std::vector<QueryTicket> tickets;
+  for (int i = 0; i < 20; ++i) {
+    Result<QueryTicket> t = service.Submit(query);
+    ASSERT_TRUE(t.ok());
+    tickets.push_back(*t);
+  }
+  // The single worker is still inside one of the first queries; the last
+  // ticket cannot have started.
+  EXPECT_TRUE(service.Cancel(tickets.back()));
+  Result<QueryResult> r = service.Wait(tickets.back());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  // Cancelling a finished ticket is a no-op.
+  EXPECT_FALSE(service.Cancel(tickets.back()));
+  service.Drain();
+  EXPECT_EQ(service.stats().cancelled, 1u);
+}
+
+TEST(QueryService, QueuedDeadlineExpiresBeforeExecution) {
+  ServiceOptions so;
+  so.num_workers = 1;
+  so.max_queue_depth = 64;
+  QueryService service(HeavyData(), GsiOptOptions(), so);
+
+  Graph query = testing::RandomQuery(HeavyData(), 6, 17);
+  // Park several heavy queries in front...
+  std::vector<QueryTicket> front;
+  for (int i = 0; i < 10; ++i) {
+    Result<QueryTicket> t = service.Submit(query);
+    ASSERT_TRUE(t.ok());
+    front.push_back(*t);
+  }
+  // ...then a ticket whose queueing deadline is far shorter than the work
+  // already ahead of it.
+  SubmitOptions submit;
+  submit.deadline_ms = 0.001;
+  Result<QueryTicket> doomed = service.Submit(query, submit);
+  ASSERT_TRUE(doomed.ok());
+  Result<QueryResult> r = service.Wait(*doomed);
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  service.Drain();
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.completed_ok + stats.failed, front.size());
+}
+
+TEST(QueryService, ResultsAreTakenExactlyOnce) {
+  Graph data = SmallData(31);
+  QueryService service(data, GsiOptOptions(), ServiceOptions{});
+  Result<QueryTicket> t = service.Submit(testing::RandomQuery(data, 5, 3));
+  ASSERT_TRUE(t.ok());
+
+  // Poll until completion (exercises the nullopt path), then the result is
+  // consumed; any later Poll/Wait reports Internal.
+  std::optional<Result<QueryResult>> polled;
+  while (!(polled = service.Poll(*t)).has_value()) {
+  }
+  EXPECT_TRUE(polled->ok());
+  EXPECT_EQ(service.Wait(*t).status().code(), StatusCode::kInternal);
+  std::optional<Result<QueryResult>> again = service.Poll(*t);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->status().code(), StatusCode::kInternal);
+
+  // Invalid tickets are reported, not crashed on.
+  QueryTicket invalid;
+  EXPECT_EQ(service.Wait(invalid).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(service.Cancel(invalid));
+}
+
+TEST(QueryService, ExecutionErrorsLandOnTheTicket) {
+  Graph data = SmallData(53);
+  QueryService service(data, GsiOptOptions(), ServiceOptions{});
+  Result<QueryTicket> t = service.Submit(Graph());  // empty query
+  ASSERT_TRUE(t.ok());                              // admission succeeds
+  Result<QueryResult> r = service.Wait(*t);
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.stats().failed, 1u);
+}
+
+// Regression: depth 0 would reject everything under kReject and deadlock
+// every Submit under kBlock — it must be rejected at construction.
+TEST(QueryService, ZeroQueueDepthIsInvalidArgument) {
+  Graph data = SmallData(71);
+  ServiceOptions so;
+  so.max_queue_depth = 0;
+  so.overload = OverloadPolicy::kBlock;
+  QueryService service(data, GsiOptOptions(), so);
+  EXPECT_EQ(service.init_status().code(), StatusCode::kInvalidArgument);
+  Result<QueryTicket> t = service.Submit(testing::RandomQuery(data, 5, 1));
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryService, InvalidOptionsSurfaceThroughSubmit) {
+  GsiOptions bad = GsiOptOptions();
+  bad.join.max_rows = 0;
+  Graph data = SmallData(61);
+  QueryService service(data, bad, ServiceOptions{});
+  EXPECT_EQ(service.init_status().code(), StatusCode::kInvalidArgument);
+  Result<QueryTicket> t = service.Submit(testing::RandomQuery(data, 5, 2));
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryService, DestructorCancelsQueuedWorkWithoutHanging) {
+  auto service = std::make_unique<QueryService>(HeavyData(), GsiOptOptions(),
+                                                ServiceOptions{
+                                                    .num_workers = 1,
+                                                    .max_queue_depth = 64,
+                                                });
+  Graph query = testing::RandomQuery(HeavyData(), 6, 19);
+  for (int i = 0; i < 15; ++i) {
+    ASSERT_TRUE(service->Submit(query).ok());
+  }
+  service.reset();  // must cancel the queue, finish in-flight work and join
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace gsi

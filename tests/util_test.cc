@@ -130,6 +130,42 @@ TEST(ThreadPool, DrainsQueueOnDestruction) {
   EXPECT_EQ(counter.load(), 50);
 }
 
+// The service's completion path parks long-lived dispatch loops in the pool
+// and cycles Wait() repeatedly from the host; each cycle must see exactly
+// its own batch complete and leave the pool reusable.
+TEST(ThreadPool, ReusableAcrossManyWaitCycles) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int cycle = 1; cycle <= 5; ++cycle) {
+    for (int i = 0; i < 40; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), cycle * 40);
+  }
+  // An empty Wait (no submissions since the last one) must not block.
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+// Tasks may fan out further tasks from inside the pool; Wait() must cover
+// the transitively submitted work, not just the first generation.
+TEST(ThreadPool, SubmitFromInsideRunningTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&pool, &counter] {
+      counter.fetch_add(1);
+      pool.Submit([&pool, &counter] {
+        counter.fetch_add(1);
+        pool.Submit([&counter] { counter.fetch_add(1); });
+      });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 8 * 3);
+}
+
 TEST(ThreadPool, ClampsToAtLeastOneThread) {
   ThreadPool pool(0);
   EXPECT_EQ(pool.num_threads(), 1u);
