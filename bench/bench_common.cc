@@ -108,13 +108,80 @@ void TableCollector::PrintAndClear() {
   rows_.clear();
 }
 
+namespace {
+
+std::vector<JsonRecord>& JsonRecords() {
+  static auto& records = *new std::vector<JsonRecord>();
+  return records;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void WriteJsonReport(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot open --json path %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "[\n");
+  const std::vector<JsonRecord>& records = JsonRecords();
+  for (size_t i = 0; i < records.size(); ++i) {
+    const JsonRecord& r = records[i];
+    std::fprintf(f,
+                 "  {\"bench\": \"%s\", \"config\": \"%s\", \"qps\": %.6g, "
+                 "\"p50\": %.6g, \"p99\": %.6g}%s\n",
+                 JsonEscape(r.bench).c_str(), JsonEscape(r.config).c_str(),
+                 r.qps, r.p50_ms, r.p99_ms, i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::fprintf(stderr, "[bench] wrote %zu json records to %s\n",
+               records.size(), path.c_str());
+}
+
+}  // namespace
+
+void RecordJson(JsonRecord record) {
+  JsonRecords().push_back(std::move(record));
+}
+
 int BenchMain(int argc, char** argv,
               const std::vector<TableCollector*>& tables) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Peel off --json before google-benchmark sees (and rejects) it.
+  std::string json_path;
+  std::vector<char*> args;
+  args.reserve(argc);
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (a.rfind("--json=", 0) == 0) {
+      json_path = a.substr(7);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   for (TableCollector* t : tables) t->PrintAndClear();
+  if (!json_path.empty()) WriteJsonReport(json_path);
   return 0;
 }
 

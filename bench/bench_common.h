@@ -106,6 +106,23 @@ Aggregate RunGsi(const std::string& dataset_name, const GsiOptions& options,
 Aggregate RunGsiBatch(const Graph& g, const GsiOptions& options,
                       const std::vector<Graph>& queries);
 
+/// One machine-readable measurement record. Benches push these via
+/// RecordJson; when the binary is invoked with `--json <path>` (or
+/// `--json=<path>`), BenchMain writes the collected records to that file as
+/// a JSON array of {bench, config, qps, p50, p99} objects so cross-PR
+/// BENCH_*.json trajectories can accumulate.
+struct JsonRecord {
+  std::string bench;   ///< benchmark identity, e.g. "sharding_scalability"
+  std::string config;  ///< swept configuration, e.g. "devices=4"
+  double qps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+/// Queues a record for the JSON report. Safe to call whether or not --json
+/// was given (records are simply dropped at exit without it).
+void RecordJson(JsonRecord record);
+
 /// Collects rows during google-benchmark execution and prints the
 /// paper-style table afterwards. One collector per bench binary.
 class TableCollector {
@@ -121,7 +138,8 @@ class TableCollector {
   std::vector<std::vector<std::string>> rows_;
 };
 
-/// Standard main body: initialize gbench, run, print collected tables.
+/// Standard main body: strip the `--json <path>` flag, initialize gbench,
+/// run, print collected tables, write queued JsonRecords to the path.
 int BenchMain(int argc, char** argv,
               const std::vector<TableCollector*>& tables);
 

@@ -1,0 +1,143 @@
+// Multi-device sharded execution (Section VIII): one heavy query's join
+// phase fanned out across a device pool. Sweeps the device count and
+// reports the simulated single-query speedup curve, the shard balance
+// (skew) and the merge cost. The sharded match table is checked
+// bit-identical against the single-device run on every sweep point.
+//
+// Knobs: GSI_BENCH_DEVICES="1 2 4 8" (device counts), plus the usual
+// GSI_BENCH_SCALE / GSI_BENCH_QUERIES / GSI_BENCH_QSIZE.
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "gsi/sharded_engine.h"
+#include "service/device_pool.h"
+#include "util/check.h"
+
+namespace gsi::bench {
+namespace {
+
+TableCollector& Table() {
+  static auto& t = *new TableCollector(
+      "Sharding scalability: one heavy query across a device pool "
+      "(GSI-opt, simulated time)",
+      {"Devices", "Shards", "Filter ms", "Join ms", "Total ms", "Speedup",
+       "Skew", "Matches"});
+  return t;
+}
+
+std::vector<size_t> DeviceCounts() {
+  static auto& counts = *new std::vector<size_t>([] {
+    std::vector<size_t> out;
+    const char* env = std::getenv("GSI_BENCH_DEVICES");
+    std::stringstream ss(env != nullptr ? env : "1 2 4 8");
+    size_t v = 0;
+    while (ss >> v) {
+      if (v > 0) out.push_back(v);
+    }
+    if (out.empty()) out = {1, 2, 4, 8};
+    return out;
+  }());
+  return counts;
+}
+
+const QueryEngine& Engine() {
+  static auto& engine =
+      *new QueryEngine(GetDataset("enron").graph, GsiOptOptions());
+  return engine;
+}
+
+/// The heaviest query of the generated workload (max single-device
+/// simulated time) — the shape intra-query sharding exists for.
+const Graph& HeavyQuery() {
+  static auto& query = *new Graph([] {
+    const std::vector<Graph>& all =
+        GetQueries("enron", Env().query_vertices, 0, Env().queries);
+    const Graph* heaviest = nullptr;
+    double worst_ms = -1;
+    for (const Graph& q : all) {
+      Result<QueryResult> r = Engine().Run(q);
+      if (!r.ok()) continue;
+      if (r->stats.total_ms > worst_ms) {
+        worst_ms = r->stats.total_ms;
+        heaviest = &q;
+      }
+    }
+    GSI_CHECK_MSG(heaviest != nullptr, "no query executed successfully");
+    std::fprintf(stderr, "[bench] heavy query: %s, %.2f ms single-device\n",
+                 heaviest->Summary().c_str(), worst_ms);
+    return *heaviest;
+  }());
+  return query;
+}
+
+double SingleDeviceMs() {
+  static const double ms = [] {
+    Result<QueryResult> r = Engine().Run(HeavyQuery());
+    GSI_CHECK(r.ok());
+    return r->stats.total_ms;
+  }();
+  return ms;
+}
+
+void BM_Sharding(benchmark::State& state, size_t num_devices) {
+  QueryStats stats;
+  for (auto _ : state) {
+    DevicePool pool(num_devices, Engine().options().device);
+    std::vector<DevicePool::Lease> leases = pool.AcquireUpTo(num_devices);
+    std::vector<gpusim::Device*> devs;
+    for (DevicePool::Lease& l : leases) devs.push_back(l.get());
+
+    Result<QueryResult> sharded = Engine().RunSharded(HeavyQuery(), devs);
+    GSI_CHECK(sharded.ok());
+    stats = sharded->stats;
+    state.SetIterationTime(std::max(1e-9, stats.total_ms / 1000.0));
+
+    // The merged table must be bit-identical to the single-device run.
+    Result<QueryResult> single = Engine().Run(HeavyQuery());
+    GSI_CHECK(single.ok());
+    GSI_CHECK_MSG(sharded->TableEquals(*single),
+                  "sharded result diverged from single-device run");
+  }
+
+  const double speedup =
+      stats.total_ms > 0 ? SingleDeviceMs() / stats.total_ms : 0;
+  state.counters["total_ms"] = stats.total_ms;
+  state.counters["speedup"] = speedup;
+  state.counters["shards"] = static_cast<double>(stats.shards_used);
+  Table().AddRow({std::to_string(num_devices),
+                  std::to_string(stats.shards_used),
+                  TablePrinter::FormatMs(stats.filter_ms),
+                  TablePrinter::FormatMs(stats.join_ms),
+                  TablePrinter::FormatMs(stats.total_ms),
+                  TablePrinter::FormatSpeedup(speedup),
+                  TablePrinter::FormatSpeedup(stats.shard_skew),
+                  TablePrinter::FormatCount(stats.num_matches)});
+  RecordJson({"sharding_scalability",
+              "devices=" + std::to_string(num_devices),
+              /*qps=*/stats.total_ms > 0 ? 1000.0 / stats.total_ms : 0,
+              /*p50_ms=*/stats.total_ms,
+              /*p99_ms=*/stats.total_ms});
+}
+
+void RegisterAll() {
+  for (size_t devices : DeviceCounts()) {
+    benchmark::RegisterBenchmark(
+        ("sharding/devices=" + std::to_string(devices)).c_str(),
+        [devices](benchmark::State& s) { BM_Sharding(s, devices); })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace gsi::bench
+
+int main(int argc, char** argv) {
+  gsi::bench::RegisterAll();
+  return gsi::bench::BenchMain(argc, argv, {&gsi::bench::Table()});
+}

@@ -42,118 +42,186 @@ FilterContext::FilterContext(gpusim::Device& dev, const Graph& data,
   }
 }
 
-std::vector<VertexId> FilterContext::SignatureCandidates(gpusim::Device& dev,
-                                                         const Graph& query,
-                                                         VertexId u) const {
-  const Graph& g = *data_;
-  const size_t n = g.num_vertices();
+void FilterContext::SignatureScanWarp(gpusim::Warp& w, const Signature& qsig,
+                                      VertexId v0, size_t lanes,
+                                      std::vector<VertexId>& out) const {
   const int words = signatures_.words_per_sig();
-  Signature qsig = Signature::Encode(query, u, options_.signature_bits);
+  uint32_t vals[kWarpSize];
+  bool alive[kWarpSize];
 
-  std::vector<VertexId> out;
-  size_t num_warps = (n + kWarpSize - 1) / kWarpSize;
-  gpusim::Launch(dev, num_warps, [&](gpusim::Warp& w) {
-    VertexId v0 = static_cast<VertexId>(w.global_id() * kWarpSize);
-    if (v0 >= n) return;
-    size_t lanes = std::min<size_t>(kWarpSize, n - v0);
-    uint32_t vals[kWarpSize];
-    bool alive[kWarpSize];
-
-    // First iteration: read the first 32 bits (the raw vertex label) and
-    // compare exactly (Section VII-B).
-    signatures_.WarpReadWord(w, v0, lanes, 0, vals);
+  // First iteration: read the first 32 bits (the raw vertex label) and
+  // compare exactly (Section VII-B).
+  signatures_.WarpReadWord(w, v0, lanes, 0, vals);
+  w.Alu(lanes);
+  bool any = false;
+  for (size_t k = 0; k < lanes; ++k) {
+    alive[k] = (vals[k] == qsig.word(0));
+    any |= alive[k];
+  }
+  // Remaining words: bitwise AND domination test; the whole warp issues
+  // the reads as long as any lane is alive (SIMD).
+  for (int word = 1; word < words && any; ++word) {
+    signatures_.WarpReadWord(w, v0, lanes, word, vals);
     w.Alu(lanes);
-    bool any = false;
+    any = false;
     for (size_t k = 0; k < lanes; ++k) {
-      alive[k] = (vals[k] == qsig.word(0));
+      alive[k] = alive[k] &&
+                 ((vals[k] & qsig.word(word)) == qsig.word(word));
       any |= alive[k];
     }
-    // Remaining words: bitwise AND domination test; the whole warp issues
-    // the reads as long as any lane is alive (SIMD).
-    for (int word = 1; word < words && any; ++word) {
-      signatures_.WarpReadWord(w, v0, lanes, word, vals);
-      w.Alu(lanes);
-      any = false;
-      for (size_t k = 0; k < lanes; ++k) {
-        alive[k] = alive[k] &&
-                   ((vals[k] & qsig.word(word)) == qsig.word(word));
-        any |= alive[k];
-      }
+  }
+  // Warp-aggregated survivor write: one coalesced store per warp.
+  uint32_t survivors = 0;
+  for (size_t k = 0; k < lanes; ++k) {
+    if (alive[k]) {
+      out.push_back(v0 + static_cast<VertexId>(k));
+      ++survivors;
     }
-    // Warp-aggregated survivor write: one coalesced store per warp.
-    uint32_t survivors = 0;
-    for (size_t k = 0; k < lanes; ++k) {
-      if (alive[k]) {
-        out.push_back(v0 + static_cast<VertexId>(k));
-        ++survivors;
-      }
-    }
-    if (survivors > 0) {
-      w.Alu(1);  // warp-aggregated atomic offset claim
-      w.ChargeStoreTransactions(gpusim::Device::RangeTransactions(
-          0, survivors * sizeof(VertexId)));
-    }
+  }
+  if (survivors > 0) {
+    w.Alu(1);  // warp-aggregated atomic offset claim
+    w.ChargeStoreTransactions(gpusim::Device::RangeTransactions(
+        0, survivors * sizeof(VertexId)));
+  }
+}
+
+std::vector<VertexId> FilterContext::SignatureCandidates(gpusim::Device& dev,
+                                                         const Graph& query,
+                                                         VertexId u,
+                                                         VertexId v_begin,
+                                                         VertexId v_end) const {
+  Signature qsig = Signature::Encode(query, u, options_.signature_bits);
+  std::vector<VertexId> out;
+  const size_t n = v_end;
+  size_t num_warps = (n - v_begin + kWarpSize - 1) / kWarpSize;
+  gpusim::Launch(dev, num_warps, [&](gpusim::Warp& w) {
+    VertexId v0 =
+        v_begin + static_cast<VertexId>(w.global_id() * kWarpSize);
+    if (v0 >= n) return;
+    size_t lanes = std::min<size_t>(kWarpSize, n - v0);
+    SignatureScanWarp(w, qsig, v0, lanes, out);
   });
   return out;
 }
 
-std::vector<VertexId> FilterContext::LabelDegreeCandidates(
-    gpusim::Device& dev, const Graph& query, VertexId u,
-    bool check_neighbors) const {
+void FilterContext::LabelDegreeScanWarp(
+    gpusim::Warp& w, Label ulabel, uint32_t udeg,
+    const std::unordered_map<Label, uint32_t>& requirements,
+    bool check_neighbors, VertexId v0, size_t lanes,
+    std::vector<VertexId>& out) const {
   const Graph& g = *data_;
-  const size_t n = g.num_vertices();
+  uint64_t idx[kWarpSize];
+  for (size_t k = 0; k < lanes; ++k) idx[k] = v0 + k;
+  Label lab[kWarpSize];
+  uint32_t deg[kWarpSize];
+  w.Gather(labels_, std::span<const uint64_t>(idx, lanes),
+           std::span<Label>(lab, lanes));
+  w.Gather(degrees_, std::span<const uint64_t>(idx, lanes),
+           std::span<uint32_t>(deg, lanes));
+  w.Alu(2 * lanes);
+
+  uint32_t survivors = 0;
+  for (size_t k = 0; k < lanes; ++k) {
+    VertexId v = v0 + static_cast<VertexId>(k);
+    if (lab[k] != ulabel || deg[k] < udeg) continue;
+    if (check_neighbors) {
+      // GpSM-style refinement: v must have at least |N(u, l)| l-labeled
+      // neighbors for every edge label l around u. Requires scanning v's
+      // adjacency — scattered loads, skewed workloads.
+      std::span<const Neighbor> nbrs = g.neighbors(v);
+      // Charge: stream the adjacency slice (ids + labels: two arrays).
+      w.ChargeLoadTransactions(2 * gpusim::Device::RangeTransactions(
+          0, nbrs.size() * sizeof(VertexId)));
+      w.Alu(nbrs.size());
+      std::unordered_map<Label, uint32_t> have;
+      for (const Neighbor& nb : nbrs) ++have[nb.elabel];
+      bool ok = true;
+      for (const auto& [l, need] : requirements) {
+        auto it = have.find(l);
+        if (it == have.end() || it->second < need) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+    }
+    out.push_back(v);
+    ++survivors;
+  }
+  if (survivors > 0) {
+    w.Alu(1);
+    w.ChargeStoreTransactions(gpusim::Device::RangeTransactions(
+        0, survivors * sizeof(VertexId)));
+  }
+}
+
+std::vector<VertexId> FilterContext::LabelDegreeCandidates(
+    gpusim::Device& dev, const Graph& query, VertexId u, bool check_neighbors,
+    VertexId v_begin, VertexId v_end) const {
   const Label ulabel = query.vertex_label(u);
   const uint32_t udeg = static_cast<uint32_t>(query.degree(u));
   auto requirements = LabelDegreeRequirements(query, u);
 
   std::vector<VertexId> out;
-  size_t num_warps = (n + kWarpSize - 1) / kWarpSize;
+  const size_t n = v_end;
+  size_t num_warps = (n - v_begin + kWarpSize - 1) / kWarpSize;
   gpusim::Launch(dev, num_warps, [&](gpusim::Warp& w) {
-    VertexId v0 = static_cast<VertexId>(w.global_id() * kWarpSize);
+    VertexId v0 =
+        v_begin + static_cast<VertexId>(w.global_id() * kWarpSize);
     if (v0 >= n) return;
     size_t lanes = std::min<size_t>(kWarpSize, n - v0);
-    uint64_t idx[kWarpSize];
-    for (size_t k = 0; k < lanes; ++k) idx[k] = v0 + k;
-    Label lab[kWarpSize];
-    uint32_t deg[kWarpSize];
-    w.Gather(labels_, std::span<const uint64_t>(idx, lanes),
-             std::span<Label>(lab, lanes));
-    w.Gather(degrees_, std::span<const uint64_t>(idx, lanes),
-             std::span<uint32_t>(deg, lanes));
-    w.Alu(2 * lanes);
+    LabelDegreeScanWarp(w, ulabel, udeg, requirements, check_neighbors, v0,
+                        lanes, out);
+  });
+  return out;
+}
 
-    uint32_t survivors = 0;
-    for (size_t k = 0; k < lanes; ++k) {
-      VertexId v = v0 + static_cast<VertexId>(k);
-      if (lab[k] != ulabel || deg[k] < udeg) continue;
-      if (check_neighbors) {
-        // GpSM-style refinement: v must have at least |N(u, l)| l-labeled
-        // neighbors for every edge label l around u. Requires scanning v's
-        // adjacency — scattered loads, skewed workloads.
-        std::span<const Neighbor> nbrs = g.neighbors(v);
-        // Charge: stream the adjacency slice (ids + labels: two arrays).
-        w.ChargeLoadTransactions(2 * gpusim::Device::RangeTransactions(
-            0, nbrs.size() * sizeof(VertexId)));
-        w.Alu(nbrs.size());
-        std::unordered_map<Label, uint32_t> have;
-        for (const Neighbor& nb : nbrs) ++have[nb.elabel];
-        bool ok = true;
-        for (const auto& [l, need] : requirements) {
-          auto it = have.find(l);
-          if (it == have.end() || it->second < need) {
-            ok = false;
-            break;
-          }
-        }
-        if (!ok) continue;
-      }
-      out.push_back(v);
-      ++survivors;
+std::vector<std::vector<VertexId>> FilterContext::CandidateLists(
+    gpusim::Device& dev, const Graph& query, VertexId v_begin,
+    VertexId v_end) const {
+  const size_t nu = query.num_vertices();
+  std::vector<std::vector<VertexId>> out(nu);
+  v_end = std::min<VertexId>(v_end,
+                             static_cast<VertexId>(data_->num_vertices()));
+  if (nu == 0 || v_begin >= v_end) return out;
+  const size_t n = v_end;
+  const size_t warps_per_u = (n - v_begin + kWarpSize - 1) / kWarpSize;
+
+  // Per-vertex scan parameters, precomputed host-side like the per-u
+  // kernels do.
+  std::vector<Signature> qsigs;
+  std::vector<Label> ulabels(nu);
+  std::vector<uint32_t> udegs(nu);
+  std::vector<std::unordered_map<Label, uint32_t>> requirements(nu);
+  const bool sig = options_.strategy == FilterStrategy::kSignature;
+  for (VertexId u = 0; u < nu; ++u) {
+    if (sig) {
+      qsigs.push_back(Signature::Encode(query, u, options_.signature_bits));
+    } else {
+      ulabels[u] = query.vertex_label(u);
+      udegs[u] = static_cast<uint32_t>(query.degree(u));
+      requirements[u] = LabelDegreeRequirements(query, u);
     }
-    if (survivors > 0) {
-      w.Alu(1);
-      w.ChargeStoreTransactions(gpusim::Device::RangeTransactions(
-          0, survivors * sizeof(VertexId)));
+  }
+
+  // One fused kernel: warp w scans 32 vertices for query vertex
+  // w / warps_per_u. Identical per-warp work (and transactions) to the
+  // per-vertex kernels, but one launch packs all blocks onto the SMs —
+  // the sharded filter calls this once per device-range so a 1/K range
+  // costs ~1/K the makespan instead of |V(Q)| under-filled launches.
+  gpusim::Launch(dev, nu * warps_per_u, [&](gpusim::Warp& w) {
+    const VertexId u = static_cast<VertexId>(w.global_id() / warps_per_u);
+    VertexId v0 = v_begin + static_cast<VertexId>(
+                                (w.global_id() % warps_per_u) * kWarpSize);
+    if (v0 >= n) return;
+    size_t lanes = std::min<size_t>(kWarpSize, n - v0);
+    if (sig) {
+      SignatureScanWarp(w, qsigs[u], v0, lanes, out[u]);
+    } else {
+      LabelDegreeScanWarp(
+          w, ulabels[u], udegs[u], requirements[u],
+          options_.strategy == FilterStrategy::kLabelDegreeNeighbor, v0,
+          lanes, out[u]);
     }
   });
   return out;
@@ -163,24 +231,38 @@ Result<FilterResult> FilterContext::Filter(const Graph& query) const {
   return Filter(*dev_, query);
 }
 
+size_t FilterContext::num_data_vertices() const {
+  return data_->num_vertices();
+}
+
+std::vector<VertexId> FilterContext::CandidateList(gpusim::Device& dev,
+                                                   const Graph& query,
+                                                   VertexId u,
+                                                   VertexId v_begin,
+                                                   VertexId v_end) const {
+  v_end = std::min<VertexId>(
+      v_end, static_cast<VertexId>(data_->num_vertices()));
+  if (v_begin >= v_end) return {};
+  switch (options_.strategy) {
+    case FilterStrategy::kSignature:
+      return SignatureCandidates(dev, query, u, v_begin, v_end);
+    case FilterStrategy::kLabelDegreeNeighbor:
+      return LabelDegreeCandidates(dev, query, u, /*check_neighbors=*/true,
+                                   v_begin, v_end);
+    case FilterStrategy::kLabelDegree:
+      return LabelDegreeCandidates(dev, query, u, /*check_neighbors=*/false,
+                                   v_begin, v_end);
+  }
+  return {};
+}
+
 Result<FilterResult> FilterContext::Filter(gpusim::Device& dev,
                                            const Graph& query) const {
   FilterResult result;
   result.candidates.resize(query.num_vertices());
   result.min_candidate_size = SIZE_MAX;
   for (VertexId u = 0; u < query.num_vertices(); ++u) {
-    std::vector<VertexId> cand;
-    switch (options_.strategy) {
-      case FilterStrategy::kSignature:
-        cand = SignatureCandidates(dev, query, u);
-        break;
-      case FilterStrategy::kLabelDegreeNeighbor:
-        cand = LabelDegreeCandidates(dev, query, u, /*check_neighbors=*/true);
-        break;
-      case FilterStrategy::kLabelDegree:
-        cand = LabelDegreeCandidates(dev, query, u, /*check_neighbors=*/false);
-        break;
-    }
+    std::vector<VertexId> cand = CandidateList(dev, query, u);
     if (cand.size() < result.min_candidate_size) {
       result.min_candidate_size = cand.size();
       result.min_candidate_vertex = u;

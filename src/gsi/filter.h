@@ -1,6 +1,7 @@
 #ifndef GSI_GSI_FILTER_H_
 #define GSI_GSI_FILTER_H_
 
+#include <unordered_map>
 #include <vector>
 
 #include "gpusim/device.h"
@@ -66,18 +67,51 @@ class FilterContext {
   /// are only read, so concurrent calls with distinct devices are safe.
   Result<FilterResult> Filter(gpusim::Device& dev, const Graph& query) const;
 
+  /// Candidate list of one query vertex over the data-vertex range
+  /// [v_begin, v_end) — the unit the sharded filter stage fans out across
+  /// devices (each vertex's scan of each range is independent). With the
+  /// full range this is exactly the list Filter materializes for `u`;
+  /// partial ranges concatenated in order are identical, and a 32-aligned
+  /// v_begin keeps even the warp/transaction layout identical to the
+  /// corresponding stretch of a whole scan. v_end is clamped to |V(G)|.
+  std::vector<VertexId> CandidateList(gpusim::Device& dev, const Graph& query,
+                                      VertexId u, VertexId v_begin = 0,
+                                      VertexId v_end = kInvalidVertex) const;
+
+  /// Candidate lists of every query vertex over [v_begin, v_end), as one
+  /// fused kernel: per-warp work and memory transactions are identical to
+  /// |V(Q)| CandidateList calls, but a single launch packs all blocks onto
+  /// the SMs — on a 1/K device range the makespan is ~1/K of a full scan
+  /// instead of |V(Q)| under-filled launches. Used by the sharded filter.
+  std::vector<std::vector<VertexId>> CandidateLists(
+      gpusim::Device& dev, const Graph& query, VertexId v_begin = 0,
+      VertexId v_end = kInvalidVertex) const;
+
   const FilterOptions& options() const { return options_; }
+  /// |V(G)| of the data graph the context was built for (the bitset width
+  /// CandidateSet::Create needs when materializing lists elsewhere).
+  size_t num_data_vertices() const;
   const SignatureTable* signature_table() const {
     return has_signatures_ ? &signatures_ : nullptr;
   }
 
  private:
+  void SignatureScanWarp(gpusim::Warp& w, const Signature& qsig, VertexId v0,
+                         size_t lanes, std::vector<VertexId>& out) const;
+  void LabelDegreeScanWarp(
+      gpusim::Warp& w, Label ulabel, uint32_t udeg,
+      const std::unordered_map<Label, uint32_t>& requirements,
+      bool check_neighbors, VertexId v0, size_t lanes,
+      std::vector<VertexId>& out) const;
   std::vector<VertexId> SignatureCandidates(gpusim::Device& dev,
-                                            const Graph& query,
-                                            VertexId u) const;
+                                            const Graph& query, VertexId u,
+                                            VertexId v_begin,
+                                            VertexId v_end) const;
   std::vector<VertexId> LabelDegreeCandidates(gpusim::Device& dev,
                                               const Graph& query, VertexId u,
-                                              bool check_neighbors) const;
+                                              bool check_neighbors,
+                                              VertexId v_begin,
+                                              VertexId v_end) const;
 
   gpusim::Device* dev_;
   const Graph* data_;

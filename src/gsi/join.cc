@@ -164,7 +164,15 @@ Result<MatchTable> JoinEngine::StepPrealloc(const MatchTable& m,
   }
 
   // --- Lines 14-15: prefix sum over chunk result counts sizes M'.
+  // Output offsets are assigned in (row, position) order rather than the
+  // pass-A layer order, so the output row order depends only on the input
+  // rows, not on which load-balance layer each row landed in. The sharded
+  // engine relies on this: a run over any contiguous seed slice produces
+  // exactly the rows (and order) of that slice's portion of a whole run.
   std::vector<Chunk*> all = plan.AllChunks();
+  std::sort(all.begin(), all.end(), [](const Chunk* a, const Chunk* b) {
+    return a->row != b->row ? a->row < b->row : a->pos_begin < b->pos_begin;
+  });
   stats_.total_chunks += all.size();
   auto chunk_counts = dev_->Alloc<uint32_t>(all.size());
   for (size_t i = 0; i < all.size(); ++i) chunk_counts[i] = all[i]->count;
@@ -254,29 +262,38 @@ Result<MatchTable> JoinEngine::StepTwoStep(const MatchTable& m,
   return next;
 }
 
-Result<MatchTable> JoinEngine::Run(
-    const JoinPlan& plan, const std::vector<CandidateSet>& candidates) {
+MatchTable JoinEngine::SeedTable(const JoinPlan& plan,
+                                 const std::vector<CandidateSet>& candidates,
+                                 size_t seed_begin, size_t seed_end) {
   stats_ = JoinStats();
   GSI_CHECK(!plan.order.empty());
-
-  // Seed M = C(uc) (Algorithm 2, Line 7); one streaming copy kernel.
   const CandidateSet& seed = candidates[plan.order[0]];
-  std::vector<VertexId> column(seed.list().data(),
-                               seed.list().data() + seed.list().size());
+  seed_end = std::min(seed_end, seed.size());
+  GSI_CHECK(seed_begin <= seed_end);
+  std::vector<VertexId> column(seed.list().data() + seed_begin,
+                               seed.list().data() + seed_end);
   MatchTable m = MatchTable::FromColumn(*dev_, column);
   gpusim::Launch(*dev_, std::max<size_t>(1, (column.size() + 1023) / 1024),
                  [&](Warp& w) {
                    size_t begin = w.global_id() * 1024;
                    if (begin >= column.size()) return;
                    size_t len = std::min<size_t>(1024, column.size() - begin);
-                   w.LoadRange(seed.list(), begin, len);
+                   w.LoadRange(seed.list(), seed_begin + begin, len);
                    w.StoreRange(m.data(), begin,
                                 std::span<const VertexId>(
                                     m.data().data() + begin, len));
                  });
   stats_.peak_rows = m.rows();
+  return m;
+}
 
-  for (const JoinStep& step : plan.steps) {
+Result<MatchTable> JoinEngine::RunSteps(
+    const JoinPlan& plan, const std::vector<CandidateSet>& candidates,
+    MatchTable m, size_t first_step, size_t last_step) {
+  last_step = std::min(last_step, plan.steps.size());
+  stats_.peak_rows = std::max(stats_.peak_rows, m.rows());
+  for (size_t s = first_step; s < last_step; ++s) {
+    const JoinStep& step = plan.steps[s];
     GSI_CHECK_MSG(!step.links.empty(), "join step without linking edges");
     Result<MatchTable> next =
         options_.output_scheme == OutputScheme::kPreallocCombine
@@ -294,6 +311,13 @@ Result<MatchTable> JoinEngine::Run(
   }
   stats_.final_rows = m.rows();
   return m;
+}
+
+Result<MatchTable> JoinEngine::Run(
+    const JoinPlan& plan, const std::vector<CandidateSet>& candidates,
+    size_t seed_begin, size_t seed_end) {
+  MatchTable m = SeedTable(plan, candidates, seed_begin, seed_end);
+  return RunSteps(plan, candidates, std::move(m), 0, plan.steps.size());
 }
 
 }  // namespace gsi

@@ -1,6 +1,7 @@
 #ifndef GSI_GSI_JOIN_H_
 #define GSI_GSI_JOIN_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "gpusim/device.h"
@@ -71,9 +72,31 @@ class JoinEngine {
       : dev_(dev), store_(store), options_(options) {}
 
   /// Runs the whole join; returns the final match table whose column j
-  /// holds the binding of plan.order[j].
+  /// holds the binding of plan.order[j]. `seed_begin`/`seed_end` restrict
+  /// the seeding of M to that slice of C(order[0]) (end is clamped to the
+  /// candidate count). Equivalent to SeedTable + RunSteps over every step.
   Result<MatchTable> Run(const JoinPlan& plan,
-                         const std::vector<CandidateSet>& candidates);
+                         const std::vector<CandidateSet>& candidates,
+                         size_t seed_begin = 0,
+                         size_t seed_end = SIZE_MAX);
+
+  /// Seeds M = C(order[0])[seed_begin, seed_end) (Algorithm 2, Line 7; one
+  /// streaming copy kernel) and resets the engine's stats.
+  MatchTable SeedTable(const JoinPlan& plan,
+                       const std::vector<CandidateSet>& candidates,
+                       size_t seed_begin = 0, size_t seed_end = SIZE_MAX);
+
+  /// Runs join iterations [first_step, last_step) of the plan on `m`
+  /// (which must bind plan.order[0 .. first_step]), accumulating into the
+  /// engine's stats. Exposed so the sharded engine can run a serial prefix
+  /// on one device and fan the remaining steps out over row slices of the
+  /// intermediate table: step output rows are emitted in input-row order,
+  /// so running any contiguous row slice yields exactly that slice's
+  /// portion of the whole run, in order.
+  Result<MatchTable> RunSteps(const JoinPlan& plan,
+                              const std::vector<CandidateSet>& candidates,
+                              MatchTable m, size_t first_step,
+                              size_t last_step);
 
   const JoinStats& stats() const { return stats_; }
 

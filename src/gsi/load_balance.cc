@@ -1,5 +1,7 @@
 #include "gsi/load_balance.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace gsi {
@@ -68,6 +70,41 @@ ChunkPlan PlanChunks(std::span<const uint32_t> upper_bounds,
     }
   }
   return plan;
+}
+
+std::vector<ShardRange> PartitionByWorkload(std::span<const uint64_t> weights,
+                                            size_t max_shards) {
+  std::vector<ShardRange> out;
+  const size_t n = weights.size();
+  if (n == 0 || max_shards == 0) return out;
+  auto cost = [&](size_t i) { return std::max<uint64_t>(1, weights[i]); };
+  uint64_t remaining = 0;
+  for (size_t i = 0; i < n; ++i) remaining += cost(i);
+
+  size_t begin = 0;
+  for (size_t s = 0; s < max_shards && begin < n; ++s) {
+    const size_t shards_left = max_shards - s;
+    const uint64_t target = (remaining + shards_left - 1) / shards_left;
+    ShardRange r;
+    r.begin = begin;
+    size_t end = begin;
+    while (end < n) {
+      // Keep one item per still-unfilled shard so trailing devices are
+      // never starved by a hot prefix.
+      if (r.weight > 0 && n - end <= shards_left - 1) break;
+      if (r.weight >= target && shards_left > 1) break;
+      r.weight += cost(end);
+      ++end;
+    }
+    r.end = end;
+    remaining -= r.weight;
+    begin = end;
+    out.push_back(r);
+  }
+  // The loop always covers [0, n): every shard takes >= 1 item and the
+  // last shard (shards_left == 1) never breaks early.
+  GSI_CHECK(begin == n);
+  return out;
 }
 
 }  // namespace gsi

@@ -51,6 +51,25 @@ ChunkPlan PlanChunks(std::span<const uint32_t> upper_bounds,
                      std::span<const uint64_t> gba_offsets, bool load_balance,
                      uint32_t w1, uint32_t w2, uint32_t w3);
 
+/// One contiguous slice [begin, end) of a work list assigned to a device
+/// shard, with its estimated total workload.
+struct ShardRange {
+  size_t begin = 0;
+  size_t end = 0;
+  uint64_t weight = 0;
+};
+
+/// Splits indices [0, weights.size()) into at most `max_shards` contiguous,
+/// non-empty ranges of near-equal total weight (greedy: each shard targets
+/// the mean of the remaining weight). The device-level analogue of
+/// PlanChunks: the sharded engine feeds it the same per-row first-edge
+/// upper bounds so one hot shard does not serialize the merge the way an
+/// equal-candidate-count split would. Zero weights count as 1 so empty-ish
+/// rows still spread. Returns fewer than `max_shards` ranges when there are
+/// fewer items than shards; empty input yields no ranges.
+std::vector<ShardRange> PartitionByWorkload(std::span<const uint64_t> weights,
+                                            size_t max_shards);
+
 }  // namespace gsi
 
 #endif  // GSI_GSI_LOAD_BALANCE_H_

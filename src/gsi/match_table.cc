@@ -1,5 +1,10 @@
 #include "gsi/match_table.h"
 
+#include <algorithm>
+
+#include "gpusim/launch.h"
+#include "util/check.h"
+
 namespace gsi {
 
 MatchTable MatchTable::Alloc(gpusim::Device& dev, size_t rows, size_t cols) {
@@ -22,6 +27,52 @@ MatchTable MatchTable::FromColumn(gpusim::Device& dev,
 std::vector<VertexId> MatchTable::Row(size_t r) const {
   std::vector<VertexId> out(cols_);
   for (size_t c = 0; c < cols_; ++c) out[c] = At(r, c);
+  return out;
+}
+
+void MatchTable::CopyRowsFrom(const MatchTable& src, size_t src_begin,
+                              size_t dst_begin, size_t count) {
+  if (count == 0) return;
+  GSI_CHECK_MSG(src.cols_ == cols_, "row copy between different widths");
+  GSI_CHECK(src_begin + count <= src.rows_);
+  GSI_CHECK(dst_begin + count <= rows_);
+  std::copy_n(src.data_.data() + src_begin * cols_, count * cols_,
+              data_.data() + dst_begin * cols_);
+}
+
+MatchTable MatchTable::ConcatRows(gpusim::Device& dev,
+                                  std::span<const MatchTable* const> parts) {
+  // The width comes from the non-empty parts (which must agree); empty
+  // parts contribute no rows and may be wider — a join slice that dies
+  // early hands back the full-width empty table.
+  size_t rows = 0;
+  size_t cols = 0;
+  for (const MatchTable* p : parts) {
+    rows += p->rows();
+    if (p->rows() == 0) continue;
+    if (cols == 0) {
+      cols = p->cols();
+    } else {
+      GSI_CHECK_MSG(p->cols() == cols, "concat of different widths");
+    }
+  }
+  if (rows == 0) {
+    for (const MatchTable* p : parts) cols = std::max(cols, p->cols());
+  }
+  MatchTable out = Alloc(dev, rows, cols);
+  uint64_t dst_row = 0;
+  for (const MatchTable* p : parts) {
+    if (p->rows() == 0) continue;
+    out.CopyRowsFrom(*p, 0, dst_row, p->rows());
+    dst_row += p->rows();
+  }
+  return out;
+}
+
+MatchTable MatchTable::CopySlice(gpusim::Device& dev, const MatchTable& src,
+                                 size_t src_begin, size_t count) {
+  MatchTable out = Alloc(dev, count, src.cols());
+  out.CopyRowsFrom(src, src_begin, 0, count);
   return out;
 }
 

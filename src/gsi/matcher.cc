@@ -76,6 +76,20 @@ std::vector<VertexId> QueryResult::MatchInQueryOrder(size_t r) const {
   return out;
 }
 
+bool QueryResult::TableEquals(const QueryResult& other) const {
+  if (table.rows() != other.table.rows() ||
+      table.cols() != other.table.cols() ||
+      column_to_query != other.column_to_query) {
+    return false;
+  }
+  for (size_t r = 0; r < table.rows(); ++r) {
+    for (size_t c = 0; c < table.cols(); ++c) {
+      if (table.At(r, c) != other.table.At(r, c)) return false;
+    }
+  }
+  return true;
+}
+
 std::vector<std::vector<VertexId>> QueryResult::AllMatchesSorted() const {
   std::vector<std::vector<VertexId>> out;
   out.reserve(table.rows());

@@ -48,6 +48,13 @@ struct QueryStats {
   size_t num_matches = 0;
   size_t min_candidate_size = 0;
   JoinStats join_detail;
+
+  // --- Multi-device execution (sharded_engine.h); single-device runs keep
+  // the defaults. When shards_used > 1, `join` sums the counters of every
+  // device, while join_ms is the parallel makespan (serial segments plus
+  // the modeled schedule of distributed work).
+  size_t shards_used = 1;   ///< devices the join phase actually ran on
+  double shard_skew = 0;    ///< max / mean per-device distributed-join time
 };
 
 /// Result of one subgraph-isomorphism query.
@@ -61,6 +68,10 @@ struct QueryResult {
 
   /// Match r as a vector indexed by query vertex id.
   std::vector<VertexId> MatchInQueryOrder(size_t r) const;
+  /// Bit-identical comparison: same dimensions, same column mapping, same
+  /// value in every cell (NOT just the same match set) — the guarantee the
+  /// sharded engine makes against single-device execution.
+  bool TableEquals(const QueryResult& other) const;
   /// All matches, each indexed by query vertex id, sorted lexicographically
   /// (canonical form for comparisons across engines).
   std::vector<std::vector<VertexId>> AllMatchesSorted() const;

@@ -28,6 +28,17 @@ Result<QueryResult> QueryEngine::Run(const Graph& query) const {
   return ExecuteQuery(dev, *data_, *store_, *filter_, options_, query);
 }
 
+Result<QueryResult> QueryEngine::RunSharded(
+    const Graph& query, std::span<gpusim::Device* const> devs,
+    const ShardOptions& shard_options) const {
+  if (!init_status_.ok()) return init_status_;
+  if (devs.empty()) {
+    return Status::InvalidArgument("RunSharded needs at least one device");
+  }
+  return ExecuteQuerySharded(devs, *data_, *store_, *filter_, options_,
+                             shard_options, query);
+}
+
 BatchResult QueryEngine::RunBatch(std::span<const Graph> queries,
                                   const BatchOptions& options) const {
   BatchResult batch;

@@ -9,6 +9,7 @@
 #include "graph/graph.h"
 #include "gsi/filter.h"
 #include "gsi/matcher.h"
+#include "gsi/sharded_engine.h"
 #include "storage/neighbor_store.h"
 #include "util/status.h"
 
@@ -65,6 +66,14 @@ class QueryEngine {
 
   /// Runs one query on a fresh private device (thread-safe).
   Result<QueryResult> Run(const Graph& query) const;
+
+  /// Runs one query sharded across the caller's devices (thread-safe as
+  /// long as each device belongs to one call at a time — lease them from a
+  /// DevicePool). Results are bit-identical to Run / GsiMatcher::Find; see
+  /// sharded_engine.h for the partition/merge scheme and stats roll-up.
+  Result<QueryResult> RunSharded(
+      const Graph& query, std::span<gpusim::Device* const> devs,
+      const ShardOptions& shard_options = ShardOptions()) const;
 
   /// Runs every query, spreading them over options.num_threads workers.
   /// Always returns one entry per query, in input order.

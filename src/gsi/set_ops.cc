@@ -52,21 +52,89 @@ size_t FilterFirstEdge(gpusim::Warp& w, std::span<const VertexId> input,
   return result.size();
 }
 
+namespace {
+
+/// First index >= `lo` in the sorted `list` with list[idx] >= x, found by
+/// exponential (galloping) search from `lo`. `probes` counts the
+/// comparisons made, so callers can charge exactly the work done instead of
+/// a full linear scan.
+size_t GallopLowerBound(std::span<const VertexId> list, size_t lo, VertexId x,
+                        uint64_t& probes) {
+  const size_t n = list.size();
+  if (lo >= n) return n;
+  size_t step = 1;
+  size_t hi = lo;
+  while (hi < n && list[hi] < x) {
+    ++probes;
+    lo = hi + 1;
+    hi += step;
+    step *= 2;
+  }
+  hi = std::min(hi, n);
+  while (lo < hi) {
+    ++probes;
+    size_t mid = lo + (hi - lo) / 2;
+    if (list[mid] < x) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
 size_t IntersectSorted(gpusim::Warp& w, std::vector<VertexId>& current,
                        std::span<const VertexId> other,
                        const SetOpFlags& flags,
                        gpusim::DeviceBuffer<VertexId>* gba,
                        uint64_t gba_begin) {
   GSI_CHECK(std::is_sorted(current.begin(), current.end()));
-  // Linear merge of two sorted lists.
-  w.Alu(current.size() + other.size());
-  if (!flags.naive) w.SharedAccess(other.size());
+  const bool gallop_other = !flags.naive && !current.empty() &&
+                            other.size() > kGallopRatio * current.size();
+  const bool gallop_current = !flags.naive && !other.empty() &&
+                              current.size() > kGallopRatio * other.size();
   size_t out = 0;
-  size_t j = 0;
-  for (size_t i = 0; i < current.size(); ++i) {
-    while (j < other.size() && other[j] < current[i]) ++j;
-    if (j < other.size() && other[j] == current[i]) {
-      current[out++] = current[i];
+  if (gallop_other) {
+    // `other` dwarfs `current`: gallop through the long list instead of
+    // streaming it, touching O(|current| log) elements.
+    uint64_t probes = 0;
+    size_t j = 0;
+    for (size_t i = 0; i < current.size(); ++i) {
+      j = GallopLowerBound(other, j, current[i], probes);
+      if (j >= other.size()) break;
+      if (other[j] == current[i]) current[out++] = current[i];
+    }
+    w.Alu(probes + current.size());
+    w.SharedAccess(probes);
+  } else if (gallop_current) {
+    // `current` dwarfs `other`: gallop through `current`. Writes land at
+    // out <= j, behind the galloping frontier, so the in-place rewrite
+    // never clobbers unread elements. The shared-memory list (`other`) is
+    // still read in full; the probes into `current` are ALU work.
+    uint64_t probes = 0;
+    size_t j = 0;
+    for (VertexId x : other) {
+      j = GallopLowerBound({current.data(), current.size()}, j, x, probes);
+      if (j >= current.size()) break;
+      if (current[j] == x) {
+        current[out++] = x;
+        ++j;
+      }
+    }
+    w.Alu(probes + other.size());
+    w.SharedAccess(other.size());
+  } else {
+    // Comparable sizes (or the naive baseline): linear merge.
+    w.Alu(current.size() + other.size());
+    if (!flags.naive) w.SharedAccess(other.size());
+    size_t j = 0;
+    for (size_t i = 0; i < current.size(); ++i) {
+      while (j < other.size() && other[j] < current[i]) ++j;
+      if (j < other.size() && other[j] == current[i]) {
+        current[out++] = current[i];
+      }
     }
   }
   current.resize(out);

@@ -39,10 +39,19 @@ size_t FilterFirstEdge(gpusim::Warp& w, std::span<const VertexId> input,
                        gpusim::DeviceBuffer<VertexId>* gba,
                        uint64_t gba_begin, std::vector<VertexId>& result);
 
-/// Subsequent-edge operation (Line 13): sorted-merge intersection of the
-/// running buffer `current` with the neighbor list `other`; `current` is
-/// rewritten in place. If `gba` is non-null the surviving values are
-/// rewritten to gba[gba_begin ...].
+/// When the two input sizes of IntersectSorted differ by more than this
+/// factor, the GPU-friendly mode galloping-searches the longer list instead
+/// of streaming it (the merge touches every element of both lists; a skewed
+/// pair only needs O(short * log long) probes).
+inline constexpr size_t kGallopRatio = 8;
+
+/// Subsequent-edge operation (Line 13): intersection of the running buffer
+/// `current` with the sorted neighbor list `other`; `current` is rewritten
+/// in place. Comparable sizes use a linear sorted merge; sizes differing by
+/// more than kGallopRatio use galloping search over the longer list (never
+/// in the naive baseline, which models the one-kernel-per-op scheme). Both
+/// paths produce identical results. If `gba` is non-null the surviving
+/// values are rewritten to gba[gba_begin ...].
 ///
 /// Returns the new size of `current`.
 size_t IntersectSorted(gpusim::Warp& w, std::vector<VertexId>& current,

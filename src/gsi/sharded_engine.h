@@ -1,0 +1,101 @@
+#ifndef GSI_GSI_SHARDED_ENGINE_H_
+#define GSI_GSI_SHARDED_ENGINE_H_
+
+#include <span>
+
+#include "gpusim/device.h"
+#include "graph/graph.h"
+#include "gsi/filter.h"
+#include "gsi/load_balance.h"
+#include "gsi/matcher.h"
+#include "storage/neighbor_store.h"
+#include "util/status.h"
+
+namespace gsi {
+
+/// Tuning of the intra-query sharded execution path (Section VIII: the
+/// multi-GPU design partitions one query's candidate space across devices
+/// and merges partial match tables).
+struct ShardOptions {
+  /// Volume knob: a join step distributes across devices only when its
+  /// predicted workload reaches min_rows_per_shard units per slice (i.e.
+  /// devices x slices_per_device x min_rows_per_shard in total); smaller
+  /// steps run on one device, where they are cheap by construction. Lower
+  /// it to force sharding on tiny test workloads.
+  size_t min_rows_per_shard = 64;
+  /// Row slices cut per device per distributed step. 1 (default) = one
+  /// weight-balanced slice per device: the lowest per-slice kernel
+  /// overhead, and per-step rebalancing keeps the weights accurate. Raise
+  /// it for dynamic rebalancing — devices pull many smaller slices on
+  /// demand, so a mis-estimated hot slice costs one slice rather than a
+  /// device's whole share — at the price of per-slice fixed costs.
+  size_t slices_per_device = 1;
+};
+
+/// Filtering phase fanned out over `devs`: each query vertex's candidate
+/// scan (and its buffer upload + bitset kernel) is independent, so devices
+/// take vertices round-robin. The FilterResult is identical to
+/// single-device RunFilterStage — only the devices footing the bill
+/// differ; `stats.filter` sums all devices' counters and `parallel_ms`
+/// (when non-null) receives the phase makespan (the slowest device).
+Result<FilterResult> RunFilterStageSharded(
+    std::span<gpusim::Device* const> devs, const FilterContext& filter,
+    const Graph& query, QueryStats& stats, double* parallel_ms);
+
+/// Joining phase fanned out over `devs` (Section VIII): the query's
+/// candidate space — the intermediate match table, starting from the seed
+/// list C(order[0]) — is processed step by step. Before each step, a
+/// fanned-out sizing kernel estimates every row's workload via the
+/// first-edge upper bound |N(v, l0)| (the same estimate PlanChunks
+/// balances chunks by). A step whose predicted volume fills every slice
+/// and dwarfs the table itself is distributed: the rows are partitioned
+/// into contiguous weight-balanced slices, device threads pull slices,
+/// run the step, and the partial tables are concatenated back in slice
+/// order; narrow or cheap steps run on devs[0], where deferring costs
+/// little by construction. Rebalancing at every distributed boundary
+/// means a hot row's descendants spread across slices the moment they
+/// exist, instead of pinning one device.
+///
+/// The result is bit-identical to a single-device RunJoinStage: every
+/// step emits output rows in input-row order, so concatenating contiguous
+/// row slices reproduces the whole-table step row for row at each
+/// boundary, and a slice's cost does not depend on which device ran it.
+///
+/// Stats roll-up: `stats.join` sums every device's counters (total work).
+/// join_ms is the parallel makespan: the primary-serial segments plus,
+/// per distributed step, a deterministic greedy list schedule of the
+/// slice costs onto the devices (the same modeling ScheduleBlocks applies
+/// to blocks on SMs — wall-clock thread interleaving never leaks into
+/// simulated time). shards_used and shard_skew describe the fan-out.
+/// Degenerate queries (one vertex, an empty candidate set, a single
+/// device, or steps that never clear the volume floor) run entirely on
+/// devs[0].
+///
+/// Note: each slice's intermediate table is bounded by
+/// options.join.max_rows separately, so a query near the single-device row
+/// budget can succeed sharded; the final match set is identical whenever
+/// both runs succeed.
+Result<QueryResult> RunJoinStageSharded(std::span<gpusim::Device* const> devs,
+                                        const Graph& data,
+                                        const NeighborStore& store,
+                                        const GsiOptions& options,
+                                        const ShardOptions& shard_options,
+                                        const Graph& query,
+                                        FilterResult filtered,
+                                        QueryStats stats);
+
+/// Full sharded execution: RunFilterStageSharded then RunJoinStageSharded
+/// across the same devices. With devs.size() == 1 this is exactly
+/// ExecuteQuery. Each device must be used by one call at a time (lease them
+/// from a DevicePool).
+Result<QueryResult> ExecuteQuerySharded(std::span<gpusim::Device* const> devs,
+                                        const Graph& data,
+                                        const NeighborStore& store,
+                                        const FilterContext& filter,
+                                        const GsiOptions& options,
+                                        const ShardOptions& shard_options,
+                                        const Graph& query);
+
+}  // namespace gsi
+
+#endif  // GSI_GSI_SHARDED_ENGINE_H_

@@ -1,0 +1,94 @@
+#include "service/device_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace gsi {
+
+gpusim::Device* DevicePool::Lease::get() const {
+  GSI_CHECK_MSG(pool_ != nullptr, "dereferencing a released device lease");
+  return pool_->devices_[index_].get();
+}
+
+void DevicePool::Lease::Release() {
+  if (pool_ == nullptr) return;
+  DevicePool* pool = pool_;
+  pool_ = nullptr;
+  pool->Release(index_);
+}
+
+DevicePool::DevicePool(size_t num_devices, gpusim::DeviceConfig config) {
+  num_devices = std::max<size_t>(1, num_devices);
+  devices_.reserve(num_devices);
+  free_.reserve(num_devices);
+  for (size_t i = 0; i < num_devices; ++i) {
+    devices_.push_back(std::make_unique<gpusim::Device>(config));
+    free_.push_back(num_devices - 1 - i);  // lease low indices first
+  }
+}
+
+size_t DevicePool::idle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_.size();
+}
+
+DevicePool::Lease DevicePool::Acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (free_.empty()) ++stats_.blocked;
+  idle_cv_.wait(lock, [this] { return !free_.empty(); });
+  size_t index = free_.back();
+  free_.pop_back();
+  ++stats_.acquired;
+  stats_.in_use = devices_.size() - free_.size();
+  stats_.peak_in_use = std::max(stats_.peak_in_use, stats_.in_use);
+  return Lease(this, index);
+}
+
+std::optional<DevicePool::Lease> DevicePool::TryAcquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_.empty()) {
+    ++stats_.try_failed;
+    return std::nullopt;
+  }
+  size_t index = free_.back();
+  free_.pop_back();
+  ++stats_.acquired;
+  stats_.in_use = devices_.size() - free_.size();
+  stats_.peak_in_use = std::max(stats_.peak_in_use, stats_.in_use);
+  return Lease(this, index);
+}
+
+std::vector<DevicePool::Lease> DevicePool::AcquireUpTo(size_t max_devices) {
+  max_devices = std::max<size_t>(1, max_devices);
+  std::vector<Lease> leases;
+  leases.push_back(Acquire());
+  while (leases.size() < max_devices) {
+    std::optional<Lease> extra = TryAcquire();
+    if (!extra) break;
+    leases.push_back(std::move(*extra));
+  }
+  return leases;
+}
+
+DevicePool::Stats DevicePool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats out = stats_;
+  out.in_use = devices_.size() - free_.size();
+  return out;
+}
+
+void DevicePool::Release(size_t index) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    GSI_CHECK(index < devices_.size());
+    GSI_CHECK_MSG(std::find(free_.begin(), free_.end(), index) == free_.end(),
+                  "double release of a pooled device");
+    free_.push_back(index);
+    stats_.in_use = devices_.size() - free_.size();
+  }
+  idle_cv_.notify_one();
+}
+
+}  // namespace gsi

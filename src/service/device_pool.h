@@ -1,0 +1,102 @@
+#ifndef GSI_SERVICE_DEVICE_POOL_H_
+#define GSI_SERVICE_DEVICE_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "gpusim/device.h"
+
+namespace gsi {
+
+/// A fixed set of long-lived simulated devices shared by every worker of a
+/// serving process (the multi-GPU pool of Section VIII). Instead of pinning
+/// one device per worker thread, workers lease devices per query — so a
+/// heavy query can fan its join shards out across however many devices are
+/// idle, and light queries never hold more than one.
+///
+/// A device is held by at most one lease at a time; leases are RAII and
+/// return the device on destruction. Devices are never reset between
+/// leases — callers measure per-query work as counter deltas, exactly as
+/// QueryEngine's per-worker devices do. All methods are thread-safe.
+class DevicePool {
+ public:
+  /// Pool health counters (a snapshot; see stats()).
+  struct Stats {
+    uint64_t acquired = 0;      ///< leases handed out (incl. AcquireUpTo)
+    uint64_t try_failed = 0;    ///< TryAcquire calls that found no idle device
+    uint64_t blocked = 0;       ///< Acquire calls that had to wait
+    size_t in_use = 0;          ///< currently leased devices
+    size_t peak_in_use = 0;     ///< high-water mark of in_use
+  };
+
+  /// Move-only handle to one leased device; releases it on destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& o) noexcept { *this = std::move(o); }
+    Lease& operator=(Lease&& o) noexcept {
+      if (this != &o) {
+        Release();
+        pool_ = o.pool_;
+        index_ = o.index_;
+        o.pool_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { Release(); }
+
+    bool valid() const { return pool_ != nullptr; }
+    gpusim::Device* get() const;
+    gpusim::Device& operator*() const { return *get(); }
+
+    /// Returns the device to the pool early (idempotent).
+    void Release();
+
+   private:
+    friend class DevicePool;
+    Lease(DevicePool* pool, size_t index) : pool_(pool), index_(index) {}
+
+    DevicePool* pool_ = nullptr;
+    size_t index_ = 0;
+  };
+
+  /// Builds `num_devices` devices (at least 1) with identical `config`.
+  explicit DevicePool(size_t num_devices,
+                      gpusim::DeviceConfig config = gpusim::DeviceConfig());
+
+  size_t size() const { return devices_.size(); }
+  size_t idle() const;
+
+  /// Blocks until a device is idle, then leases it.
+  Lease Acquire();
+
+  /// Leases an idle device or returns nullopt without blocking.
+  std::optional<Lease> TryAcquire();
+
+  /// One blocking lease plus up to `max_devices - 1` more without blocking:
+  /// the fan-out primitive — a heavy query takes whatever is idle right
+  /// now, never waits for peers to finish. Returns between 1 and
+  /// max_devices leases (max_devices == 0 is treated as 1).
+  std::vector<Lease> AcquireUpTo(size_t max_devices);
+
+  Stats stats() const;
+
+ private:
+  void Release(size_t index);
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  std::vector<std::unique_ptr<gpusim::Device>> devices_;
+  std::vector<size_t> free_;  // indices of idle devices (LIFO)
+  Stats stats_;
+};
+
+}  // namespace gsi
+
+#endif  // GSI_SERVICE_DEVICE_POOL_H_

@@ -1,8 +1,10 @@
 #include "service/query_service.h"
 
 #include <algorithm>
+#include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "util/percentile.h"
 #include "util/timer.h"
@@ -31,6 +33,10 @@ QueryService::QueryService(const Graph& data, GsiOptions gsi_options,
   }
   const size_t workers =
       options_.num_workers < 1 ? 1 : static_cast<size_t>(options_.num_workers);
+  const size_t num_devices = options_.num_devices > 0
+                                 ? static_cast<size_t>(options_.num_devices)
+                                 : workers;
+  devices_ = std::make_unique<DevicePool>(num_devices, gsi_options.device);
   pool_ = std::make_unique<ThreadPool>(workers);
   for (size_t i = 0; i < workers; ++i) {
     pool_->Submit([this] { WorkerLoop(); });
@@ -150,11 +156,12 @@ ServiceStats QueryService::stats() const {
   out.queue_depth = queue_.size();
   out.in_flight = in_flight_;
   std::vector<double> latencies = latencies_ms_;
-  lock.unlock();  // percentile sort and cache snapshot need no service lock
+  lock.unlock();  // percentile sort and pool/cache snapshots lock elsewhere
   std::sort(latencies.begin(), latencies.end());
   out.p50_simulated_ms = PercentileOfSorted(latencies, 0.5);
   out.p99_simulated_ms = PercentileOfSorted(latencies, 0.99);
   if (cache_) out.cache = cache_->stats();
+  if (devices_) out.pool = devices_->stats();
   return out;
 }
 
@@ -163,6 +170,12 @@ void QueryService::FinishLocked(const TicketPtr& ticket,
   if (result.ok()) {
     ++stats_.completed_ok;
     stats_.sum_simulated_ms += result->stats.total_ms;
+    if (result->stats.shards_used > 1) {
+      ++stats_.sharded_queries;
+      stats_.shards_executed += result->stats.shards_used;
+      stats_.max_shard_skew =
+          std::max(stats_.max_shard_skew, result->stats.shard_skew);
+    }
     if (latencies_ms_.size() < kLatencyWindow) {
       latencies_ms_.push_back(result->stats.total_ms);
     } else {
@@ -182,10 +195,10 @@ void QueryService::FinishLocked(const TicketPtr& ticket,
 }
 
 void QueryService::WorkerLoop() {
-  // One private device per worker, reused across queries: per-query stats
-  // are deltas (RunFilterStage/RunJoinStage), so isolation matches
+  // Devices come from the shared pool per query (RunOne), reused across
+  // queries without resets: per-query stats are deltas
+  // (RunFilterStage/RunJoinStageSharded), so isolation matches
   // QueryEngine::RunBatch.
-  gpusim::Device dev(engine_.options().device);
   for (;;) {
     TicketPtr ticket;
     {
@@ -205,7 +218,7 @@ void QueryService::WorkerLoop() {
       ticket->phase = Phase::kRunning;
       ++in_flight_;
     }
-    Result<QueryResult> result = RunOne(dev, ticket->query);
+    Result<QueryResult> result = RunOne(ticket->query);
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;
@@ -214,34 +227,56 @@ void QueryService::WorkerLoop() {
   }
 }
 
-Result<QueryResult> QueryService::RunOne(gpusim::Device& dev,
-                                         const Graph& query) {
+Result<QueryResult> QueryService::RunOne(const Graph& query) {
   const GsiOptions& go = engine_.options();
-  if (!cache_) {
-    return ExecuteQuery(dev, *data_, engine_.store(), engine_.filter(), go,
-                        query);
-  }
+  DevicePool::Lease primary = devices_->Acquire();
+  gpusim::Device& dev = *primary;
+
   WallTimer wall;
   QueryStats stats;
   FilterResult filtered;
-  const std::string key = FilterCache::KeyOf(query);
-  if (std::shared_ptr<const FilterCache::Entry> hit = cache_->Lookup(key)) {
-    // Hit: skip the signature-scan kernels, re-upload the memoized
-    // candidate lists (and bitset kernel) onto this worker's device.
-    gpusim::MemStats before = dev.stats();
-    filtered = FilterCache::Materialize(dev, *hit, data_->num_vertices(),
-                                        go.filter.build_bitmaps);
-    stats.filter = dev.stats() - before;
-    stats.min_candidate_size = hit->min_candidate_size;
-  } else {
-    Result<FilterResult> fresh = RunFilterStage(dev, engine_.filter(), query,
-                                                stats);
+  if (!cache_) {
+    Result<FilterResult> fresh =
+        RunFilterStage(dev, engine_.filter(), query, stats);
     if (!fresh.ok()) return fresh.status();
-    cache_->Insert(key, FilterCache::MakeEntry(*fresh));
     filtered = std::move(fresh.value());
+  } else {
+    const std::string key = FilterCache::KeyOf(query);
+    if (std::shared_ptr<const FilterCache::Entry> hit = cache_->Lookup(key)) {
+      // Hit: skip the signature-scan kernels, re-upload the memoized
+      // candidate lists (and bitset kernel) onto the leased device.
+      gpusim::MemStats before = dev.stats();
+      filtered = FilterCache::Materialize(dev, *hit, data_->num_vertices(),
+                                          go.filter.build_bitmaps);
+      stats.filter = dev.stats() - before;
+      stats.min_candidate_size = hit->min_candidate_size;
+    } else {
+      Result<FilterResult> fresh =
+          RunFilterStage(dev, engine_.filter(), query, stats);
+      if (!fresh.ok()) return fresh.status();
+      cache_->Insert(key, FilterCache::MakeEntry(*fresh));
+      filtered = std::move(fresh.value());
+    }
   }
-  Result<QueryResult> out = RunJoinStage(dev, *data_, engine_.store(), go,
-                                         query, std::move(filtered), stats);
+
+  // Heavy query + idle devices -> fan the join out. The extra leases are
+  // taken without blocking so sharding can never stall a light query, and
+  // RAII returns every device when the join finishes (or fails).
+  std::vector<DevicePool::Lease> extras;
+  std::vector<gpusim::Device*> devs{&dev};
+  if (options_.max_shards_per_query > 1 &&
+      stats.min_candidate_size >= options_.shard_min_candidates) {
+    while (devs.size() <
+           static_cast<size_t>(options_.max_shards_per_query)) {
+      std::optional<DevicePool::Lease> extra = devices_->TryAcquire();
+      if (!extra) break;
+      extras.push_back(std::move(*extra));
+      devs.push_back(extras.back().get());
+    }
+  }
+  Result<QueryResult> out =
+      RunJoinStageSharded(devs, *data_, engine_.store(), go, options_.shard,
+                          query, std::move(filtered), stats);
   if (out.ok()) out->stats.wall_ms = wall.ElapsedMs();
   return out;
 }

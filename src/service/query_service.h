@@ -13,6 +13,8 @@
 #include "graph/graph.h"
 #include "gsi/matcher.h"
 #include "gsi/query_engine.h"
+#include "gsi/sharded_engine.h"
+#include "service/device_pool.h"
 #include "service/filter_cache.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -27,9 +29,25 @@ enum class OverloadPolicy {
 
 /// Configuration of a QueryService instance.
 struct ServiceOptions {
-  /// Long-lived worker threads; each owns one private simulated device, so
-  /// per-query stats stay isolated exactly as in QueryEngine::RunBatch.
+  /// Long-lived worker threads. Workers lease devices from the shared
+  /// DevicePool per query (instead of pinning one each), so per-query stats
+  /// stay isolated exactly as in QueryEngine::RunBatch while idle devices
+  /// remain available for heavy queries to fan out across.
   int num_workers = 2;
+  /// Devices in the shared pool (0 = one per worker). More devices than
+  /// workers gives heavy queries headroom to shard; fewer throttles
+  /// concurrency to the hardware.
+  int num_devices = 0;
+  /// Maximum devices one query's join phase may span (1 = intra-query
+  /// sharding off). Beyond the first, devices are only taken when idle —
+  /// fan-out never makes a light query wait behind a heavy one.
+  int max_shards_per_query = 1;
+  /// Heaviness gate: only queries whose smallest candidate set reaches this
+  /// size try to fan out (a cheap proxy for the seed list the sharded join
+  /// partitions; small seeds are not worth the merge).
+  size_t shard_min_candidates = 256;
+  /// Shard sizing for the fan-out path (see sharded_engine.h).
+  ShardOptions shard;
   /// Maximum admitted-but-not-started queries. Running queries do not
   /// count: the queue bounds waiting work, the workers bound running work.
   size_t max_queue_depth = 256;
@@ -69,6 +87,11 @@ struct ServiceStats {
   double p50_simulated_ms = 0;
   double p99_simulated_ms = 0;
   FilterCache::Stats cache;      ///< zeros when the cache is disabled
+  /// Intra-query sharding activity (zeros when max_shards_per_query == 1).
+  uint64_t sharded_queries = 0;  ///< completed-ok queries that fanned out
+  uint64_t shards_executed = 0;  ///< total shards across those queries
+  double max_shard_skew = 0;     ///< worst max/mean per-shard time observed
+  DevicePool::Stats pool;        ///< device-pool health
 };
 
 namespace internal {
@@ -119,10 +142,14 @@ class QueryTicket {
 /// expire via per-query deadlines; running ones always finish.
 ///
 /// Execution reuses the staged core of matcher.h (RunFilterStage +
-/// RunJoinStage). With the filter cache enabled, repeated query shapes skip
-/// the signature-scan kernels and rematerialize memoized candidate sets, so
-/// match tables stay bit-identical to sequential GsiMatcher::Find while the
-/// filter phase gets cheaper.
+/// RunJoinStageSharded). Workers lease devices from a shared DevicePool per
+/// query; with max_shards_per_query > 1, a heavy query (smallest candidate
+/// set >= shard_min_candidates) additionally grabs whatever devices are
+/// idle and fans its join out across them (sharded_engine.h). With the
+/// filter cache enabled, repeated query shapes skip the signature-scan
+/// kernels and rematerialize memoized candidate sets. Both paths keep match
+/// tables bit-identical to sequential GsiMatcher::Find — sharding and
+/// caching only change where the work runs and what it costs.
 ///
 /// Thread-safe. The data graph must outlive the service. The destructor
 /// cancels still-queued tickets, lets running queries finish, and joins the
@@ -171,9 +198,11 @@ class QueryService {
   using TicketPtr = std::shared_ptr<internal::TicketState>;
 
   void WorkerLoop();
-  /// Executes one query on `dev`, going through the filter cache when
-  /// enabled.
-  Result<QueryResult> RunOne(gpusim::Device& dev, const Graph& query);
+  /// Executes one query: leases a primary device from the pool, satisfies
+  /// the filter phase (through the cache when enabled), and — when the
+  /// query is heavy and devices are idle — fans the join out across up to
+  /// max_shards_per_query devices.
+  Result<QueryResult> RunOne(const Graph& query);
   void FinishLocked(const TicketPtr& ticket, Result<QueryResult> result);
 
   /// Completed-ok latencies kept for the percentile snapshot.
@@ -184,6 +213,7 @@ class QueryService {
   QueryEngine engine_;  // shared immutable PCSR + signature structures
   Status init_status_;
   std::unique_ptr<FilterCache> cache_;  // null when disabled
+  std::unique_ptr<DevicePool> devices_;  // null when init failed
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // queue non-empty or stopping

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <iterator>
+#include <set>
+
 #include "gpusim/launch.h"
 #include "gsi/candidates.h"
 #include "gsi/dup_removal.h"
@@ -80,6 +84,88 @@ TEST(SetOps, IntersectWithEmptyIsEmpty) {
   EXPECT_TRUE(current.empty());
 }
 
+/// Sorted random list of `n` values drawn from [0, range).
+std::vector<VertexId> SortedRandom(size_t n, uint32_t range, uint64_t seed) {
+  Rng rng(seed);
+  std::set<VertexId> vals;
+  while (vals.size() < n) {
+    vals.insert(static_cast<VertexId>(rng.NextBounded(range)));
+  }
+  return std::vector<VertexId>(vals.begin(), vals.end());
+}
+
+TEST(SetOps, GallopingMatchesMergeOnRandomInputs) {
+  // The size ratio picks the path: >kGallopRatio gallops the longer list,
+  // otherwise a linear merge runs. Both must produce the intersection.
+  gpusim::Device dev;
+  struct Shape {
+    size_t current;
+    size_t other;
+  };
+  for (const Shape& shape : {Shape{12, 3000}, Shape{3000, 12},
+                             Shape{500, 500}, Shape{1, 2000},
+                             Shape{2000, 1}, Shape{64, 65}}) {
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+      std::vector<VertexId> current =
+          SortedRandom(shape.current, 5000, seed * 2);
+      std::vector<VertexId> other =
+          SortedRandom(shape.other, 5000, seed * 2 + 1);
+      std::vector<VertexId> expected;
+      std::set_intersection(current.begin(), current.end(), other.begin(),
+                            other.end(), std::back_inserter(expected));
+      WithWarp(dev, [&](gpusim::Warp& w) {
+        SetOpFlags f;
+        size_t n = IntersectSorted(w, current, other, f, nullptr, 0);
+        EXPECT_EQ(n, expected.size());
+      });
+      EXPECT_EQ(current, expected)
+          << shape.current << "x" << shape.other << " seed " << seed;
+    }
+  }
+}
+
+TEST(SetOps, GallopingChargesLessThanAFullMerge) {
+  // A tiny probe list against a huge neighbor list must not pay for
+  // streaming the huge list (the merge path's |current| + |other| ALU ops).
+  gpusim::Device dev;
+  std::vector<VertexId> other(100000);
+  for (size_t i = 0; i < other.size(); ++i) {
+    other[i] = static_cast<VertexId>(2 * i);
+  }
+  std::vector<VertexId> current = {4, 400, 40000, 40001};
+  const size_t merge_cost = current.size() + other.size();
+  uint64_t alu = 0;
+  WithWarp(dev, [&](gpusim::Warp& w) {
+    SetOpFlags f;
+    uint64_t before = dev.stats().alu_ops;
+    IntersectSorted(w, current, other, f, nullptr, 0);
+    alu = dev.stats().alu_ops - before;
+  });
+  EXPECT_EQ(current, (std::vector<VertexId>{4, 400, 40000}));
+  EXPECT_LT(alu, merge_cost / 100);  // orders of magnitude, not epsilon
+}
+
+TEST(SetOps, NaiveModeNeverGallops) {
+  // The naive baseline models one kernel per whole-list operation; its
+  // charge must stay the full linear merge even on skewed sizes.
+  gpusim::Device dev;
+  std::vector<VertexId> other(10000);
+  for (size_t i = 0; i < other.size(); ++i) {
+    other[i] = static_cast<VertexId>(i);
+  }
+  std::vector<VertexId> current = {5, 7};
+  uint64_t alu = 0;
+  WithWarp(dev, [&](gpusim::Warp& w) {
+    SetOpFlags f;
+    f.naive = true;
+    uint64_t before = dev.stats().alu_ops;
+    IntersectSorted(w, current, other, f, nullptr, 0);
+    alu = dev.stats().alu_ops - before;
+  });
+  EXPECT_EQ(current, (std::vector<VertexId>{5, 7}));
+  EXPECT_EQ(alu, 2u + 10000u);
+}
+
 TEST(SetOps, WriteCacheUsesFewerStoreTransactions) {
   gpusim::Device dev;
   auto gba = dev.Alloc<VertexId>(256);
@@ -134,6 +220,53 @@ TEST(ChunkPlanning, FourLayerClassification) {
     EXPECT_EQ(c.gba_begin, offsets[3] + c.pos_begin);
   }
   EXPECT_EQ(covered, 9000u);
+}
+
+TEST(ChunkPlanning, EmptyBoundsYieldEmptyPlan) {
+  std::vector<uint64_t> offsets = {0};
+  for (bool lb : {false, true}) {
+    ChunkPlan plan = PlanChunks({}, offsets, lb, 4096, 1024, 256);
+    EXPECT_TRUE(plan.huge.empty());
+    EXPECT_TRUE(plan.per_block.empty());
+    EXPECT_TRUE(plan.pooled.empty());
+    EXPECT_EQ(plan.total_chunks(), 0u);
+    EXPECT_TRUE(plan.AllChunks().empty());
+  }
+}
+
+TEST(ChunkPlanning, SingleAllHeavyRowGetsItsOwnKernel) {
+  // One row carries the entire workload: layer 1, W3-sized chunks tiling it.
+  std::vector<uint32_t> bounds = {100000};
+  std::vector<uint64_t> offsets = {0, 100000};
+  ChunkPlan plan = PlanChunks(bounds, offsets, true, 4096, 1024, 256);
+  EXPECT_TRUE(plan.pooled.empty());
+  EXPECT_TRUE(plan.per_block.empty());
+  ASSERT_EQ(plan.huge.size(), 1u);
+  EXPECT_EQ(plan.huge[0].size(), (100000 + 255) / 256);
+  uint32_t covered = 0;
+  for (const Chunk& c : plan.huge[0]) {
+    EXPECT_EQ(c.row, 0u);
+    EXPECT_EQ(c.pos_begin, covered);
+    covered = c.pos_end;
+  }
+  EXPECT_EQ(covered, 100000u);
+}
+
+TEST(ChunkPlanning, W3AboveEveryBoundKeepsRowsWhole) {
+  // W3 larger than every row's workload: nothing is split, every row is a
+  // single layer-4 chunk.
+  std::vector<uint32_t> bounds = {33, 100, 400};
+  std::vector<uint64_t> offsets = {0, 33, 133, 533};
+  ChunkPlan plan = PlanChunks(bounds, offsets, true, 4096, 1024, 512);
+  EXPECT_TRUE(plan.huge.empty());
+  EXPECT_TRUE(plan.per_block.empty());
+  ASSERT_EQ(plan.pooled.size(), 3u);
+  for (size_t i = 0; i < plan.pooled.size(); ++i) {
+    EXPECT_EQ(plan.pooled[i].row, i);
+    EXPECT_EQ(plan.pooled[i].pos_begin, 0u);
+    EXPECT_EQ(plan.pooled[i].pos_end, bounds[i]);
+    EXPECT_EQ(plan.pooled[i].gba_begin, offsets[i]);
+  }
 }
 
 TEST(ChunkPlanning, ZeroBoundRowsStillGetAChunk) {
@@ -244,6 +377,82 @@ TEST(MatchTableTest, FromColumn) {
   EXPECT_EQ(t.rows(), 3u);
   EXPECT_EQ(t.cols(), 1u);
   EXPECT_EQ(t.At(2, 0), 9u);
+}
+
+MatchTable FillTable(gpusim::Device& dev, size_t rows, size_t cols,
+                     VertexId base) {
+  MatchTable t = MatchTable::Alloc(dev, rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      t.Set(r, c, base + static_cast<VertexId>(r * cols + c));
+    }
+  }
+  return t;
+}
+
+TEST(MatchTableTest, CopyRowsFromBulk) {
+  gpusim::Device dev;
+  MatchTable src = FillTable(dev, 4, 3, 100);
+  MatchTable dst = MatchTable::Alloc(dev, 5, 3);
+  dst.CopyRowsFrom(src, /*src_begin=*/1, /*dst_begin=*/2, /*count=*/2);
+  EXPECT_EQ(dst.Row(2), src.Row(1));
+  EXPECT_EQ(dst.Row(3), src.Row(2));
+  EXPECT_EQ(dst.Row(0), (std::vector<VertexId>{0, 0, 0}));  // untouched
+  EXPECT_EQ(dst.Row(4), (std::vector<VertexId>{0, 0, 0}));
+  dst.CopyRowsFrom(src, 0, 0, 0);  // zero-count is a no-op
+}
+
+TEST(MatchTableTest, ConcatRowsPreservesOrder) {
+  gpusim::Device dev;
+  MatchTable a = FillTable(dev, 3, 2, 10);
+  MatchTable empty = MatchTable::Alloc(dev, 0, 2);
+  MatchTable b = FillTable(dev, 2, 2, 50);
+
+  gpusim::Device merge_dev;
+  const gpusim::MemStats before = merge_dev.stats();
+  std::vector<const MatchTable*> parts = {&a, &empty, &b};
+  MatchTable merged = MatchTable::ConcatRows(merge_dev, parts);
+  ASSERT_EQ(merged.rows(), 5u);
+  ASSERT_EQ(merged.cols(), 2u);
+  for (size_t r = 0; r < 3; ++r) EXPECT_EQ(merged.Row(r), a.Row(r));
+  for (size_t r = 0; r < 2; ++r) EXPECT_EQ(merged.Row(3 + r), b.Row(r));
+  // Host-mediated bulk movement: uncharged, like Upload.
+  gpusim::MemStats delta = merge_dev.stats() - before;
+  EXPECT_EQ(delta.gld, 0u);
+  EXPECT_EQ(delta.gst, 0u);
+  EXPECT_EQ(delta.kernel_launches, 0u);
+}
+
+TEST(MatchTableTest, ConcatRowsWidthFromNonEmptyParts) {
+  // A join slice that dies early returns the full-width empty table; the
+  // merge must take its width from the surviving parts.
+  gpusim::Device dev;
+  MatchTable wide_empty = MatchTable::Alloc(dev, 0, 9);
+  MatchTable b = FillTable(dev, 2, 3, 50);
+  std::vector<const MatchTable*> parts = {&wide_empty, &b};
+  MatchTable merged = MatchTable::ConcatRows(dev, parts);
+  EXPECT_EQ(merged.rows(), 2u);
+  EXPECT_EQ(merged.cols(), 3u);
+}
+
+TEST(MatchTableTest, ConcatRowsAllEmpty) {
+  gpusim::Device dev;
+  MatchTable a = MatchTable::Alloc(dev, 0, 4);
+  MatchTable b = MatchTable::Alloc(dev, 0, 4);
+  std::vector<const MatchTable*> parts = {&a, &b};
+  MatchTable merged = MatchTable::ConcatRows(dev, parts);
+  EXPECT_EQ(merged.rows(), 0u);
+  EXPECT_EQ(merged.cols(), 4u);
+}
+
+TEST(MatchTableTest, CopySliceExtractsRowRange) {
+  gpusim::Device dev;
+  MatchTable src = FillTable(dev, 6, 3, 100);
+  MatchTable slice = MatchTable::CopySlice(dev, src, /*src_begin=*/2,
+                                           /*count=*/3);
+  ASSERT_EQ(slice.rows(), 3u);
+  ASSERT_EQ(slice.cols(), 3u);
+  for (size_t r = 0; r < 3; ++r) EXPECT_EQ(slice.Row(r), src.Row(2 + r));
 }
 
 // ------------------------------------------------------- matcher API ---

@@ -63,6 +63,64 @@ TEST(QueryService, StreamedResultsMatchSequentialFind) {
   }
 }
 
+TEST(QueryService, HeavyQueriesFanOutAcrossTheDevicePool) {
+  Graph data = SmallData(17);
+  GsiMatcher sequential(data, GsiOptOptions());
+
+  ServiceOptions so;
+  so.num_workers = 1;            // one worker...
+  so.num_devices = 4;            // ...with three idle devices to fan out to
+  so.max_shards_per_query = 4;
+  so.shard_min_candidates = 1;   // every query counts as heavy
+  so.shard.min_rows_per_shard = 1;
+  QueryService service(data, GsiOptOptions(), so);
+  ASSERT_TRUE(service.init_status().ok());
+
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Graph query = testing::RandomQuery(data, 5, 700 + seed);
+    Result<QueryTicket> t = service.Submit(query);
+    ASSERT_TRUE(t.ok());
+    Result<QueryResult> got = service.Wait(*t);
+    Result<QueryResult> expected = sequential.Find(query);
+    ASSERT_EQ(expected.ok(), got.ok()) << seed;
+    if (!expected.ok()) continue;
+    // Bit-identical, not just the same match set: sharding must not
+    // reorder the table.
+    ASSERT_EQ(got->table.rows(), expected->table.rows()) << seed;
+    ASSERT_EQ(got->table.cols(), expected->table.cols()) << seed;
+    EXPECT_EQ(got->column_to_query, expected->column_to_query);
+    for (size_t r = 0; r < expected->table.rows(); ++r) {
+      for (size_t c = 0; c < expected->table.cols(); ++c) {
+        ASSERT_EQ(got->table.At(r, c), expected->table.At(r, c))
+            << seed << " cell (" << r << ", " << c << ")";
+      }
+    }
+  }
+
+  ServiceStats stats = service.stats();
+  EXPECT_GE(stats.sharded_queries, 1u);
+  EXPECT_GE(stats.shards_executed, 2 * stats.sharded_queries);
+  EXPECT_GE(stats.max_shard_skew, 1.0);
+  EXPECT_EQ(stats.pool.in_use, 0u);  // everything returned to the pool
+  EXPECT_GE(stats.pool.peak_in_use, 2u);
+}
+
+TEST(QueryService, ShardingOffKeepsSingleDeviceExecution) {
+  Graph data = SmallData(23);
+  ServiceOptions so;
+  so.num_workers = 2;  // default max_shards_per_query = 1
+  QueryService service(data, GsiOptOptions(), so);
+  Graph query = testing::RandomQuery(data, 4, 99);
+  Result<QueryTicket> t = service.Submit(query);
+  ASSERT_TRUE(t.ok());
+  Result<QueryResult> got = service.Wait(*t);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->stats.shards_used, 1u);
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.sharded_queries, 0u);
+  EXPECT_EQ(stats.shards_executed, 0u);
+}
+
 TEST(QueryService, CacheHitsStayBitIdenticalAndSpeedUpTheFilterPhase) {
   Graph data = SmallData(42);
   Graph query = testing::RandomQuery(data, 5, 4242);
