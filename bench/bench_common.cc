@@ -141,9 +141,13 @@ void WriteJsonReport(const std::string& path) {
     const JsonRecord& r = records[i];
     std::fprintf(f,
                  "  {\"bench\": \"%s\", \"config\": \"%s\", \"qps\": %.6g, "
-                 "\"p50\": %.6g, \"p99\": %.6g}%s\n",
+                 "\"p50\": %.6g, \"p99\": %.6g",
                  JsonEscape(r.bench).c_str(), JsonEscape(r.config).c_str(),
-                 r.qps, r.p50_ms, r.p99_ms, i + 1 < records.size() ? "," : "");
+                 r.qps, r.p50_ms, r.p99_ms);
+    for (const auto& [key, value] : r.extras) {
+      std::fprintf(f, ", \"%s\": %.6g", JsonEscape(key).c_str(), value);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < records.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   std::fclose(f);

@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/datasets.h"
@@ -109,14 +110,19 @@ Aggregate RunGsiBatch(const Graph& g, const GsiOptions& options,
 /// One machine-readable measurement record. Benches push these via
 /// RecordJson; when the binary is invoked with `--json <path>` (or
 /// `--json=<path>`), BenchMain writes the collected records to that file as
-/// a JSON array of {bench, config, qps, p50, p99} objects so cross-PR
-/// BENCH_*.json trajectories can accumulate.
+/// a JSON array of {bench, config, qps, p50, p99, ...extras} objects so
+/// cross-PR BENCH_*.json trajectories can accumulate. The schema is
+/// documented in docs/BENCHMARKS.md.
 struct JsonRecord {
   std::string bench;   ///< benchmark identity, e.g. "sharding_scalability"
   std::string config;  ///< swept configuration, e.g. "devices=4"
   double qps = 0;
   double p50_ms = 0;
   double p99_ms = 0;
+  /// Bench-specific numeric fields appended verbatim to the JSON object
+  /// (e.g. bench_partition_scalability's resident_mb_per_device /
+  /// halo_mb). Keys must be unique and distinct from the fixed fields.
+  std::vector<std::pair<std::string, double>> extras;
 };
 
 /// Queues a record for the JSON report. Safe to call whether or not --json

@@ -52,6 +52,22 @@ class Device {
     stats_.simulated_cycles += config_.kernel_launch_cycles;
   }
 
+  /// Charges a bulk device-to-device transfer of `bytes` over the
+  /// interconnect (the halo gathers of the partitioned execution path:
+  /// candidate lists and partial match tables streamed to the primary).
+  /// Unlike host-mediated movement (Upload, result reads), which gpusim
+  /// leaves uncharged, peer traffic bills the full per-line cost — there
+  /// is no kernel to account it, so the cycles land here directly.
+  /// Returns the number of 128B lines moved.
+  uint64_t ChargeRemoteTransfer(uint64_t bytes) {
+    const uint64_t lines = (bytes + kTransactionBytes - 1) / kTransactionBytes;
+    stats_.remote_transactions += lines;
+    stats_.simulated_cycles +=
+        lines * (config_.global_transaction_cycles +
+                 config_.remote_transaction_extra_cycles);
+    return lines;
+  }
+
   /// Number of distinct 128B lines touched by one warp-wide access where
   /// each lane reads/writes `bytes_per_lane` bytes starting at addrs[lane].
   /// This is the hardware coalescing rule (Figures 5/6 of the paper).

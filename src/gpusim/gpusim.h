@@ -41,8 +41,16 @@ struct DeviceConfig {
   /// one-kernel-per-set-op baseline (Section V, "GPU-friendly Set
   /// Operation") measurably bad.
   uint64_t kernel_launch_cycles = 2000;
+  /// Extra latency per 128B line read from a *peer* device's memory over
+  /// the interconnect (the remote-probe cost of the partitioned data
+  /// graph; Section VIII's memory-capacity discussion). Charged on top of
+  /// global_transaction_cycles, so the default models a peer read at 3x a
+  /// local one — the HBM-vs-NVLink bandwidth ratio of the paper's era.
+  uint64_t remote_transaction_extra_cycles = 600;
   /// Simulated clock in GHz used to convert cycles to milliseconds.
   double clock_ghz = 1.0;
+
+  friend bool operator==(const DeviceConfig&, const DeviceConfig&) = default;
 };
 
 /// Counters accumulated by a Device across kernel launches.
@@ -57,6 +65,11 @@ struct MemStats {
   uint64_t shared_accesses = 0;  ///< shared-memory accesses
   uint64_t alu_ops = 0;          ///< ALU operations
   uint64_t kernel_launches = 0;  ///< number of kernels launched
+  /// 128B lines that crossed the device interconnect (remote probes into a
+  /// peer partition's PCSR/signature share, halo gathers). Disjoint from
+  /// gld/gst accounting-wise: a remote probe charges its reads as gld AND
+  /// records the same lines here with the interconnect premium.
+  uint64_t remote_transactions = 0;
   uint64_t simulated_cycles = 0; ///< sum of per-kernel makespans
 
   /// Simulated wall time in milliseconds under `clock_ghz`.
@@ -71,6 +84,7 @@ struct MemStats {
     shared_accesses += o.shared_accesses;
     alu_ops += o.alu_ops;
     kernel_launches += o.kernel_launches;
+    remote_transactions += o.remote_transactions;
     simulated_cycles += o.simulated_cycles;
     return *this;
   }
@@ -83,6 +97,7 @@ inline MemStats operator-(const MemStats& a, const MemStats& b) {
   r.shared_accesses = a.shared_accesses - b.shared_accesses;
   r.alu_ops = a.alu_ops - b.alu_ops;
   r.kernel_launches = a.kernel_launches - b.kernel_launches;
+  r.remote_transactions = a.remote_transactions - b.remote_transactions;
   r.simulated_cycles = a.simulated_cycles - b.simulated_cycles;
   return r;
 }

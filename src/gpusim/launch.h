@@ -103,6 +103,16 @@ class Warp {
   /// Charges n global-store transactions without data movement.
   void ChargeStoreTransactions(uint64_t n) { ChargeStore(n); }
 
+  /// Charges the interconnect premium for n 128B lines that were read from
+  /// a *peer* device's memory (the partitioned data graph's remote probes).
+  /// The reads themselves are charged as ordinary gld by whoever issued
+  /// them; this adds remote_transaction_extra_cycles per line on top and
+  /// counts the lines in stats().remote_transactions.
+  void ChargeRemoteTransactions(uint64_t n) {
+    dev_->stats().remote_transactions += n;
+    cycles_ += n * dev_->config().remote_transaction_extra_cycles;
+  }
+
   /// Charges n ALU operations (comparisons, hashing, flag tests...).
   void Alu(uint64_t n) {
     dev_->stats().alu_ops += n;

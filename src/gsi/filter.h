@@ -31,6 +31,8 @@ struct FilterOptions {
   SignatureTable::Layout layout = SignatureTable::Layout::kColumnMajor;
   /// Materialize candidate bitsets for the join's set operations.
   bool build_bitmaps = true;
+
+  friend bool operator==(const FilterOptions&, const FilterOptions&) = default;
 };
 
 /// Result of the filtering phase: one candidate set per query vertex.

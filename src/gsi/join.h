@@ -50,6 +50,8 @@ struct JoinOptions {
   /// Intermediate-table row budget; exceeding it aborts the query with
   /// kResourceExhausted (exponential blowup guard).
   size_t max_rows = 4u * 1024 * 1024;
+
+  friend bool operator==(const JoinOptions&, const JoinOptions&) = default;
 };
 
 /// Counters of one join execution.

@@ -20,6 +20,8 @@ struct GsiOptions {
   FilterOptions filter;
   JoinOptions join;
   gpusim::DeviceConfig device;
+
+  friend bool operator==(const GsiOptions&, const GsiOptions&) = default;
 };
 
 /// Returns the paper's two configurations: GSI (no optimizations) and
@@ -55,6 +57,14 @@ struct QueryStats {
   // the modeled schedule of distributed work).
   size_t shards_used = 1;   ///< devices the join phase actually ran on
   double shard_skew = 0;    ///< max / mean per-device distributed-join time
+
+  // --- Partitioned data-graph execution (gsi/partition.h); zeros on the
+  // replicated paths. Counters sum every partition's devices; join_ms is
+  // the parallel makespan (slowest partition plus the merge).
+  size_t partitions_used = 0;  ///< partitions that executed join work
+  uint64_t remote_probes = 0;  ///< N(v, l) lookups served by a peer device
+  uint64_t halo_bytes = 0;     ///< bytes that crossed the interconnect
+  double partition_skew = 0;   ///< max / mean per-partition join time
 };
 
 /// Result of one subgraph-isomorphism query.

@@ -1,0 +1,620 @@
+#include "gsi/partition.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "gpusim/launch.h"
+#include "gsi/join.h"
+#include "gsi/plan.h"
+#include "storage/signature.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace gsi {
+namespace {
+
+using gpusim::kTransactionBytes;
+using gpusim::kWarpSize;
+using gpusim::Warp;
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Partition p's window onto the partitioned store: owned probes hit the
+/// local PCSR share directly; probes of peer-owned vertices are served from
+/// the owner's share with every 128B line re-charged at the interconnect
+/// premium (Warp::ChargeRemoteTransactions). One view serves one partition
+/// of one query execution — the remote counters are per-query observations,
+/// harvested after the join.
+class PartitionView final : public NeighborStore {
+ public:
+  struct Remote {
+    uint64_t probes = 0;  ///< lookups that crossed the interconnect
+    uint64_t lines = 0;   ///< 128B lines those lookups moved
+  };
+
+  PartitionView(const PartitionedGraph* pg, PartitionId self)
+      : pg_(pg), self_(self) {}
+
+  size_t Extract(Warp& w, VertexId v, Label l,
+                 std::vector<VertexId>& out) const override {
+    const PartitionId o = pg_->OwnerOf(v);
+    if (o == self_) return pg_->store(o).Extract(w, v, l, out);
+    const uint64_t before = w.device().stats().gld;
+    const size_t n = pg_->store(o).Extract(w, v, l, out);
+    ChargeRemote(w, before);
+    return n;
+  }
+
+  size_t NeighborCountUpperBound(Warp& w, VertexId v, Label l) const override {
+    const PartitionId o = pg_->OwnerOf(v);
+    if (o == self_) return pg_->store(o).NeighborCountUpperBound(w, v, l);
+    const uint64_t before = w.device().stats().gld;
+    const size_t n = pg_->store(o).NeighborCountUpperBound(w, v, l);
+    ChargeRemote(w, before);
+    return n;
+  }
+
+  size_t ExtractSlice(Warp& w, VertexId v, Label l, size_t begin, size_t end,
+                      std::vector<VertexId>& out) const override {
+    const PartitionId o = pg_->OwnerOf(v);
+    if (o == self_) {
+      return pg_->store(o).ExtractSlice(w, v, l, begin, end, out);
+    }
+    const uint64_t before = w.device().stats().gld;
+    const size_t n = pg_->store(o).ExtractSlice(w, v, l, begin, end, out);
+    ChargeRemote(w, before);
+    return n;
+  }
+
+  size_t ExtractValueRange(Warp& w, VertexId v, Label l, VertexId lo,
+                           VertexId hi,
+                           std::vector<VertexId>& out) const override {
+    const PartitionId o = pg_->OwnerOf(v);
+    if (o == self_) {
+      return pg_->store(o).ExtractValueRange(w, v, l, lo, hi, out);
+    }
+    const uint64_t before = w.device().stats().gld;
+    const size_t n = pg_->store(o).ExtractValueRange(w, v, l, lo, hi, out);
+    ChargeRemote(w, before);
+    return n;
+  }
+
+  uint64_t device_bytes() const override {
+    return pg_->store(self_).device_bytes();
+  }
+
+  std::string name() const override { return "PCSR-partitioned"; }
+
+  const Remote& remote() const { return remote_; }
+
+ private:
+  void ChargeRemote(Warp& w, uint64_t gld_before) const {
+    const uint64_t lines = w.device().stats().gld - gld_before;
+    w.ChargeRemoteTransactions(lines);
+    ++remote_.probes;
+    remote_.lines += lines;
+  }
+
+  const PartitionedGraph* pg_;
+  PartitionId self_;
+  mutable Remote remote_;  // one view per device thread; no sharing
+};
+
+/// Signature scan of one partition's owned vertices: the same fused layout
+/// as FilterContext::CandidateLists (warp w handles 32 consecutive rows of
+/// query vertex w / warps_per_u) and the same survivor math as
+/// SignatureScanWarp, over the *local* subset table — so surviving
+/// candidate values match the replicated scan exactly; only the row space
+/// (owned vertices instead of all of |V|) and the billing device differ.
+std::vector<std::vector<VertexId>> ScanOwnedSignatures(
+    gpusim::Device& dev, const SignatureTable& table,
+    std::span<const VertexId> owned, std::span<const Signature> qsigs) {
+  const size_t nu = qsigs.size();
+  std::vector<std::vector<VertexId>> out(nu);
+  if (owned.empty() || nu == 0) return out;
+  const size_t rows = owned.size();
+  const size_t warps_per_u = (rows + kWarpSize - 1) / kWarpSize;
+  const int words = table.words_per_sig();
+
+  gpusim::Launch(dev, nu * warps_per_u, [&](Warp& w) {
+    const size_t u = w.global_id() / warps_per_u;
+    const size_t s0 = (w.global_id() % warps_per_u) * kWarpSize;
+    if (s0 >= rows) return;
+    const size_t lanes = std::min<size_t>(kWarpSize, rows - s0);
+    const Signature& qsig = qsigs[u];
+    uint32_t vals[kWarpSize];
+    bool alive[kWarpSize];
+
+    // First word: exact vertex-label comparison.
+    table.WarpReadWord(w, static_cast<VertexId>(s0), lanes, 0, vals);
+    w.Alu(lanes);
+    bool any = false;
+    for (size_t k = 0; k < lanes; ++k) {
+      alive[k] = (vals[k] == qsig.word(0));
+      any |= alive[k];
+    }
+    // Remaining words: AND-domination while any lane survives (SIMD).
+    for (int word = 1; word < words && any; ++word) {
+      table.WarpReadWord(w, static_cast<VertexId>(s0), lanes, word, vals);
+      w.Alu(lanes);
+      any = false;
+      for (size_t k = 0; k < lanes; ++k) {
+        alive[k] = alive[k] &&
+                   ((vals[k] & qsig.word(word)) == qsig.word(word));
+        any |= alive[k];
+      }
+    }
+    uint32_t survivors = 0;
+    for (size_t k = 0; k < lanes; ++k) {
+      if (alive[k]) {
+        out[u].push_back(owned[s0 + k]);
+        ++survivors;
+      }
+    }
+    if (survivors > 0) {
+      w.Alu(1);  // warp-aggregated atomic offset claim
+      w.ChargeStoreTransactions(gpusim::Device::RangeTransactions(
+          0, survivors * sizeof(VertexId)));
+    }
+  });
+  return out;
+}
+
+/// Seeds partition p's table from its owned subsequence of C(order[0]):
+/// upload (host-mediated, uncharged by convention) plus the same streaming
+/// copy kernel JoinEngine::SeedTable charges, so K partitions together pay
+/// what the replicated seed pays.
+MatchTable SeedOwned(gpusim::Device& dev,
+                     const std::vector<VertexId>& column) {
+  gpusim::DeviceBuffer<VertexId> list = dev.Upload(column);
+  MatchTable m = MatchTable::FromColumn(dev, column);
+  gpusim::Launch(dev, std::max<size_t>(1, (column.size() + 1023) / 1024),
+                 [&](Warp& w) {
+                   size_t begin = w.global_id() * 1024;
+                   if (begin >= column.size()) return;
+                   size_t len = std::min<size_t>(1024, column.size() - begin);
+                   w.LoadRange(list, begin, len);
+                   w.StoreRange(m.data(), begin,
+                                std::span<const VertexId>(
+                                    m.data().data() + begin, len));
+                 });
+  return m;
+}
+
+}  // namespace
+
+std::vector<PartitionId> HashVertexPartitioner::Assign(const Graph& g,
+                                                       size_t k) const {
+  GSI_CHECK(k >= 1);
+  std::vector<PartitionId> owner(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    owner[v] = static_cast<PartitionId>(SplitMix64(v) % k);
+  }
+  return owner;
+}
+
+std::vector<PartitionId> GreedyEdgeCutPartitioner::Assign(const Graph& g,
+                                                          size_t k) const {
+  GSI_CHECK(k >= 1);
+  const size_t n = g.num_vertices();
+  std::vector<PartitionId> owner(n, 0);
+  if (k == 1 || n == 0) return owner;
+  const double capacity =
+      (static_cast<double>(n) / static_cast<double>(k)) *
+      (1.0 + std::max(0.0, balance_slack_));
+  std::vector<size_t> load(k, 0);
+  std::vector<size_t> with_v(k, 0);  // |N(v) cap P|, rebuilt per vertex
+  for (VertexId v = 0; v < n; ++v) {
+    std::fill(with_v.begin(), with_v.end(), 0);
+    for (const Neighbor& nb : g.neighbors(v)) {
+      if (nb.v < v) ++with_v[owner[nb.v]];  // only already-placed neighbors
+    }
+    PartitionId best = 0;
+    double best_score = -1;
+    for (PartitionId p = 0; p < k; ++p) {
+      if (static_cast<double>(load[p]) >= capacity) continue;
+      const double score =
+          static_cast<double>(with_v[p]) *
+          (1.0 - static_cast<double>(load[p]) / capacity);
+      // Strict > keeps ties on the lowest id; empty-score vertices fall
+      // through to the least-loaded pick below.
+      if (score > best_score) {
+        best_score = score;
+        best = p;
+      }
+    }
+    if (best_score <= 0) {
+      best = static_cast<PartitionId>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+    }
+    owner[v] = best;
+    ++load[best];
+  }
+  return owner;
+}
+
+uint64_t PartitionBuildStats::max_resident_bytes() const {
+  uint64_t worst = 0;
+  for (uint64_t b : resident_bytes) worst = std::max(worst, b);
+  return worst;
+}
+
+Result<PartitionedGraph> PartitionedGraph::Build(
+    std::span<gpusim::Device* const> devs, const Graph& data,
+    const GsiOptions& options, const GraphPartitioner& partitioner) {
+  if (devs.empty()) {
+    return Status::InvalidArgument(
+        "partitioned build needs at least one device");
+  }
+  Status valid = ValidateGsiOptions(options);
+  if (!valid.ok()) return valid;
+  if (options.join.storage != StorageKind::kPcsr) {
+    return Status::InvalidArgument(
+        "partitioned execution requires PCSR storage (join.storage)");
+  }
+  if (options.filter.strategy != FilterStrategy::kSignature) {
+    return Status::InvalidArgument(
+        "partitioned execution requires the signature filter strategy");
+  }
+
+  const size_t k = devs.size();
+  std::vector<PartitionId> owner = partitioner.Assign(data, k);
+  if (owner.size() != data.num_vertices()) {
+    return Status::Internal(partitioner.name() +
+                            " returned an assignment of the wrong size");
+  }
+  for (PartitionId p : owner) {
+    if (p >= k) {
+      return Status::InvalidArgument(partitioner.name() +
+                                     " assigned a vertex outside [0, K)");
+    }
+  }
+
+  PartitionedGraph pg;
+  pg.data_ = &data;
+  pg.options_ = options;
+  pg.partitioner_name_ = partitioner.name();
+  pg.devs_.assign(devs.begin(), devs.end());
+  pg.owner_ = std::move(owner);
+  pg.owned_.resize(k);
+  for (VertexId v = 0; v < data.num_vertices(); ++v) {
+    pg.owned_[pg.owner_[v]].push_back(v);
+  }
+
+  PartitionBuildStats& bs = pg.build_stats_;
+  bs.vertices.resize(k);
+  bs.directed_edges.resize(k);
+  bs.resident_bytes.resize(k);
+  std::vector<uint8_t> keep(data.num_vertices());
+  for (PartitionId p = 0; p < k; ++p) {
+    std::fill(keep.begin(), keep.end(), 0);
+    size_t directed = 0;
+    for (VertexId v : pg.owned_[p]) {
+      keep[v] = 1;
+      directed += data.degree(v);
+    }
+    pg.stores_.push_back(PcsrStore::BuildForVertices(*devs[p], data, keep,
+                                                     options.join.gpn));
+    pg.signatures_.push_back(SignatureTable::BuildSubset(
+        *devs[p], data, pg.owned_[p], options.filter.signature_bits,
+        options.filter.layout));
+    bs.vertices[p] = pg.owned_[p].size();
+    bs.directed_edges[p] = directed;
+    bs.resident_bytes[p] =
+        pg.stores_[p]->device_bytes() + pg.signatures_[p].device_bytes();
+    bs.replicated_bytes += bs.resident_bytes[p];
+  }
+  for (VertexId v = 0; v < data.num_vertices(); ++v) {
+    for (const Neighbor& nb : data.neighbors(v)) {
+      if (nb.v > v && pg.owner_[v] != pg.owner_[nb.v]) ++bs.cut_edges;
+    }
+  }
+  uint64_t max_edges = 0;
+  uint64_t sum_edges = 0;
+  for (size_t e : bs.directed_edges) {
+    max_edges = std::max<uint64_t>(max_edges, e);
+    sum_edges += e;
+  }
+  bs.edge_balance =
+      sum_edges > 0 ? static_cast<double>(max_edges) /
+                          (static_cast<double>(sum_edges) /
+                           static_cast<double>(k))
+                    : 1.0;
+  return pg;
+}
+
+Result<FilterResult> RunFilterStagePartitioned(const PartitionedGraph& pg,
+                                               const Graph& query,
+                                               QueryStats& stats,
+                                               double* parallel_ms) {
+  if (query.num_vertices() == 0) {
+    return Status::InvalidArgument("empty query");
+  }
+  if (!query.IsConnected()) {
+    return Status::InvalidArgument(
+        "query must be connected (run components separately)");
+  }
+  const size_t k = pg.num_partitions();
+  const size_t nu = query.num_vertices();
+  const size_t n = pg.data().num_vertices();
+  const int nbits = pg.options().filter.signature_bits;
+
+  std::vector<Signature> qsigs;
+  qsigs.reserve(nu);
+  for (VertexId u = 0; u < nu; ++u) {
+    qsigs.push_back(Signature::Encode(query, u, nbits));
+  }
+
+  // --- Scan phase: partition p scans its owned vertices on its device (one
+  // fused kernel per partition). A barrier, like the sharded filter's scan.
+  std::vector<std::vector<std::vector<VertexId>>> partial(k);  // [p][u]
+  std::vector<gpusim::MemStats> scan_mem(k);
+  {
+    ThreadPool pool(k);
+    for (PartitionId p = 0; p < k; ++p) {
+      pool.Submit([&, p] {
+        gpusim::Device& dev = pg.device(p);
+        const gpusim::MemStats before = dev.stats();
+        partial[p] =
+            ScanOwnedSignatures(dev, pg.signatures(p), pg.owned(p), qsigs);
+        scan_mem[p] = dev.stats() - before;
+      });
+    }
+    pool.Wait();
+  }
+
+  // --- Gather phase: the per-partition survivor lists all-gather to the
+  // primary (halo traffic: every non-primary byte crosses the
+  // interconnect), which merges them back into globally ascending candidate
+  // lists — partitions own disjoint vertex sets and each list is ascending,
+  // so a K-way merge reproduces the replicated scan's list exactly — and
+  // materializes the candidate buffers (upload + bitset kernel).
+  gpusim::Device& primary = pg.device(0);
+  const gpusim::MemStats before_gather = primary.stats();
+  uint64_t halo = 0;
+  FilterResult result;
+  result.candidates.resize(nu);
+  std::vector<size_t> sizes(nu, 0);
+  for (VertexId u = 0; u < nu; ++u) {
+    size_t total = 0;
+    for (PartitionId p = 0; p < k; ++p) {
+      total += partial[p][u].size();
+      if (p != 0) halo += partial[p][u].size() * sizeof(VertexId);
+    }
+    std::vector<VertexId> merged;
+    merged.reserve(total);
+    std::vector<size_t> cur(k, 0);
+    while (merged.size() < total) {
+      PartitionId best = k;
+      for (PartitionId p = 0; p < k; ++p) {
+        if (cur[p] >= partial[p][u].size()) continue;
+        if (best == k ||
+            partial[p][u][cur[p]] < partial[best][u][cur[best]]) {
+          best = p;
+        }
+      }
+      merged.push_back(partial[best][u][cur[best]++]);
+    }
+    sizes[u] = merged.size();
+    result.candidates[u] = CandidateSet::Create(
+        primary, u, std::move(merged), n, pg.options().filter.build_bitmaps);
+  }
+  primary.ChargeRemoteTransfer(halo);
+  const gpusim::MemStats gather_mem = primary.stats() - before_gather;
+
+  result.min_candidate_size = SIZE_MAX;
+  for (VertexId u = 0; u < nu; ++u) {
+    if (sizes[u] < result.min_candidate_size) {
+      result.min_candidate_size = sizes[u];
+      result.min_candidate_vertex = u;
+    }
+  }
+
+  gpusim::MemStats total;
+  double max_scan_ms = 0;
+  for (PartitionId p = 0; p < k; ++p) {
+    total += scan_mem[p];
+    max_scan_ms =
+        std::max(max_scan_ms, scan_mem[p].SimulatedMs(pg.device(p).config()));
+  }
+  total += gather_mem;
+  stats.filter = total;
+  stats.min_candidate_size = result.min_candidate_size;
+  stats.halo_bytes += halo;
+  if (parallel_ms != nullptr) {
+    *parallel_ms = max_scan_ms + gather_mem.SimulatedMs(primary.config());
+  }
+  return result;
+}
+
+Result<QueryResult> RunJoinStagePartitioned(const PartitionedGraph& pg,
+                                            const Graph& query,
+                                            FilterResult filtered,
+                                            QueryStats stats) {
+  const Graph& data = pg.data();
+  const GsiOptions& options = pg.options();
+  const size_t k = pg.num_partitions();
+  gpusim::Device& primary = pg.device(0);
+
+  QueryResult out;
+  out.stats = stats;
+
+  if (query.num_vertices() == 1) {
+    // Degenerate query: the candidate set is the answer (assembled on the
+    // primary, exactly like RunJoinStage).
+    const CandidateSet& c = filtered.candidates[0];
+    out.table = MatchTable::Alloc(primary, c.size(), 1);
+    for (size_t i = 0; i < c.size(); ++i) out.table.Set(i, 0, c.list()[i]);
+    out.column_to_query = {0};
+    out.stats.partitions_used = 1;
+  } else if (filtered.AnyEmpty()) {
+    // Some query vertex has no candidates: zero matches, skip the join.
+    out.table = MatchTable::Alloc(primary, 0, query.num_vertices());
+    JoinPlan plan = MakeJoinPlan(query, data, filtered.candidates);
+    out.column_to_query = plan.order;
+    out.stats.partitions_used = 1;
+  } else {
+    const JoinPlan plan = MakeJoinPlan(query, data, filtered.candidates);
+    const CandidateSet& seed = filtered.candidates[plan.order[0]];
+
+    // Split the seed list by ownership (host-mediated read, like any seed
+    // scatter): partition p joins the subsequence of C(order[0]) it owns.
+    std::vector<std::vector<VertexId>> seed_cols(k);
+    for (size_t i = 0; i < seed.size(); ++i) {
+      const VertexId v = seed.list()[i];
+      seed_cols[pg.OwnerOf(v)].push_back(v);
+    }
+
+    std::vector<std::optional<Result<MatchTable>>> parts(k);
+    std::vector<gpusim::MemStats> deltas(k);
+    std::vector<JoinStats> part_join(k);
+    std::vector<PartitionView::Remote> remotes(k);
+    {
+      ThreadPool pool(k);
+      for (PartitionId p = 0; p < k; ++p) {
+        pool.Submit([&, p] {
+          gpusim::Device& dev = pg.device(p);
+          const gpusim::MemStats before = dev.stats();
+          if (seed_cols[p].empty()) {
+            parts[p] = MatchTable::Alloc(dev, 0, plan.order.size());
+          } else {
+            MatchTable m = SeedOwned(dev, seed_cols[p]);
+            PartitionView view(&pg, p);
+            JoinEngine join(&dev, &view, options.join);
+            parts[p] = join.RunSteps(plan, filtered.candidates, std::move(m),
+                                     0, plan.steps.size());
+            part_join[p] = join.stats();
+            remotes[p] = view.remote();
+          }
+          deltas[p] = dev.stats() - before;
+        });
+      }
+      pool.Wait();
+    }
+    for (PartitionId p = 0; p < k; ++p) {
+      if (!parts[p]->ok()) return parts[p]->status();
+    }
+
+    // --- Roll-up: counters sum total work; the time is the makespan of the
+    // concurrently-running partitions (each a deterministic function of its
+    // seed subsequence) plus the merge below.
+    gpusim::MemStats join_counters;
+    JoinStats detail;
+    double sum_ms = 0;
+    double max_ms = 0;
+    size_t active = 0;
+    for (PartitionId p = 0; p < k; ++p) {
+      join_counters += deltas[p];
+      if (seed_cols[p].empty()) continue;
+      const double ms = deltas[p].SimulatedMs(pg.device(p).config());
+      ++active;
+      sum_ms += ms;
+      max_ms = std::max(max_ms, ms);
+      detail.iterations = std::max(detail.iterations, part_join[p].iterations);
+      detail.peak_rows += part_join[p].peak_rows;  // concurrently resident
+      detail.total_chunks += part_join[p].total_chunks;
+      detail.dup_cache_hits += part_join[p].dup_cache_hits;
+      detail.dup_cache_misses += part_join[p].dup_cache_misses;
+      out.stats.remote_probes += remotes[p].probes;
+      out.stats.halo_bytes += remotes[p].lines * kTransactionBytes;
+    }
+
+    // --- Merge on the primary, in global seed order. The final table of
+    // any join is grouped by its column-0 (seed) binding, runs appear in
+    // candidate-list (ascending) order, and ownership split the seed list
+    // into disjoint subsequences — so repeatedly taking the run with the
+    // smallest column-0 head reconstructs the replicated table row for
+    // row. Non-primary rows cross the interconnect (halo traffic).
+    const gpusim::MemStats before_merge = primary.stats();
+    const size_t cols_out = plan.order.size();
+    size_t total_rows = 0;
+    std::vector<const MatchTable*> tabs(k);
+    for (PartitionId p = 0; p < k; ++p) {
+      tabs[p] = &parts[p]->value();
+      total_rows += tabs[p]->rows();
+    }
+    MatchTable merged = MatchTable::Alloc(primary, total_rows, cols_out);
+    std::vector<size_t> cur(k, 0);
+    size_t out_row = 0;
+    uint64_t remote_rows = 0;
+    while (out_row < total_rows) {
+      PartitionId best = k;
+      for (PartitionId p = 0; p < k; ++p) {
+        if (cur[p] >= tabs[p]->rows()) continue;
+        if (best == k ||
+            tabs[p]->At(cur[p], 0) < tabs[best]->At(cur[best], 0)) {
+          best = p;
+        }
+      }
+      const VertexId head = tabs[best]->At(cur[best], 0);
+      size_t run_end = cur[best];
+      while (run_end < tabs[best]->rows() &&
+             tabs[best]->At(run_end, 0) == head) {
+        ++run_end;
+      }
+      merged.CopyRowsFrom(*tabs[best], cur[best], out_row,
+                          run_end - cur[best]);
+      if (best != 0) remote_rows += run_end - cur[best];
+      out_row += run_end - cur[best];
+      cur[best] = run_end;
+    }
+    const uint64_t merge_bytes = remote_rows * cols_out * sizeof(VertexId);
+    primary.ChargeRemoteTransfer(merge_bytes);
+    out.stats.halo_bytes += merge_bytes;
+    const gpusim::MemStats merge_mem = primary.stats() - before_merge;
+    join_counters += merge_mem;
+
+    detail.final_rows = merged.rows();
+    detail.peak_rows = std::max(detail.peak_rows, merged.rows());
+    out.table = std::move(merged);
+    out.column_to_query = plan.order;
+    out.stats.join = join_counters;
+    out.stats.join_detail = detail;
+    out.stats.partitions_used = std::max<size_t>(1, active);
+    out.stats.partition_skew =
+        active > 0 && sum_ms > 0
+            ? max_ms / (sum_ms / static_cast<double>(active))
+            : 0;
+    out.stats.join_ms =
+        max_ms + merge_mem.SimulatedMs(primary.config());
+  }
+
+  out.stats.filter_ms = out.stats.filter.SimulatedMs(primary.config());
+  if (out.stats.join_ms == 0) {
+    out.stats.join_ms = out.stats.join.SimulatedMs(primary.config());
+  }
+  out.stats.total_ms = out.stats.filter_ms + out.stats.join_ms;
+  out.stats.num_matches = out.table.rows();
+  return out;
+}
+
+Result<QueryResult> ExecuteQueryPartitioned(const PartitionedGraph& pg,
+                                            const Graph& query) {
+  WallTimer wall;
+  QueryStats stats;
+  double filter_parallel_ms = 0;
+  Result<FilterResult> filtered =
+      RunFilterStagePartitioned(pg, query, stats, &filter_parallel_ms);
+  if (!filtered.ok()) return filtered.status();
+  Result<QueryResult> out = RunJoinStagePartitioned(
+      pg, query, std::move(filtered.value()), stats);
+  if (out.ok()) {
+    // The join stage derives filter_ms from the summed counters; restore
+    // the fanned-out filter's makespan so total_ms reflects wall-parallel
+    // partitions, not serialized work.
+    out->stats.filter_ms = filter_parallel_ms;
+    out->stats.total_ms = out->stats.filter_ms + out->stats.join_ms;
+    out->stats.wall_ms = wall.ElapsedMs();
+  }
+  return out;
+}
+
+}  // namespace gsi

@@ -39,6 +39,24 @@ Result<QueryResult> QueryEngine::RunSharded(
                              shard_options, query);
 }
 
+Result<QueryResult> QueryEngine::RunPartitioned(
+    const Graph& query, const PartitionedGraph& pg) const {
+  if (!init_status_.ok()) return init_status_;
+  if (&pg.data() != data_) {
+    return Status::InvalidArgument(
+        "PartitionedGraph was built over a different data graph");
+  }
+  if (!(pg.options() == options_)) {
+    // Divergent tuning (signature width, join order inputs, chunking...)
+    // would execute fine but silently break the documented bit-identical
+    // parity with Run, so reject it up front.
+    return Status::InvalidArgument(
+        "PartitionedGraph was built with different GsiOptions than this "
+        "engine");
+  }
+  return ExecuteQueryPartitioned(pg, query);
+}
+
 BatchResult QueryEngine::RunBatch(std::span<const Graph> queries,
                                   const BatchOptions& options) const {
   BatchResult batch;

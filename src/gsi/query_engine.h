@@ -9,6 +9,7 @@
 #include "graph/graph.h"
 #include "gsi/filter.h"
 #include "gsi/matcher.h"
+#include "gsi/partition.h"
 #include "gsi/sharded_engine.h"
 #include "storage/neighbor_store.h"
 #include "util/status.h"
@@ -59,6 +60,19 @@ struct BatchResult {
 /// gpusim::Device, so per-query stats are isolated and results are
 /// bit-identical to sequential GsiMatcher::Find. The data graph must
 /// outlive the engine.
+///
+/// Thread-safety: Run/RunBatch are safe to call concurrently from any
+/// number of threads (they only read the shared structures). RunSharded
+/// and RunPartitioned are safe as long as the devices they are handed
+/// belong to exactly one call at a time (lease them from a DevicePool).
+///
+/// Ownership: every returned QueryResult owns its MatchTable outright —
+/// results outlive the engine, the devices that produced them, and each
+/// other; nothing in a result aliases engine state. Determinism: for a
+/// fixed (data, options, query), the match table and all simulated
+/// counters are identical across runs, thread counts and execution
+/// strategies (see docs/ARCHITECTURE.md, "Where determinism is
+/// enforced").
 class QueryEngine {
  public:
   explicit QueryEngine(const Graph& data,
@@ -74,6 +88,15 @@ class QueryEngine {
   Result<QueryResult> RunSharded(
       const Graph& query, std::span<gpusim::Device* const> devs,
       const ShardOptions& shard_options = ShardOptions()) const;
+
+  /// Runs one query against a *partitioned* data graph (each device holds
+  /// 1/K of the PCSR + signature table instead of this engine's replica;
+  /// see gsi/partition.h). `pg` must have been built over the same data
+  /// graph and GsiOptions as this engine; results are then bit-identical to
+  /// Run / GsiMatcher::Find. Thread-safe as long as only one query executes
+  /// against `pg` (and its devices) at a time.
+  Result<QueryResult> RunPartitioned(const Graph& query,
+                                     const PartitionedGraph& pg) const;
 
   /// Runs every query, spreading them over options.num_threads workers.
   /// Always returns one entry per query, in input order.

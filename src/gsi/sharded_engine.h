@@ -87,7 +87,10 @@ Result<QueryResult> RunJoinStageSharded(std::span<gpusim::Device* const> devs,
 /// Full sharded execution: RunFilterStageSharded then RunJoinStageSharded
 /// across the same devices. With devs.size() == 1 this is exactly
 /// ExecuteQuery. Each device must be used by one call at a time (lease them
-/// from a DevicePool).
+/// from a DevicePool). The returned QueryResult owns its merged MatchTable
+/// (no aliasing of device or engine state), and both the table and every
+/// simulated counter are deterministic for a fixed (data, options, devices
+/// count, query) — host thread scheduling cannot perturb them.
 Result<QueryResult> ExecuteQuerySharded(std::span<gpusim::Device* const> devs,
                                         const Graph& data,
                                         const NeighborStore& store,

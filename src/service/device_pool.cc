@@ -60,6 +60,29 @@ std::optional<DevicePool::Lease> DevicePool::TryAcquire() {
   return Lease(this, index);
 }
 
+std::vector<DevicePool::Lease> DevicePool::AcquireAll() {
+  std::vector<Lease> leases;
+  leases.reserve(devices_.size());
+  bool counted_blocked = false;  // blocked counts calls, not busy indices
+  for (size_t i = 0; i < devices_.size(); ++i) {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto held = [&] {
+      return std::find(free_.begin(), free_.end(), i) != free_.end();
+    };
+    if (!held() && !counted_blocked) {
+      ++stats_.blocked;
+      counted_blocked = true;
+    }
+    idle_cv_.wait(lock, held);
+    free_.erase(std::find(free_.begin(), free_.end(), i));
+    ++stats_.acquired;
+    stats_.in_use = devices_.size() - free_.size();
+    stats_.peak_in_use = std::max(stats_.peak_in_use, stats_.in_use);
+    leases.push_back(Lease(this, i));
+  }
+  return leases;
+}
+
 std::vector<DevicePool::Lease> DevicePool::AcquireUpTo(size_t max_devices) {
   max_devices = std::max<size_t>(1, max_devices);
   std::vector<Lease> leases;
@@ -88,7 +111,10 @@ void DevicePool::Release(size_t index) {
     free_.push_back(index);
     stats_.in_use = devices_.size() - free_.size();
   }
-  idle_cv_.notify_one();
+  // notify_all, not notify_one: AcquireAll waiters need *specific* indices,
+  // so waking one arbitrary waiter could park a freed device next to an
+  // Acquire waiter that would take anything.
+  idle_cv_.notify_all();
 }
 
 }  // namespace gsi

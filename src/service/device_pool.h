@@ -85,6 +85,16 @@ class DevicePool {
   /// max_devices leases (max_devices == 0 is treated as 1).
   std::vector<Lease> AcquireUpTo(size_t max_devices);
 
+  /// Blocks until every device has been leased, acquiring them in index
+  /// order (devices_[0] first) — the primitive of the partitioned data
+  /// graph, where a query must run on exactly the devices that hold the
+  /// partitions, so queries serialize on the whole set. Acquiring in a
+  /// fixed order keeps concurrent AcquireAll callers deadlock-free (they
+  /// all contend on index 0 first), and Acquire/TryAcquire holders never
+  /// wait on anyone, so no cycle can form. Returned leases are in index
+  /// order: leases[p] is device p.
+  std::vector<Lease> AcquireAll();
+
   Stats stats() const;
 
  private:

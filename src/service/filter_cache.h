@@ -30,6 +30,14 @@ namespace gsi {
 /// O(sum |C(u)|) — identical candidate sets in, identical match tables out,
 /// just a cheaper filter phase. Entries are evicted LRU-first to stay under
 /// a byte budget. All methods are thread-safe.
+///
+/// Ownership: entries are shared_ptr<const Entry> — a looked-up entry
+/// stays valid after eviction or Clear, and Materialize builds a fresh
+/// FilterResult (device buffers owned by the caller's device) without
+/// aliasing the cache. The cache serves every execution strategy: the
+/// replicated, sharded and partitioned paths all consume the same global
+/// candidate lists, so one instance is shared across them per
+/// (data graph, GsiOptions) pair.
 class FilterCache {
  public:
   struct Options {

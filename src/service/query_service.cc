@@ -36,7 +36,33 @@ QueryService::QueryService(const Graph& data, GsiOptions gsi_options,
   const size_t num_devices = options_.num_devices > 0
                                  ? static_cast<size_t>(options_.num_devices)
                                  : workers;
+  if (options_.partition_data_graph && options_.max_shards_per_query > 1) {
+    init_status_ = Status::InvalidArgument(
+        "partition_data_graph is incompatible with max_shards_per_query > 1 "
+        "(intra-query sharding assumes every device holds a replica)");
+    return;
+  }
   devices_ = std::make_unique<DevicePool>(num_devices, gsi_options.device);
+  if (options_.partition_data_graph) {
+    // Workers have not started, so the pool is idle: take every device (in
+    // index order) and build its 1/K share on it. The leases drop at scope
+    // exit; queries re-acquire the full set per execution.
+    std::vector<DevicePool::Lease> leases = devices_->AcquireAll();
+    std::vector<gpusim::Device*> devs;
+    devs.reserve(leases.size());
+    for (DevicePool::Lease& l : leases) devs.push_back(l.get());
+    const HashVertexPartitioner default_partitioner;
+    const GraphPartitioner& partitioner = options_.partitioner
+                                              ? *options_.partitioner
+                                              : default_partitioner;
+    Result<PartitionedGraph> pg =
+        PartitionedGraph::Build(devs, data, gsi_options, partitioner);
+    if (!pg.ok()) {
+      init_status_ = pg.status();
+      return;
+    }
+    partitioned_ = std::make_unique<PartitionedGraph>(std::move(pg.value()));
+  }
   pool_ = std::make_unique<ThreadPool>(workers);
   for (size_t i = 0; i < workers; ++i) {
     pool_->Submit([this] { WorkerLoop(); });
@@ -176,6 +202,13 @@ void QueryService::FinishLocked(const TicketPtr& ticket,
       stats_.max_shard_skew =
           std::max(stats_.max_shard_skew, result->stats.shard_skew);
     }
+    if (result->stats.partitions_used > 0) {
+      ++stats_.partitioned_queries;
+      stats_.remote_probes += result->stats.remote_probes;
+      stats_.halo_bytes += result->stats.halo_bytes;
+      stats_.max_partition_skew =
+          std::max(stats_.max_partition_skew, result->stats.partition_skew);
+    }
     if (latencies_ms_.size() < kLatencyWindow) {
       latencies_ms_.push_back(result->stats.total_ms);
     } else {
@@ -227,37 +260,71 @@ void QueryService::WorkerLoop() {
   }
 }
 
+Result<FilterResult> QueryService::FilterViaCache(
+    const Graph& query, gpusim::Device& materialize_dev, QueryStats& stats,
+    bool* hit, const std::function<Result<FilterResult>()>& fresh_filter) {
+  if (hit != nullptr) *hit = false;
+  if (!cache_) return fresh_filter();
+  const std::string key = FilterCache::KeyOf(query);
+  if (std::shared_ptr<const FilterCache::Entry> entry = cache_->Lookup(key)) {
+    // Hit: skip the scan kernels, re-upload the memoized candidate lists
+    // (and bitset kernel) onto `materialize_dev`.
+    const gpusim::MemStats before = materialize_dev.stats();
+    FilterResult filtered = FilterCache::Materialize(
+        materialize_dev, *entry, data_->num_vertices(),
+        engine_.options().filter.build_bitmaps);
+    stats.filter = materialize_dev.stats() - before;
+    stats.min_candidate_size = entry->min_candidate_size;
+    if (hit != nullptr) *hit = true;
+    return filtered;
+  }
+  Result<FilterResult> fresh = fresh_filter();
+  if (fresh.ok()) cache_->Insert(key, FilterCache::MakeEntry(*fresh));
+  return fresh;
+}
+
 Result<QueryResult> QueryService::RunOne(const Graph& query) {
   const GsiOptions& go = engine_.options();
+  if (partitioned_) {
+    // The partitions *are* the data: a query needs every pool device, so
+    // partitioned queries serialize on AcquireAll (workers just queue).
+    const PartitionedGraph& pg = *partitioned_;
+    std::vector<DevicePool::Lease> all = devices_->AcquireAll();
+    WallTimer wall;
+    QueryStats stats;
+    double filter_parallel_ms = 0;
+    bool cache_hit = false;
+    Result<FilterResult> filtered =
+        FilterViaCache(query, pg.device(0), stats, &cache_hit, [&] {
+          return RunFilterStagePartitioned(pg, query, stats,
+                                           &filter_parallel_ms);
+        });
+    if (!filtered.ok()) return filtered.status();
+    if (cache_hit) {
+      // The memoized lists are already global: the partition scans (and
+      // their halo gather) were skipped and the phase ran on the primary.
+      filter_parallel_ms = stats.filter.SimulatedMs(pg.device(0).config());
+    }
+    Result<QueryResult> out = RunJoinStagePartitioned(
+        pg, query, std::move(filtered.value()), stats);
+    if (out.ok()) {
+      out->stats.filter_ms = filter_parallel_ms;
+      out->stats.total_ms = out->stats.filter_ms + out->stats.join_ms;
+      out->stats.wall_ms = wall.ElapsedMs();
+    }
+    return out;
+  }
   DevicePool::Lease primary = devices_->Acquire();
   gpusim::Device& dev = *primary;
 
   WallTimer wall;
   QueryStats stats;
-  FilterResult filtered;
-  if (!cache_) {
-    Result<FilterResult> fresh =
-        RunFilterStage(dev, engine_.filter(), query, stats);
-    if (!fresh.ok()) return fresh.status();
-    filtered = std::move(fresh.value());
-  } else {
-    const std::string key = FilterCache::KeyOf(query);
-    if (std::shared_ptr<const FilterCache::Entry> hit = cache_->Lookup(key)) {
-      // Hit: skip the signature-scan kernels, re-upload the memoized
-      // candidate lists (and bitset kernel) onto the leased device.
-      gpusim::MemStats before = dev.stats();
-      filtered = FilterCache::Materialize(dev, *hit, data_->num_vertices(),
-                                          go.filter.build_bitmaps);
-      stats.filter = dev.stats() - before;
-      stats.min_candidate_size = hit->min_candidate_size;
-    } else {
-      Result<FilterResult> fresh =
-          RunFilterStage(dev, engine_.filter(), query, stats);
-      if (!fresh.ok()) return fresh.status();
-      cache_->Insert(key, FilterCache::MakeEntry(*fresh));
-      filtered = std::move(fresh.value());
-    }
-  }
+  Result<FilterResult> filtered_or =
+      FilterViaCache(query, dev, stats, nullptr, [&] {
+        return RunFilterStage(dev, engine_.filter(), query, stats);
+      });
+  if (!filtered_or.ok()) return filtered_or.status();
+  FilterResult filtered = std::move(filtered_or.value());
 
   // Heavy query + idle devices -> fan the join out. The extra leases are
   // taken without blocking so sharding can never stall a light query, and

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -12,6 +13,7 @@
 
 #include "graph/graph.h"
 #include "gsi/matcher.h"
+#include "gsi/partition.h"
 #include "gsi/query_engine.h"
 #include "gsi/sharded_engine.h"
 #include "service/device_pool.h"
@@ -61,6 +63,19 @@ struct ServiceOptions {
   /// (FilterCache). Match results are bit-identical either way.
   bool enable_filter_cache = true;
   size_t filter_cache_bytes = 64ull << 20;
+
+  /// Partition the data graph across the device pool instead of replicating
+  /// it: each pool device holds 1/K of the PCSR + signature table
+  /// (K = pool size; see gsi/partition.h). Queries then need *all* devices
+  /// (the partitions are the data), so they serialize on the pool via
+  /// DevicePool::AcquireAll — the memory-capacity/concurrency trade
+  /// documented in docs/ARCHITECTURE.md. Incompatible with
+  /// max_shards_per_query > 1 (the sharded path assumes replicas); match
+  /// results stay bit-identical to GsiMatcher::Find. Requires PCSR storage
+  /// and the signature filter strategy.
+  bool partition_data_graph = false;
+  /// Ownership policy for partition_data_graph (null = HashVertexPartitioner).
+  std::shared_ptr<const GraphPartitioner> partitioner;
 };
 
 /// Per-submission overrides.
@@ -91,6 +106,11 @@ struct ServiceStats {
   uint64_t sharded_queries = 0;  ///< completed-ok queries that fanned out
   uint64_t shards_executed = 0;  ///< total shards across those queries
   double max_shard_skew = 0;     ///< worst max/mean per-shard time observed
+  /// Partitioned data-graph activity (zeros unless partition_data_graph).
+  uint64_t partitioned_queries = 0;  ///< completed-ok partitioned queries
+  uint64_t remote_probes = 0;        ///< cross-partition N(v, l) lookups
+  uint64_t halo_bytes = 0;           ///< interconnect bytes, filter + join
+  double max_partition_skew = 0;     ///< worst max/mean per-partition time
   DevicePool::Stats pool;        ///< device-pool health
 };
 
@@ -151,9 +171,16 @@ class QueryTicket {
 /// tables bit-identical to sequential GsiMatcher::Find — sharding and
 /// caching only change where the work runs and what it costs.
 ///
-/// Thread-safe. The data graph must outlive the service. The destructor
-/// cancels still-queued tickets, lets running queries finish, and joins the
-/// workers.
+/// With partition_data_graph set, the pool's devices each hold 1/K of the
+/// data structures instead of sharing the engine's replica; queries then
+/// take the whole pool (DevicePool::AcquireAll) and run the partitioned
+/// filter/join of gsi/partition.h — still bit-identical, still
+/// cache-compatible (memoized candidate lists are global either way).
+///
+/// Thread-safe. The data graph must outlive the service. Results handed
+/// out by Poll/Wait own their match tables; they stay valid after the
+/// service is destroyed. The destructor cancels still-queued tickets, lets
+/// running queries finish, and joins the workers.
 class QueryService {
  public:
   explicit QueryService(const Graph& data,
@@ -201,8 +228,18 @@ class QueryService {
   /// Executes one query: leases a primary device from the pool, satisfies
   /// the filter phase (through the cache when enabled), and — when the
   /// query is heavy and devices are idle — fans the join out across up to
-  /// max_shards_per_query devices.
+  /// max_shards_per_query devices. In partition_data_graph mode it instead
+  /// takes the whole pool and runs the partitioned filter/join.
   Result<QueryResult> RunOne(const Graph& query);
+  /// Satisfies the filter phase through the cache when enabled: a hit
+  /// rematerializes the memoized lists on `materialize_dev` (recording the
+  /// counter delta and min-candidate metric into `stats`); a miss runs
+  /// `fresh_filter` and memoizes its candidate lists. Shared by the
+  /// replicated and partitioned execution paths — the memoized lists are
+  /// global either way. `hit` (when non-null) reports which path ran.
+  Result<FilterResult> FilterViaCache(
+      const Graph& query, gpusim::Device& materialize_dev, QueryStats& stats,
+      bool* hit, const std::function<Result<FilterResult>()>& fresh_filter);
   void FinishLocked(const TicketPtr& ticket, Result<QueryResult> result);
 
   /// Completed-ok latencies kept for the percentile snapshot.
@@ -214,6 +251,9 @@ class QueryService {
   Status init_status_;
   std::unique_ptr<FilterCache> cache_;  // null when disabled
   std::unique_ptr<DevicePool> devices_;  // null when init failed
+  /// The 1/K-per-device data graph (partition_data_graph mode); built over
+  /// the pool's devices in index order, null otherwise.
+  std::unique_ptr<PartitionedGraph> partitioned_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // queue non-empty or stopping

@@ -17,6 +17,22 @@ LabelPartition MakePartition(const Graph& g, Label l) {
   return p;
 }
 
+LabelPartition MakePartitionForVertices(const Graph& g, Label l,
+                                        std::span<const uint8_t> keep) {
+  LabelPartition p;
+  p.label = l;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (keep[v] == 0) continue;
+    std::span<const Neighbor> nbrs = g.NeighborsWithLabel(v, l);
+    if (nbrs.empty()) continue;
+    p.vertices.push_back(v);
+    p.offsets.push_back(p.neighbors.size());
+    for (const Neighbor& n : nbrs) p.neighbors.push_back(n.v);
+  }
+  p.offsets.push_back(p.neighbors.size());
+  return p;
+}
+
 std::vector<LabelPartition> PartitionByEdgeLabel(const Graph& g) {
   std::vector<LabelPartition> parts;
   parts.reserve(g.num_edge_labels());

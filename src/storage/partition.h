@@ -2,6 +2,7 @@
 #define GSI_STORAGE_PARTITION_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
@@ -31,6 +32,14 @@ std::vector<LabelPartition> PartitionByEdgeLabel(const Graph& g);
 
 /// Builds the partition for a single label (empty partition if unused).
 LabelPartition MakePartition(const Graph& g, Label l);
+
+/// Like MakePartition, but keeps only the rows of vertices v with
+/// keep[v] != 0: the unit from which a *device-partitioned* PCSR is built
+/// (gsi/partition.h). Neighbor ids stay global — only the row set shrinks,
+/// so each directed edge (u -> w) lands in exactly the partition that keeps
+/// u. `keep` must have one entry per vertex of g.
+LabelPartition MakePartitionForVertices(const Graph& g, Label l,
+                                        std::span<const uint8_t> keep);
 
 }  // namespace gsi
 

@@ -220,6 +220,21 @@ std::unique_ptr<PcsrStore> PcsrStore::Build(gpusim::Device& dev,
   return store;
 }
 
+std::unique_ptr<PcsrStore> PcsrStore::BuildForVertices(
+    gpusim::Device& dev, const Graph& g, std::span<const uint8_t> keep,
+    int gpn) {
+  GSI_CHECK(keep.size() == g.num_vertices());
+  auto store = std::unique_ptr<PcsrStore>(new PcsrStore());
+  for (Label l : g.edge_labels()) {
+    LabelPartition part = MakePartitionForVertices(g, l, keep);
+    Result<PcsrPartition> p = PcsrPartition::Build(dev, part, gpn);
+    GSI_CHECK_MSG(p.ok(), "partitioned PCSR build failed");
+    store->label_index_[l] = store->per_label_.size();
+    store->per_label_.push_back(std::move(p.value()));
+  }
+  return store;
+}
+
 const PcsrPartition* PcsrStore::partition(Label l) const {
   auto it = label_index_.find(l);
   if (it == label_index_.end()) return nullptr;

@@ -2,6 +2,7 @@
 #define GSI_STORAGE_PCSR_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -91,6 +92,18 @@ class PcsrStore final : public NeighborStore {
  public:
   static std::unique_ptr<PcsrStore> Build(gpusim::Device& dev, const Graph& g,
                                           int gpn = 16);
+
+  /// Builds the PCSR share of one *device partition*: only the adjacency
+  /// rows of vertices v with keep[v] != 0 are stored (neighbor ids stay
+  /// global). Hash-layer groups are sized to the kept key count, so the
+  /// K shares of a graph sum to exactly the bytes of the replicated store:
+  /// per-device residency really is ~1/K. Lookups of non-kept vertices
+  /// report "not found" (count 0) — the partitioned execution path never
+  /// issues them locally; it routes them to the owner as remote probes
+  /// (gsi/partition.h). `keep` must have one entry per vertex of g.
+  static std::unique_ptr<PcsrStore> BuildForVertices(
+      gpusim::Device& dev, const Graph& g, std::span<const uint8_t> keep,
+      int gpn = 16);
 
   size_t Extract(gpusim::Warp& w, VertexId v, Label l,
                  std::vector<VertexId>& out) const override;

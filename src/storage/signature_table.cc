@@ -26,6 +26,27 @@ SignatureTable SignatureTable::Build(gpusim::Device& dev, const Graph& g,
   return t;
 }
 
+SignatureTable SignatureTable::BuildSubset(gpusim::Device& dev,
+                                           const Graph& g,
+                                           std::span<const VertexId> vertices,
+                                           int nbits, Layout layout) {
+  SignatureTable t;
+  t.num_vertices_ = vertices.size();
+  t.nbits_ = nbits;
+  t.words_per_sig_ = Signature::WordsFor(nbits);
+  t.layout_ = layout;
+  std::vector<uint32_t> data(t.num_vertices_ *
+                             static_cast<size_t>(t.words_per_sig_));
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    Signature s = Signature::Encode(g, vertices[i], nbits);
+    for (int w = 0; w < t.words_per_sig_; ++w) {
+      data[t.IndexOf(static_cast<VertexId>(i), w)] = s.word(w);
+    }
+  }
+  t.data_ = dev.Upload(std::move(data));
+  return t;
+}
+
 void SignatureTable::WarpReadWord(gpusim::Warp& w, VertexId v0, size_t lanes,
                                   int word, uint32_t* out) const {
   GSI_CHECK(lanes <= static_cast<size_t>(gpusim::kWarpSize));

@@ -2,6 +2,7 @@
 #define GSI_STORAGE_SIGNATURE_TABLE_H_
 
 #include <cstdint>
+#include <span>
 
 #include "gpusim/device.h"
 #include "gpusim/launch.h"
@@ -27,6 +28,17 @@ class SignatureTable {
   /// Encodes all vertices of g offline and uploads the table.
   static SignatureTable Build(gpusim::Device& dev, const Graph& g, int nbits,
                               Layout layout = Layout::kColumnMajor);
+
+  /// One *device partition's* share: row i holds the signature of global
+  /// vertex vertices[i] (signatures are still computed over g's full
+  /// adjacency — ownership splits storage, not neighborhoods). Indexing
+  /// (IndexOf, WarpReadWord, WordAt) is by local row i; the caller maps
+  /// local rows back to vertices[i]. The K shares of a graph sum to
+  /// exactly the replicated table's bytes.
+  static SignatureTable BuildSubset(gpusim::Device& dev, const Graph& g,
+                                    std::span<const VertexId> vertices,
+                                    int nbits,
+                                    Layout layout = Layout::kColumnMajor);
 
   /// Element index of (vertex, word) under the table's layout.
   uint64_t IndexOf(VertexId v, int word) const {

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <mutex>
 #include <optional>
 #include <set>
@@ -146,6 +148,71 @@ TEST(DevicePool, ContentionNeverDoubleLeases) {
   EXPECT_EQ(s.in_use, 0u);
   EXPECT_GE(s.acquired, kThreads * kItersPerThread);
   EXPECT_LE(s.peak_in_use, kDevices);
+}
+
+TEST(DevicePool, AcquireAllReturnsEveryDeviceInIndexOrder) {
+  DevicePool pool(4);
+  std::vector<DevicePool::Lease> leases = pool.AcquireAll();
+  ASSERT_EQ(leases.size(), 4u);
+  EXPECT_EQ(pool.idle(), 0u);
+  std::vector<gpusim::Device*> first;
+  for (DevicePool::Lease& l : leases) first.push_back(l.get());
+  for (size_t i = 0; i < first.size(); ++i) {
+    for (size_t j = i + 1; j < first.size(); ++j) {
+      EXPECT_NE(first[i], first[j]);
+    }
+  }
+  leases.clear();  // release all
+  // Index order is stable: lease p is the pool's p-th device on every full
+  // acquisition — the contract the partitioned data graph relies on
+  // (partition p lives on device p).
+  std::vector<DevicePool::Lease> again = pool.AcquireAll();
+  ASSERT_EQ(again.size(), 4u);
+  for (size_t i = 0; i < again.size(); ++i) {
+    EXPECT_EQ(again[i].get(), first[i]);
+  }
+}
+
+TEST(DevicePool, AcquireAllWaitsForOutstandingLeases) {
+  DevicePool pool(3);
+  std::optional<DevicePool::Lease> held = pool.TryAcquire();
+  ASSERT_TRUE(held.has_value());
+
+  std::atomic<bool> acquired_all{false};
+  std::thread waiter([&] {
+    std::vector<DevicePool::Lease> all = pool.AcquireAll();
+    EXPECT_EQ(all.size(), 3u);
+    acquired_all = true;
+  });
+  // The waiter cannot finish while one device is leased out.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(acquired_all.load());
+  held.reset();  // release; AcquireAll can now complete
+  waiter.join();
+  EXPECT_TRUE(acquired_all.load());
+  EXPECT_EQ(pool.idle(), 3u);
+}
+
+TEST(DevicePool, ConcurrentAcquireAllCallersDoNotDeadlock) {
+  DevicePool pool(4);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 25;
+  std::atomic<int> completed{0};
+  {
+    ThreadPool workers(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      workers.Submit([&] {
+        for (int i = 0; i < kIters; ++i) {
+          std::vector<DevicePool::Lease> all = pool.AcquireAll();
+          EXPECT_EQ(all.size(), 4u);
+          ++completed;
+        }
+      });
+    }
+    workers.Wait();
+  }
+  EXPECT_EQ(completed.load(), kThreads * kIters);
+  EXPECT_EQ(pool.idle(), 4u);
 }
 
 }  // namespace

@@ -162,6 +162,57 @@ TEST(QueryService, CacheHitsStayBitIdenticalAndSpeedUpTheFilterPhase) {
   EXPECT_GT(stats.cache.bytes, 0u);
 }
 
+TEST(QueryService, PartitionedDataGraphStaysBitIdentical) {
+  for (bool cache : {false, true}) {
+    Graph data = SmallData(700);
+    std::vector<Graph> queries;
+    for (uint64_t q = 0; q < 8; ++q) {
+      queries.push_back(testing::RandomQuery(data, 5, 7000 + q));
+    }
+    GsiMatcher sequential(data, GsiOptOptions());
+
+    ServiceOptions so;
+    so.num_workers = 3;
+    so.num_devices = 4;  // the data graph splits 4 ways
+    so.partition_data_graph = true;
+    so.enable_filter_cache = cache;
+    QueryService service(data, GsiOptOptions(), so);
+    ASSERT_TRUE(service.init_status().ok())
+        << service.init_status().ToString();
+
+    std::vector<QueryTicket> tickets;
+    for (const Graph& q : queries) {
+      Result<QueryTicket> t = service.Submit(q);
+      ASSERT_TRUE(t.ok());
+      tickets.push_back(*t);
+    }
+    for (size_t i = 0; i < queries.size(); ++i) {
+      Result<QueryResult> expected = sequential.Find(queries[i]);
+      Result<QueryResult> got = service.Wait(tickets[i]);
+      ASSERT_EQ(expected.ok(), got.ok()) << "query " << i;
+      if (!expected.ok()) continue;
+      EXPECT_TRUE(got->TableEquals(*expected))
+          << "query " << i << " cache=" << cache;
+      EXPECT_GE(got->stats.partitions_used, 1u);
+    }
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.partitioned_queries, stats.completed_ok);
+    EXPECT_GT(stats.halo_bytes, 0u);
+    EXPECT_GT(stats.remote_probes, 0u);
+  }
+}
+
+TEST(QueryService, PartitionModeRejectsShardingCombination) {
+  Graph data = SmallData(900);
+  ServiceOptions so;
+  so.partition_data_graph = true;
+  so.max_shards_per_query = 4;
+  QueryService service(data, GsiOptOptions(), so);
+  EXPECT_EQ(service.init_status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.Submit(testing::RandomQuery(data, 3, 1)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(QueryService, RejectsWithResourceExhaustedWhenQueueIsFull) {
   ServiceOptions so;
   so.num_workers = 1;
