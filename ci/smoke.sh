@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# CI smoke driver: runs the example binaries and bench smokes that used to
+# be hand-rolled workflow steps, one named smoke per invocation (or `all`).
+# Bench smokes run at GSI_BENCH_SCALE=1 with tiny query counts — they
+# exercise the end-to-end paths, not produce paper-scale numbers — and
+# every `--json` record lands in $ARTIFACTS_DIR so the workflow can upload
+# the full set as one artifact (the cross-run perf trajectory).
+#
+# Usage: ci/smoke.sh [all | <smoke> ...]
+# Env:   BUILD_DIR (default: build), ARTIFACTS_DIR (default: bench-artifacts)
+
+set -euo pipefail
+
+BUILD_DIR="${BUILD_DIR:-build}"
+ARTIFACTS_DIR="${ARTIFACTS_DIR:-bench-artifacts}"
+mkdir -p "$ARTIFACTS_DIR"
+
+ALL_SMOKES=(
+  example-query-service
+  example-sharded
+  example-partitioned
+  example-replicated
+  bench-service
+  bench-sharding
+  bench-partition
+  bench-replication
+)
+
+run_bench() {
+  # run_bench <binary> <json-name> [ENV=VAL ...]
+  local binary="$1" json="$2"
+  shift 2
+  echo "::group::bench $binary"
+  env GSI_BENCH_SCALE=1 GSI_BENCH_QUERIES=3 "$@" \
+    "$BUILD_DIR/bench/$binary" --json "$ARTIFACTS_DIR/$json"
+  cat "$ARTIFACTS_DIR/$json"
+  echo
+  echo "::endgroup::"
+}
+
+run_smoke() {
+  case "$1" in
+    # Exercise the async serving paths end-to-end (submit/poll, admission
+    # control, deadlines, filter cache) outside the unit-test harness.
+    example-query-service)
+      GSI_SERVICE_VERTICES=1000 GSI_SERVICE_QUERIES=160 \
+        "$BUILD_DIR/examples/query_service"
+      ;;
+    # Multi-device fan-out over the shared pool.
+    example-sharded)
+      GSI_SHARD_EXAMPLE_SCALE=1 GSI_SHARD_EXAMPLE_DEVICES=4 \
+        "$BUILD_DIR/examples/sharded_query"
+      ;;
+    # Halo-exchange execution over the 1/K-per-device data graph.
+    example-partitioned)
+      GSI_PARTITION_EXAMPLE_SCALE=1 GSI_PARTITION_EXAMPLE_PARTITIONS=4 \
+        "$BUILD_DIR/examples/partitioned_query"
+      ;;
+    # R-way replicated partitions: concurrent lanes + replica routing.
+    example-replicated)
+      GSI_REPL_EXAMPLE_SCALE=1 GSI_REPL_EXAMPLE_REPLICAS=2 \
+        "$BUILD_DIR/examples/replicated_query"
+      ;;
+    bench-service)
+      run_bench bench_service_throughput bench_service.json \
+        GSI_BENCH_QUERIES=5
+      ;;
+    # 2-device fan-out exercises the device-pool path end-to-end.
+    bench-sharding)
+      run_bench bench_sharding_scalability bench_sharding.json \
+        GSI_BENCH_DEVICES="1 2"
+      ;;
+    # K=2 exercises the halo-exchange path and the memory-per-device
+    # reduction accounting.
+    bench-partition)
+      run_bench bench_partition_scalability bench_partition.json \
+        GSI_BENCH_PARTITIONS="1 2"
+      ;;
+    # R=2 at K=4 exercises AcquireOneOfEach lanes, replica routing and the
+    # bit-identical check against single-device execution.
+    bench-replication)
+      run_bench bench_replication_scalability bench_replication.json \
+        GSI_BENCH_REPLICAS="1 2" GSI_BENCH_REPL_QUERIES=4
+      ;;
+    *)
+      echo "unknown smoke: $1" >&2
+      echo "known: all ${ALL_SMOKES[*]}" >&2
+      exit 2
+      ;;
+  esac
+}
+
+if [ "$#" -eq 0 ] || [ "$1" = "all" ]; then
+  set -- "${ALL_SMOKES[@]}"
+fi
+for smoke in "$@"; do
+  echo "=== smoke: $smoke"
+  run_smoke "$smoke"
+done

@@ -1,0 +1,163 @@
+// R-way replicated partitions: each of K partitions stored on R of K
+// simulated devices (staggered placement), so a partitioned query leases
+// one replica of each — K/R devices, leaving R concurrent lanes — and
+// probes of peer partitions are served by co-resident replicas instead of
+// the interconnect. Sweeps R for one heavy query, then runs a concurrent
+// burst through QueryService to show the lanes working (AcquireOneOfEach,
+// least-loaded replica picks). Match tables stay bit-identical to the
+// single-device run at every R and for every replica selection.
+//
+//   ./build/examples/replicated_query
+//
+// Env knobs: GSI_REPL_EXAMPLE_SCALE (dataset scale, default 2),
+// GSI_REPL_EXAMPLE_REPLICAS (max replication factor, default 4),
+// GSI_REPL_EXAMPLE_BURST (queries in the service burst, default 12).
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "graph/datasets.h"
+#include "graph/query_generator.h"
+#include "gsi/query_engine.h"
+#include "gsi/replication.h"
+#include "service/query_service.h"
+#include "util/check.h"
+#include "util/table_printer.h"
+
+using namespace gsi;
+
+namespace {
+
+double EnvDouble(const char* name, double def) {
+  const char* v = std::getenv(name);
+  return v ? std::atof(v) : def;
+}
+
+constexpr double kMb = 1024.0 * 1024.0;
+constexpr size_t kPartitions = 4;
+
+}  // namespace
+
+int main() {
+  const double scale = EnvDouble("GSI_REPL_EXAMPLE_SCALE", 2.0);
+  const size_t max_replicas = std::min<size_t>(
+      kPartitions,
+      static_cast<size_t>(EnvDouble("GSI_REPL_EXAMPLE_REPLICAS", 4.0)));
+  const size_t burst =
+      static_cast<size_t>(EnvDouble("GSI_REPL_EXAMPLE_BURST", 12.0));
+
+  Result<Dataset> dataset = MakeDataset("enron", scale);
+  GSI_CHECK(dataset.ok());
+  const Graph& g = dataset->graph;
+  std::printf("data graph: %s, partitioned %zu ways\n", g.Summary().c_str(),
+              kPartitions);
+
+  QueryGenConfig qc;
+  qc.num_vertices = 8;
+  std::vector<Graph> queries = GenerateQuerySet(g, qc, 5, 4242);
+  GSI_CHECK(!queries.empty());
+
+  QueryEngine engine(g, GsiOptOptions());
+  GSI_CHECK(engine.init_status().ok());
+
+  const Graph* heavy = nullptr;
+  double single_ms = -1;
+  for (const Graph& q : queries) {
+    Result<QueryResult> r = engine.Run(q);
+    if (r.ok() && r->stats.total_ms > single_ms) {
+      single_ms = r->stats.total_ms;
+      heavy = &q;
+    }
+  }
+  GSI_CHECK_MSG(heavy != nullptr, "no query executed successfully");
+  Result<QueryResult> single = engine.Run(*heavy);
+  GSI_CHECK(single.ok());
+  std::printf("heavy query: %s -> %zu matches, %.2f ms single-device\n\n",
+              heavy->Summary().c_str(), single->num_matches(), single_ms);
+
+  // --- R sweep: one packed-selection execution per R. Lanes = concurrent
+  // queries the pool now admits; co-located probes = interconnect traffic
+  // the replicas absorbed.
+  TablePrinter table({"Replicas", "Lanes", "Resident/dev MB", "Remote probes",
+                      "Co-located", "Halo MB", "Total ms"});
+  for (size_t r = 1; r <= max_replicas; r *= 2) {
+    std::vector<std::unique_ptr<gpusim::Device>> devices;
+    std::vector<gpusim::Device*> devs;
+    for (size_t i = 0; i < kPartitions; ++i) {
+      devices.push_back(
+          std::make_unique<gpusim::Device>(engine.options().device));
+      devs.push_back(devices.back().get());
+    }
+    Result<ReplicatedGraph> rg =
+        ReplicatedGraph::Build(devs, g, engine.options(),
+                               HashVertexPartitioner(), kPartitions, r);
+    GSI_CHECK_MSG(rg.ok(), rg.status().ToString().c_str());
+
+    const ReplicaSelection packed = CompactSelection(*rg);
+    Result<QueryResult> repl = engine.RunPartitioned(*heavy, *rg, packed);
+    GSI_CHECK(repl.ok());
+    GSI_CHECK_MSG(repl->TableEquals(*single),
+                  "replicated result diverged from single-device run");
+
+    const QueryStats& s = repl->stats;
+    const ReplicationBuildStats& bs = rg->build_stats();
+    table.AddRow(
+        {std::to_string(r),
+         std::to_string(kPartitions / std::max<size_t>(1, s.replica_lanes)),
+         TablePrinter::FormatMs(
+             static_cast<double>(bs.max_resident_bytes()) / kMb),
+         TablePrinter::FormatCount(s.remote_probes),
+         TablePrinter::FormatCount(s.co_located_probes),
+         TablePrinter::FormatMs(static_cast<double>(s.halo_bytes) / kMb),
+         TablePrinter::FormatMs(s.total_ms)});
+  }
+  table.Print("Replicated execution, packed selection (bit-identical at "
+              "every R)");
+  std::printf("\n");
+
+  // --- Concurrent burst through the serving layer: R=2 means two queries
+  // hold disjoint lanes at once (watch peak_in_use and the pick skew).
+  const size_t service_replicas = std::min<size_t>(2, max_replicas);
+  ServiceOptions so;
+  so.num_workers = static_cast<int>(kPartitions);
+  so.num_devices = static_cast<int>(kPartitions);
+  so.partition_data_graph = true;
+  so.partition_replicas = static_cast<int>(service_replicas);
+  so.overload = OverloadPolicy::kBlock;
+  so.max_queue_depth = 2 * burst;
+  QueryService service(g, GsiOptOptions(), so);
+  GSI_CHECK_MSG(service.init_status().ok(),
+                service.init_status().ToString().c_str());
+
+  std::vector<QueryTicket> tickets;
+  for (size_t i = 0; i < burst; ++i) {
+    Result<QueryTicket> t = service.Submit(*heavy);
+    GSI_CHECK(t.ok());
+    tickets.push_back(*t);
+  }
+  size_t ok = 0;
+  for (const QueryTicket& t : tickets) {
+    Result<QueryResult> r = service.Wait(t);
+    GSI_CHECK(r.ok());
+    GSI_CHECK_MSG(r->TableEquals(*single), "service result diverged");
+    ++ok;
+  }
+  ServiceStats stats = service.stats();
+  std::printf("service burst: %zu/%zu ok over a %zu-device pool, R=%zu\n", ok,
+              burst, kPartitions, service_replicas);
+  std::printf("  replicated queries: %llu, avg devices held per query: %.1f "
+              "(vs %zu under AcquireAll)\n",
+              static_cast<unsigned long long>(stats.replicated_queries),
+              stats.avg_replica_lanes, kPartitions);
+  std::printf("  co-located probes:  %llu served without the interconnect\n",
+              static_cast<unsigned long long>(stats.co_located_probes));
+  std::printf("  replica pick skew:  %.2fx (1.0 = perfectly even)\n",
+              stats.replica_pick_skew);
+  std::printf("  pool peak in use:   %zu of %zu devices\n",
+              stats.pool.peak_in_use, kPartitions);
+  std::printf("\nEvery result above is bit-identical to the single-device "
+              "match table,\nwhichever replica served each partition.\n");
+  return 0;
+}

@@ -58,13 +58,25 @@ struct QueryStats {
   size_t shards_used = 1;   ///< devices the join phase actually ran on
   double shard_skew = 0;    ///< max / mean per-device distributed-join time
 
-  // --- Partitioned data-graph execution (gsi/partition.h); zeros on the
-  // replicated paths. Counters sum every partition's devices; join_ms is
-  // the parallel makespan (slowest partition plus the merge).
+  // --- Partitioned data-graph execution (gsi/partition.h and
+  // gsi/replication.h); zeros on the full-replica paths. Counters sum
+  // every partition's devices; join_ms is the parallel makespan (slowest
+  // partition/lane plus the merge).
   size_t partitions_used = 0;  ///< partitions that executed join work
   uint64_t remote_probes = 0;  ///< N(v, l) lookups served by a peer device
   uint64_t halo_bytes = 0;     ///< bytes that crossed the interconnect
   double partition_skew = 0;   ///< max / mean per-partition join time
+
+  // --- Replicated partitioned execution (gsi/replication.h); zeros
+  // elsewhere. A replicated query maps its K partitions onto the devices of
+  // one replica selection (several partitions may share a device), so
+  // `replica_lanes` < partitions_used means the query left devices idle for
+  // concurrent queries — the R-lane effect.
+  size_t replica_lanes = 0;         ///< distinct devices the selection used
+  /// Peer-partition probes served by a replica co-resident on the probing
+  /// device — work that replication converted from interconnect traffic
+  /// into local reads (not counted in remote_probes).
+  uint64_t co_located_probes = 0;
 };
 
 /// Result of one subgraph-isomorphism query.

@@ -7,6 +7,7 @@
 
 #include "gpusim/launch.h"
 #include "gsi/join.h"
+#include "gsi/partition_internal.h"
 #include "gsi/plan.h"
 #include "storage/signature.h"
 #include "util/check.h"
@@ -27,94 +28,10 @@ uint64_t SplitMix64(uint64_t x) {
   return x ^ (x >> 31);
 }
 
-/// Partition p's window onto the partitioned store: owned probes hit the
-/// local PCSR share directly; probes of peer-owned vertices are served from
-/// the owner's share with every 128B line re-charged at the interconnect
-/// premium (Warp::ChargeRemoteTransactions). One view serves one partition
-/// of one query execution — the remote counters are per-query observations,
-/// harvested after the join.
-class PartitionView final : public NeighborStore {
- public:
-  struct Remote {
-    uint64_t probes = 0;  ///< lookups that crossed the interconnect
-    uint64_t lines = 0;   ///< 128B lines those lookups moved
-  };
+}  // namespace
 
-  PartitionView(const PartitionedGraph* pg, PartitionId self)
-      : pg_(pg), self_(self) {}
-
-  size_t Extract(Warp& w, VertexId v, Label l,
-                 std::vector<VertexId>& out) const override {
-    const PartitionId o = pg_->OwnerOf(v);
-    if (o == self_) return pg_->store(o).Extract(w, v, l, out);
-    const uint64_t before = w.device().stats().gld;
-    const size_t n = pg_->store(o).Extract(w, v, l, out);
-    ChargeRemote(w, before);
-    return n;
-  }
-
-  size_t NeighborCountUpperBound(Warp& w, VertexId v, Label l) const override {
-    const PartitionId o = pg_->OwnerOf(v);
-    if (o == self_) return pg_->store(o).NeighborCountUpperBound(w, v, l);
-    const uint64_t before = w.device().stats().gld;
-    const size_t n = pg_->store(o).NeighborCountUpperBound(w, v, l);
-    ChargeRemote(w, before);
-    return n;
-  }
-
-  size_t ExtractSlice(Warp& w, VertexId v, Label l, size_t begin, size_t end,
-                      std::vector<VertexId>& out) const override {
-    const PartitionId o = pg_->OwnerOf(v);
-    if (o == self_) {
-      return pg_->store(o).ExtractSlice(w, v, l, begin, end, out);
-    }
-    const uint64_t before = w.device().stats().gld;
-    const size_t n = pg_->store(o).ExtractSlice(w, v, l, begin, end, out);
-    ChargeRemote(w, before);
-    return n;
-  }
-
-  size_t ExtractValueRange(Warp& w, VertexId v, Label l, VertexId lo,
-                           VertexId hi,
-                           std::vector<VertexId>& out) const override {
-    const PartitionId o = pg_->OwnerOf(v);
-    if (o == self_) {
-      return pg_->store(o).ExtractValueRange(w, v, l, lo, hi, out);
-    }
-    const uint64_t before = w.device().stats().gld;
-    const size_t n = pg_->store(o).ExtractValueRange(w, v, l, lo, hi, out);
-    ChargeRemote(w, before);
-    return n;
-  }
-
-  uint64_t device_bytes() const override {
-    return pg_->store(self_).device_bytes();
-  }
-
-  std::string name() const override { return "PCSR-partitioned"; }
-
-  const Remote& remote() const { return remote_; }
-
- private:
-  void ChargeRemote(Warp& w, uint64_t gld_before) const {
-    const uint64_t lines = w.device().stats().gld - gld_before;
-    w.ChargeRemoteTransactions(lines);
-    ++remote_.probes;
-    remote_.lines += lines;
-  }
-
-  const PartitionedGraph* pg_;
-  PartitionId self_;
-  mutable Remote remote_;  // one view per device thread; no sharing
-};
-
-/// Signature scan of one partition's owned vertices: the same fused layout
-/// as FilterContext::CandidateLists (warp w handles 32 consecutive rows of
-/// query vertex w / warps_per_u) and the same survivor math as
-/// SignatureScanWarp, over the *local* subset table — so surviving
-/// candidate values match the replicated scan exactly; only the row space
-/// (owned vertices instead of all of |V|) and the billing device differ.
-std::vector<std::vector<VertexId>> ScanOwnedSignatures(
+// See partition_internal.h for the contract.
+std::vector<std::vector<VertexId>> internal::ScanOwnedSignatures(
     gpusim::Device& dev, const SignatureTable& table,
     std::span<const VertexId> owned, std::span<const Signature> qsigs) {
   const size_t nu = qsigs.size();
@@ -168,12 +85,8 @@ std::vector<std::vector<VertexId>> ScanOwnedSignatures(
   return out;
 }
 
-/// Seeds partition p's table from its owned subsequence of C(order[0]):
-/// upload (host-mediated, uncharged by convention) plus the same streaming
-/// copy kernel JoinEngine::SeedTable charges, so K partitions together pay
-/// what the replicated seed pays.
-MatchTable SeedOwned(gpusim::Device& dev,
-                     const std::vector<VertexId>& column) {
+MatchTable internal::SeedOwned(gpusim::Device& dev,
+                               const std::vector<VertexId>& column) {
   gpusim::DeviceBuffer<VertexId> list = dev.Upload(column);
   MatchTable m = MatchTable::FromColumn(dev, column);
   gpusim::Launch(dev, std::max<size_t>(1, (column.size() + 1023) / 1024),
@@ -189,7 +102,63 @@ MatchTable SeedOwned(gpusim::Device& dev,
   return m;
 }
 
-}  // namespace
+std::vector<VertexId> internal::MergeAscendingDisjoint(
+    std::span<const std::vector<VertexId>* const> lists) {
+  const size_t k = lists.size();
+  size_t total = 0;
+  for (const std::vector<VertexId>* l : lists) {
+    if (l != nullptr) total += l->size();
+  }
+  std::vector<VertexId> merged;
+  merged.reserve(total);
+  std::vector<size_t> cur(k, 0);
+  while (merged.size() < total) {
+    size_t best = k;
+    for (size_t p = 0; p < k; ++p) {
+      if (lists[p] == nullptr || cur[p] >= lists[p]->size()) continue;
+      if (best == k || (*lists[p])[cur[p]] < (*lists[best])[cur[best]]) {
+        best = p;
+      }
+    }
+    merged.push_back((*lists[best])[cur[best]++]);
+  }
+  return merged;
+}
+
+MatchTable internal::MergeBySeedRuns(gpusim::Device& primary,
+                                     std::span<const MatchTable* const> parts,
+                                     size_t cols_out,
+                                     std::vector<size_t>& rows_from) {
+  const size_t k = parts.size();
+  rows_from.assign(k, 0);
+  size_t total_rows = 0;
+  for (const MatchTable* t : parts) total_rows += t->rows();
+
+  MatchTable merged = MatchTable::Alloc(primary, total_rows, cols_out);
+  std::vector<size_t> cur(k, 0);
+  size_t out_row = 0;
+  while (out_row < total_rows) {
+    size_t best = k;
+    for (size_t p = 0; p < k; ++p) {
+      if (cur[p] >= parts[p]->rows()) continue;
+      if (best == k ||
+          parts[p]->At(cur[p], 0) < parts[best]->At(cur[best], 0)) {
+        best = p;
+      }
+    }
+    const VertexId head = parts[best]->At(cur[best], 0);
+    size_t run_end = cur[best];
+    while (run_end < parts[best]->rows() &&
+           parts[best]->At(run_end, 0) == head) {
+      ++run_end;
+    }
+    merged.CopyRowsFrom(*parts[best], cur[best], out_row, run_end - cur[best]);
+    rows_from[best] += run_end - cur[best];
+    out_row += run_end - cur[best];
+    cur[best] = run_end;
+  }
+  return merged;
+}
 
 std::vector<PartitionId> HashVertexPartitioner::Assign(const Graph& g,
                                                        size_t k) const {
@@ -364,7 +333,8 @@ Result<FilterResult> RunFilterStagePartitioned(const PartitionedGraph& pg,
         gpusim::Device& dev = pg.device(p);
         const gpusim::MemStats before = dev.stats();
         partial[p] =
-            ScanOwnedSignatures(dev, pg.signatures(p), pg.owned(p), qsigs);
+            internal::ScanOwnedSignatures(dev, pg.signatures(p),
+                                          pg.owned(p), qsigs);
         scan_mem[p] = dev.stats() - before;
       });
     }
@@ -384,25 +354,12 @@ Result<FilterResult> RunFilterStagePartitioned(const PartitionedGraph& pg,
   result.candidates.resize(nu);
   std::vector<size_t> sizes(nu, 0);
   for (VertexId u = 0; u < nu; ++u) {
-    size_t total = 0;
+    std::vector<const std::vector<VertexId>*> lists(k);
     for (PartitionId p = 0; p < k; ++p) {
-      total += partial[p][u].size();
+      lists[p] = &partial[p][u];
       if (p != 0) halo += partial[p][u].size() * sizeof(VertexId);
     }
-    std::vector<VertexId> merged;
-    merged.reserve(total);
-    std::vector<size_t> cur(k, 0);
-    while (merged.size() < total) {
-      PartitionId best = k;
-      for (PartitionId p = 0; p < k; ++p) {
-        if (cur[p] >= partial[p][u].size()) continue;
-        if (best == k ||
-            partial[p][u][cur[p]] < partial[best][u][cur[best]]) {
-          best = p;
-        }
-      }
-      merged.push_back(partial[best][u][cur[best]++]);
-    }
+    std::vector<VertexId> merged = internal::MergeAscendingDisjoint(lists);
     sizes[u] = merged.size();
     result.candidates[u] = CandidateSet::Create(
         primary, u, std::move(merged), n, pg.options().filter.build_bitmaps);
@@ -476,7 +433,7 @@ Result<QueryResult> RunJoinStagePartitioned(const PartitionedGraph& pg,
     std::vector<std::optional<Result<MatchTable>>> parts(k);
     std::vector<gpusim::MemStats> deltas(k);
     std::vector<JoinStats> part_join(k);
-    std::vector<PartitionView::Remote> remotes(k);
+    std::vector<internal::RoutedStoreView::Traffic> remotes(k);
     {
       ThreadPool pool(k);
       for (PartitionId p = 0; p < k; ++p) {
@@ -486,13 +443,20 @@ Result<QueryResult> RunJoinStagePartitioned(const PartitionedGraph& pg,
           if (seed_cols[p].empty()) {
             parts[p] = MatchTable::Alloc(dev, 0, plan.order.size());
           } else {
-            MatchTable m = SeedOwned(dev, seed_cols[p]);
-            PartitionView view(&pg, p);
+            MatchTable m = internal::SeedOwned(dev, seed_cols[p]);
+            // Only this partition's share is local; every other probe
+            // crosses the interconnect to its owner.
+            std::vector<const PcsrStore*> serving(k);
+            std::vector<uint8_t> local(k, 0);
+            for (PartitionId o = 0; o < k; ++o) serving[o] = &pg.store(o);
+            local[p] = 1;
+            internal::RoutedStoreView view(pg.owners(), std::move(serving),
+                                           std::move(local), p);
             JoinEngine join(&dev, &view, options.join);
             parts[p] = join.RunSteps(plan, filtered.candidates, std::move(m),
                                      0, plan.steps.size());
             part_join[p] = join.stats();
-            remotes[p] = view.remote();
+            remotes[p] = view.traffic();
           }
           deltas[p] = dev.stats() - before;
         });
@@ -523,8 +487,8 @@ Result<QueryResult> RunJoinStagePartitioned(const PartitionedGraph& pg,
       detail.total_chunks += part_join[p].total_chunks;
       detail.dup_cache_hits += part_join[p].dup_cache_hits;
       detail.dup_cache_misses += part_join[p].dup_cache_misses;
-      out.stats.remote_probes += remotes[p].probes;
-      out.stats.halo_bytes += remotes[p].lines * kTransactionBytes;
+      out.stats.remote_probes += remotes[p].remote_probes;
+      out.stats.halo_bytes += remotes[p].remote_lines * kTransactionBytes;
     }
 
     // --- Merge on the primary, in global seed order. The final table of
@@ -535,37 +499,13 @@ Result<QueryResult> RunJoinStagePartitioned(const PartitionedGraph& pg,
     // row. Non-primary rows cross the interconnect (halo traffic).
     const gpusim::MemStats before_merge = primary.stats();
     const size_t cols_out = plan.order.size();
-    size_t total_rows = 0;
     std::vector<const MatchTable*> tabs(k);
-    for (PartitionId p = 0; p < k; ++p) {
-      tabs[p] = &parts[p]->value();
-      total_rows += tabs[p]->rows();
-    }
-    MatchTable merged = MatchTable::Alloc(primary, total_rows, cols_out);
-    std::vector<size_t> cur(k, 0);
-    size_t out_row = 0;
+    for (PartitionId p = 0; p < k; ++p) tabs[p] = &parts[p]->value();
+    std::vector<size_t> rows_from;
+    MatchTable merged =
+        internal::MergeBySeedRuns(primary, tabs, cols_out, rows_from);
     uint64_t remote_rows = 0;
-    while (out_row < total_rows) {
-      PartitionId best = k;
-      for (PartitionId p = 0; p < k; ++p) {
-        if (cur[p] >= tabs[p]->rows()) continue;
-        if (best == k ||
-            tabs[p]->At(cur[p], 0) < tabs[best]->At(cur[best], 0)) {
-          best = p;
-        }
-      }
-      const VertexId head = tabs[best]->At(cur[best], 0);
-      size_t run_end = cur[best];
-      while (run_end < tabs[best]->rows() &&
-             tabs[best]->At(run_end, 0) == head) {
-        ++run_end;
-      }
-      merged.CopyRowsFrom(*tabs[best], cur[best], out_row,
-                          run_end - cur[best]);
-      if (best != 0) remote_rows += run_end - cur[best];
-      out_row += run_end - cur[best];
-      cur[best] = run_end;
-    }
+    for (PartitionId p = 1; p < k; ++p) remote_rows += rows_from[p];
     const uint64_t merge_bytes = remote_rows * cols_out * sizeof(VertexId);
     primary.ChargeRemoteTransfer(merge_bytes);
     out.stats.halo_bytes += merge_bytes;

@@ -112,6 +112,8 @@ class PartitionedGraph {
 
   size_t num_partitions() const { return owned_.size(); }
   PartitionId OwnerOf(VertexId v) const { return owner_[v]; }
+  /// The full ownership map, indexed by vertex id.
+  std::span<const PartitionId> owners() const { return owner_; }
 
   gpusim::Device& device(PartitionId p) const { return *devs_[p]; }
   /// Partition p's PCSR share (rows of owned vertices only).

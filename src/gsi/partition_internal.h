@@ -1,0 +1,153 @@
+#ifndef GSI_GSI_PARTITION_INTERNAL_H_
+#define GSI_GSI_PARTITION_INTERNAL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "gsi/match_table.h"
+#include "gsi/partition.h"
+#include "storage/pcsr.h"
+#include "storage/signature.h"
+#include "storage/signature_table.h"
+
+// Execution building blocks shared by the partitioned (gsi/partition.h) and
+// replicated (gsi/replication.h) data-graph paths. Implementation detail —
+// include only from gsi/*.cc.
+
+namespace gsi::internal {
+
+/// Signature scan of one partition's owned vertices: the same fused layout
+/// as FilterContext::CandidateLists (warp w handles 32 consecutive rows of
+/// query vertex w / warps_per_u) and the same survivor math as
+/// SignatureScanWarp, over the *local* subset table — so surviving
+/// candidate values match the replicated scan exactly; only the row space
+/// (owned vertices instead of all of |V|) and the billing device differ.
+std::vector<std::vector<VertexId>> ScanOwnedSignatures(
+    gpusim::Device& dev, const SignatureTable& table,
+    std::span<const VertexId> owned, std::span<const Signature> qsigs);
+
+/// Seeds a partition's table from its owned subsequence of C(order[0]):
+/// upload (host-mediated, uncharged by convention) plus the same streaming
+/// copy kernel JoinEngine::SeedTable charges, so the partitions together
+/// pay what the replicated seed pays.
+MatchTable SeedOwned(gpusim::Device& dev, const std::vector<VertexId>& column);
+
+/// K-way merge of per-partition survivor lists for one query vertex (each
+/// ascending, value sets disjoint because partitions own disjoint vertex
+/// sets) back into one globally ascending candidate list — reproducing the
+/// replicated scan's list exactly. `lists[p]` may be null (treated empty).
+std::vector<VertexId> MergeAscendingDisjoint(
+    std::span<const std::vector<VertexId>* const> lists);
+
+/// Merges per-partition partial join tables into the replicated final
+/// table: the final table of any join is grouped by its column-0 (seed)
+/// binding, runs appear in candidate-list (ascending) order, and ownership
+/// split the seed list into disjoint subsequences — so repeatedly taking
+/// the run with the smallest column-0 head reconstructs the whole table
+/// row for row. `rows_from[p]` receives the rows partition p contributed
+/// (the caller charges interconnect traffic for partitions that are not
+/// resident on the merging device).
+MatchTable MergeBySeedRuns(gpusim::Device& primary,
+                           std::span<const MatchTable* const> parts,
+                           size_t cols_out, std::vector<size_t>& rows_from);
+
+/// NeighborStore view that routes every probe N(v, l) to the PCSR share
+/// serving v's partition for this execution lane. Shares flagged local live
+/// on the lane's own device and answer at plain global-memory cost; the
+/// rest are served across the interconnect with every 128B line re-charged
+/// at the premium (Warp::ChargeRemoteTransactions). One view serves one
+/// lane of one query execution — the traffic counters are per-query
+/// observations, harvested after the join.
+///
+/// The partitioned path marks exactly the lane's own partition local; the
+/// replicated path additionally marks every partition with a co-resident
+/// replica, which is how replication converts remote probes into local
+/// reads (counted in Traffic::co_located_probes).
+class RoutedStoreView final : public NeighborStore {
+ public:
+  struct Traffic {
+    uint64_t remote_probes = 0;      ///< lookups that crossed the interconnect
+    uint64_t remote_lines = 0;       ///< 128B lines those lookups moved
+    uint64_t co_located_probes = 0;  ///< peer-partition lookups served locally
+  };
+
+  /// `owner[v]` names v's partition; `serving[p]` answers probes of
+  /// partition p (never null); `local[p]` != 0 marks shares resident on the
+  /// lane's device; `self` is the partition whose seeds this lane joins
+  /// (its probes are plain local, not co-located). All spans must outlive
+  /// the view.
+  RoutedStoreView(std::span<const PartitionId> owner,
+                  std::vector<const PcsrStore*> serving,
+                  std::vector<uint8_t> local, PartitionId self)
+      : owner_(owner),
+        serving_(std::move(serving)),
+        local_(std::move(local)),
+        self_(self) {}
+
+  size_t Extract(gpusim::Warp& w, VertexId v, Label l,
+                 std::vector<VertexId>& out) const override {
+    return Routed(w, v, [&](const PcsrStore& s) {
+      return s.Extract(w, v, l, out);
+    });
+  }
+
+  size_t NeighborCountUpperBound(gpusim::Warp& w, VertexId v,
+                                 Label l) const override {
+    return Routed(w, v, [&](const PcsrStore& s) {
+      return s.NeighborCountUpperBound(w, v, l);
+    });
+  }
+
+  size_t ExtractSlice(gpusim::Warp& w, VertexId v, Label l, size_t begin,
+                      size_t end, std::vector<VertexId>& out) const override {
+    return Routed(w, v, [&](const PcsrStore& s) {
+      return s.ExtractSlice(w, v, l, begin, end, out);
+    });
+  }
+
+  size_t ExtractValueRange(gpusim::Warp& w, VertexId v, Label l, VertexId lo,
+                           VertexId hi,
+                           std::vector<VertexId>& out) const override {
+    return Routed(w, v, [&](const PcsrStore& s) {
+      return s.ExtractValueRange(w, v, l, lo, hi, out);
+    });
+  }
+
+  uint64_t device_bytes() const override {
+    return serving_[self_]->device_bytes();
+  }
+
+  std::string name() const override { return "PCSR-partitioned"; }
+
+  const Traffic& traffic() const { return traffic_; }
+
+ private:
+  template <typename Fn>
+  size_t Routed(gpusim::Warp& w, VertexId v, Fn&& probe) const {
+    const PartitionId o = owner_[v];
+    if (local_[o] != 0) {
+      if (o != self_) ++traffic_.co_located_probes;
+      return probe(*serving_[o]);
+    }
+    const uint64_t before = w.device().stats().gld;
+    const size_t n = probe(*serving_[o]);
+    const uint64_t lines = w.device().stats().gld - before;
+    w.ChargeRemoteTransactions(lines);
+    ++traffic_.remote_probes;
+    traffic_.remote_lines += lines;
+    return n;
+  }
+
+  std::span<const PartitionId> owner_;
+  std::vector<const PcsrStore*> serving_;
+  std::vector<uint8_t> local_;
+  PartitionId self_;
+  mutable Traffic traffic_;  // one view per lane thread; no sharing
+};
+
+}  // namespace gsi::internal
+
+#endif  // GSI_GSI_PARTITION_INTERNAL_H_

@@ -57,6 +57,25 @@ Result<QueryResult> QueryEngine::RunPartitioned(
   return ExecuteQueryPartitioned(pg, query);
 }
 
+Result<QueryResult> QueryEngine::RunPartitioned(
+    const Graph& query, const ReplicatedGraph& rg,
+    const ReplicaSelection& sel) const {
+  if (!init_status_.ok()) return init_status_;
+  if (&rg.data() != data_) {
+    return Status::InvalidArgument(
+        "ReplicatedGraph was built over a different data graph");
+  }
+  if (!(rg.options() == options_)) {
+    // Divergent tuning (signature width, join order inputs, chunking...)
+    // would execute fine but silently break the documented bit-identical
+    // parity with Run, so reject it up front.
+    return Status::InvalidArgument(
+        "ReplicatedGraph was built with different GsiOptions than this "
+        "engine");
+  }
+  return ExecuteQueryReplicated(rg, sel, query);
+}
+
 BatchResult QueryEngine::RunBatch(std::span<const Graph> queries,
                                   const BatchOptions& options) const {
   BatchResult batch;

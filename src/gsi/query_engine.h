@@ -10,6 +10,7 @@
 #include "gsi/filter.h"
 #include "gsi/matcher.h"
 #include "gsi/partition.h"
+#include "gsi/replication.h"
 #include "gsi/sharded_engine.h"
 #include "storage/neighbor_store.h"
 #include "util/status.h"
@@ -97,6 +98,17 @@ class QueryEngine {
   /// against `pg` (and its devices) at a time.
   Result<QueryResult> RunPartitioned(const Graph& query,
                                      const PartitionedGraph& pg) const;
+
+  /// Runs one query against an R-way *replicated* partitioned data graph
+  /// (see gsi/replication.h), serving each partition from the replica `sel`
+  /// picks. Same contract as the PartitionedGraph overload — `rg` must
+  /// match this engine's data graph and GsiOptions, results are
+  /// bit-identical to Run for every selection — but concurrent calls are
+  /// safe as long as their selections use disjoint devices (lease them via
+  /// DevicePool::AcquireOneOfEach).
+  Result<QueryResult> RunPartitioned(const Graph& query,
+                                     const ReplicatedGraph& rg,
+                                     const ReplicaSelection& sel) const;
 
   /// Runs every query, spreading them over options.num_threads workers.
   /// Always returns one entry per query, in input order.

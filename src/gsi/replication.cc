@@ -1,0 +1,544 @@
+#include "gsi/replication.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "gpusim/launch.h"
+#include "gsi/join.h"
+#include "gsi/partition_internal.h"
+#include "gsi/plan.h"
+#include "storage/signature.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace gsi {
+namespace {
+
+using gpusim::kTransactionBytes;
+
+/// The selection's execution lanes: one per distinct selected device
+/// (ascending device index), each joining its partitions in id order. The
+/// first lane's device is the primary (gathers candidates, merges tables).
+struct Lanes {
+  std::vector<size_t> devices;                      // ascending
+  std::vector<std::vector<PartitionId>> parts;      // [lane] -> partitions
+  std::vector<size_t> lane_of;                      // [partition] -> lane
+};
+
+Lanes LanesOf(const ReplicatedGraph& rg, const ReplicaSelection& sel) {
+  Lanes lanes;
+  const size_t k = rg.num_partitions();
+  lanes.lane_of.resize(k);
+  std::map<size_t, std::vector<PartitionId>> by_device;
+  for (PartitionId p = 0; p < k; ++p) {
+    by_device[sel.DeviceOf(rg.placement(), p)].push_back(p);
+  }
+  for (auto& [d, parts] : by_device) {
+    for (PartitionId p : parts) lanes.lane_of[p] = lanes.devices.size();
+    lanes.devices.push_back(d);
+    lanes.parts.push_back(std::move(parts));
+  }
+  return lanes;
+}
+
+Status ValidateSelection(const ReplicatedGraph& rg,
+                         const ReplicaSelection& sel) {
+  if (sel.choice.size() != rg.num_partitions()) {
+    return Status::InvalidArgument(
+        "replica selection covers " + std::to_string(sel.choice.size()) +
+        " partitions, graph has " + std::to_string(rg.num_partitions()));
+  }
+  for (PartitionId p = 0; p < rg.num_partitions(); ++p) {
+    if (sel.choice[p] >= rg.num_replicas()) {
+      return Status::InvalidArgument(
+          "selection picks replica " + std::to_string(sel.choice[p]) +
+          " of partition " + std::to_string(p) + ", only " +
+          std::to_string(rg.num_replicas()) + " exist");
+    }
+  }
+  return Status::Ok();
+}
+
+/// The routing table of one lane: probes of partition o are served by a
+/// co-resident share when device d holds one (local — replication's saved
+/// traffic), else by the selected replica of o (a device this query holds,
+/// so concurrent queries never touch each other's devices).
+void RouteForDevice(const ReplicatedGraph& rg, const ReplicaSelection& sel,
+                    size_t d, std::vector<const PcsrStore*>& serving,
+                    std::vector<uint8_t>& local) {
+  const size_t k = rg.num_partitions();
+  serving.assign(k, nullptr);
+  local.assign(k, 0);
+  for (PartitionId o = 0; o < k; ++o) {
+    if (const PcsrStore* resident = rg.StoreOn(d, o)) {
+      serving[o] = resident;
+      local[o] = 1;
+    } else {
+      serving[o] = &rg.store(o, sel.choice[o]);
+    }
+  }
+}
+
+}  // namespace
+
+bool ReplicaPlacement::Hosts(size_t d, PartitionId p) const {
+  for (size_t dev : device_of[p]) {
+    if (dev == d) return true;
+  }
+  return false;
+}
+
+Result<ReplicaPlacement> MakeStaggeredPlacement(size_t num_devices,
+                                                size_t partitions,
+                                                size_t replicas) {
+  if (num_devices < 1 || partitions < 1) {
+    return Status::InvalidArgument(
+        "replicated placement needs >= 1 device and >= 1 partition");
+  }
+  if (replicas < 1 || replicas > num_devices) {
+    return Status::InvalidArgument(
+        "replicas must be in [1, num_devices]; got " +
+        std::to_string(replicas) + " over " + std::to_string(num_devices) +
+        " devices");
+  }
+  ReplicaPlacement pl;
+  pl.num_devices = num_devices;
+  pl.partitions = partitions;
+  pl.replicas = replicas;
+  pl.device_of.resize(partitions);
+  pl.shares_of.resize(num_devices);
+  // Stride N/R spaces the replicas of one partition across the pool: the
+  // offsets j*(N/R) for j < R are strictly increasing and below N, so the
+  // R devices are distinct, and partitions p, p + N/R, ... share device
+  // sets — the lanes AcquireOneOfEach packs onto.
+  const size_t stride = std::max<size_t>(1, num_devices / replicas);
+  for (PartitionId p = 0; p < partitions; ++p) {
+    for (size_t j = 0; j < replicas; ++j) {
+      pl.device_of[p].push_back((p + j * stride) % num_devices);
+    }
+  }
+  for (PartitionId p = 0; p < partitions; ++p) {
+    for (size_t d : pl.device_of[p]) pl.shares_of[d].push_back(p);
+  }
+  for (std::vector<PartitionId>& shares : pl.shares_of) {
+    std::sort(shares.begin(), shares.end());
+  }
+  return pl;
+}
+
+uint64_t ReplicationBuildStats::max_resident_bytes() const {
+  uint64_t worst = 0;
+  for (uint64_t b : resident_bytes) worst = std::max(worst, b);
+  return worst;
+}
+
+const PcsrStore* ReplicatedGraph::StoreOn(size_t d, PartitionId p) const {
+  const std::vector<size_t>& devs = placement_.device_of[p];
+  for (size_t j = 0; j < devs.size(); ++j) {
+    if (devs[j] == d) return stores_[p][j].get();
+  }
+  return nullptr;
+}
+
+Result<ReplicatedGraph> ReplicatedGraph::Build(
+    std::span<gpusim::Device* const> devs, const Graph& data,
+    const GsiOptions& options, const GraphPartitioner& partitioner,
+    size_t partitions, size_t replicas) {
+  if (devs.empty()) {
+    return Status::InvalidArgument(
+        "replicated build needs at least one device");
+  }
+  Status valid = ValidateGsiOptions(options);
+  if (!valid.ok()) return valid;
+  if (options.join.storage != StorageKind::kPcsr) {
+    return Status::InvalidArgument(
+        "replicated execution requires PCSR storage (join.storage)");
+  }
+  if (options.filter.strategy != FilterStrategy::kSignature) {
+    return Status::InvalidArgument(
+        "replicated execution requires the signature filter strategy");
+  }
+  if (partitions == 0) partitions = devs.size();
+  Result<ReplicaPlacement> placement =
+      MakeStaggeredPlacement(devs.size(), partitions, replicas);
+  if (!placement.ok()) return placement.status();
+
+  const size_t k = partitions;
+  std::vector<PartitionId> owner = partitioner.Assign(data, k);
+  if (owner.size() != data.num_vertices()) {
+    return Status::Internal(partitioner.name() +
+                            " returned an assignment of the wrong size");
+  }
+  for (PartitionId p : owner) {
+    if (p >= k) {
+      return Status::InvalidArgument(partitioner.name() +
+                                     " assigned a vertex outside [0, K)");
+    }
+  }
+
+  ReplicatedGraph rg;
+  rg.data_ = &data;
+  rg.options_ = options;
+  rg.partitioner_name_ = partitioner.name();
+  rg.devs_.assign(devs.begin(), devs.end());
+  rg.placement_ = std::move(placement.value());
+  rg.owner_ = std::move(owner);
+  rg.owned_.resize(k);
+  for (VertexId v = 0; v < data.num_vertices(); ++v) {
+    rg.owned_[rg.owner_[v]].push_back(v);
+  }
+
+  ReplicationBuildStats& bs = rg.build_stats_;
+  bs.resident_bytes.assign(devs.size(), 0);
+  std::vector<uint8_t> keep(data.num_vertices());
+  rg.stores_.resize(k);
+  rg.signatures_.resize(k);
+  for (PartitionId p = 0; p < k; ++p) {
+    std::fill(keep.begin(), keep.end(), 0);
+    for (VertexId v : rg.owned_[p]) keep[v] = 1;
+    uint64_t share_bytes = 0;
+    for (size_t j = 0; j < replicas; ++j) {
+      gpusim::Device& dev = *rg.devs_[rg.placement_.device_of[p][j]];
+      rg.stores_[p].push_back(
+          PcsrStore::BuildForVertices(dev, data, keep, options.join.gpn));
+      rg.signatures_[p].push_back(SignatureTable::BuildSubset(
+          dev, data, rg.owned_[p], options.filter.signature_bits,
+          options.filter.layout));
+      share_bytes = rg.stores_[p][j]->device_bytes() +
+                    rg.signatures_[p][j].device_bytes();
+      bs.resident_bytes[rg.placement_.device_of[p][j]] += share_bytes;
+      bs.total_bytes += share_bytes;
+    }
+    bs.replicated_bytes += share_bytes;  // one copy of every share
+  }
+  return rg;
+}
+
+ReplicaSelection CompactSelection(const ReplicatedGraph& rg) {
+  const ReplicaPlacement& pl = rg.placement();
+  ReplicaSelection sel;
+  sel.choice.resize(pl.partitions);
+  std::vector<uint8_t> used(pl.num_devices, 0);
+  for (PartitionId p = 0; p < pl.partitions; ++p) {
+    size_t best = 0;
+    for (size_t j = 1; j < pl.replicas; ++j) {
+      const size_t d = pl.device_of[p][j];
+      const size_t bd = pl.device_of[p][best];
+      if (std::make_pair(used[d] == 0, d) < std::make_pair(used[bd] == 0, bd)) {
+        best = j;
+      }
+    }
+    sel.choice[p] = static_cast<uint32_t>(best);
+    used[pl.device_of[p][best]] = 1;
+  }
+  return sel;
+}
+
+Result<ReplicaSelection> SelectionFromDevices(
+    const ReplicatedGraph& rg, std::span<const size_t> device_of_partition) {
+  if (device_of_partition.size() != rg.num_partitions()) {
+    return Status::InvalidArgument(
+        "device list covers " + std::to_string(device_of_partition.size()) +
+        " partitions, graph has " + std::to_string(rg.num_partitions()));
+  }
+  const ReplicaPlacement& pl = rg.placement();
+  ReplicaSelection sel;
+  sel.choice.resize(pl.partitions);
+  for (PartitionId p = 0; p < pl.partitions; ++p) {
+    const std::vector<size_t>& devs = pl.device_of[p];
+    const auto it =
+        std::find(devs.begin(), devs.end(), device_of_partition[p]);
+    if (it == devs.end()) {
+      return Status::InvalidArgument(
+          "device " + std::to_string(device_of_partition[p]) +
+          " holds no replica of partition " + std::to_string(p));
+    }
+    sel.choice[p] = static_cast<uint32_t>(it - devs.begin());
+  }
+  return sel;
+}
+
+Result<FilterResult> RunFilterStageReplicated(const ReplicatedGraph& rg,
+                                              const ReplicaSelection& sel,
+                                              const Graph& query,
+                                              QueryStats& stats,
+                                              double* parallel_ms) {
+  if (query.num_vertices() == 0) {
+    return Status::InvalidArgument("empty query");
+  }
+  if (!query.IsConnected()) {
+    return Status::InvalidArgument(
+        "query must be connected (run components separately)");
+  }
+  Status valid = ValidateSelection(rg, sel);
+  if (!valid.ok()) return valid;
+
+  const size_t k = rg.num_partitions();
+  const size_t nu = query.num_vertices();
+  const size_t n = rg.data().num_vertices();
+  const int nbits = rg.options().filter.signature_bits;
+
+  std::vector<Signature> qsigs;
+  qsigs.reserve(nu);
+  for (VertexId u = 0; u < nu; ++u) {
+    qsigs.push_back(Signature::Encode(query, u, nbits));
+  }
+
+  // --- Scan phase: each selected device scans the signature shares of its
+  // partitions back-to-back (one fused kernel per partition — a lane's
+  // partitions serialize on its device, lanes run concurrently).
+  const Lanes lanes = LanesOf(rg, sel);
+  std::vector<std::vector<std::vector<VertexId>>> partial(k);  // [p][u]
+  std::vector<double> lane_scan_ms(lanes.devices.size(), 0);
+  std::vector<gpusim::MemStats> scan_mem(k);
+  {
+    ThreadPool pool(lanes.devices.size());
+    for (size_t lane = 0; lane < lanes.devices.size(); ++lane) {
+      pool.Submit([&, lane] {
+        gpusim::Device& dev = rg.device(lanes.devices[lane]);
+        for (PartitionId p : lanes.parts[lane]) {
+          const gpusim::MemStats before = dev.stats();
+          partial[p] = internal::ScanOwnedSignatures(
+              dev, rg.signatures(p, sel.choice[p]), rg.owned(p), qsigs);
+          scan_mem[p] = dev.stats() - before;
+          lane_scan_ms[lane] += scan_mem[p].SimulatedMs(dev.config());
+        }
+      });
+    }
+    pool.Wait();
+  }
+
+  // --- Gather phase: survivor lists all-gather to the primary (the first
+  // lane's device). Lists of partitions co-resident with the primary stay
+  // local; the rest cross the interconnect as halo traffic. The K-way
+  // merge reproduces the replicated scan's candidate lists exactly (see
+  // MergeAscendingDisjoint), so every selection materializes identical
+  // candidate sets.
+  gpusim::Device& primary = rg.device(lanes.devices[0]);
+  const gpusim::MemStats before_gather = primary.stats();
+  uint64_t halo = 0;
+  FilterResult result;
+  result.candidates.resize(nu);
+  std::vector<size_t> sizes(nu, 0);
+  for (VertexId u = 0; u < nu; ++u) {
+    std::vector<const std::vector<VertexId>*> lists(k);
+    for (PartitionId p = 0; p < k; ++p) {
+      lists[p] = &partial[p][u];
+      if (lanes.devices[lanes.lane_of[p]] != lanes.devices[0]) {
+        halo += partial[p][u].size() * sizeof(VertexId);
+      }
+    }
+    std::vector<VertexId> merged = internal::MergeAscendingDisjoint(lists);
+    sizes[u] = merged.size();
+    result.candidates[u] = CandidateSet::Create(
+        primary, u, std::move(merged), n, rg.options().filter.build_bitmaps);
+  }
+  primary.ChargeRemoteTransfer(halo);
+  const gpusim::MemStats gather_mem = primary.stats() - before_gather;
+
+  result.min_candidate_size = SIZE_MAX;
+  for (VertexId u = 0; u < nu; ++u) {
+    if (sizes[u] < result.min_candidate_size) {
+      result.min_candidate_size = sizes[u];
+      result.min_candidate_vertex = u;
+    }
+  }
+
+  gpusim::MemStats total;
+  for (PartitionId p = 0; p < k; ++p) total += scan_mem[p];
+  total += gather_mem;
+  double max_scan_ms = 0;
+  for (double ms : lane_scan_ms) max_scan_ms = std::max(max_scan_ms, ms);
+  stats.filter = total;
+  stats.min_candidate_size = result.min_candidate_size;
+  stats.halo_bytes += halo;
+  if (parallel_ms != nullptr) {
+    *parallel_ms = max_scan_ms + gather_mem.SimulatedMs(primary.config());
+  }
+  return result;
+}
+
+Result<QueryResult> RunJoinStageReplicated(const ReplicatedGraph& rg,
+                                           const ReplicaSelection& sel,
+                                           const Graph& query,
+                                           FilterResult filtered,
+                                           QueryStats stats) {
+  Status valid = ValidateSelection(rg, sel);
+  if (!valid.ok()) return valid;
+  const Graph& data = rg.data();
+  const GsiOptions& options = rg.options();
+  const size_t k = rg.num_partitions();
+  const Lanes lanes = LanesOf(rg, sel);
+  gpusim::Device& primary = rg.device(lanes.devices[0]);
+
+  QueryResult out;
+  out.stats = stats;
+  out.stats.replica_lanes = lanes.devices.size();
+
+  if (query.num_vertices() == 1) {
+    // Degenerate query: the candidate set is the answer (assembled on the
+    // primary, exactly like RunJoinStage).
+    const CandidateSet& c = filtered.candidates[0];
+    out.table = MatchTable::Alloc(primary, c.size(), 1);
+    for (size_t i = 0; i < c.size(); ++i) out.table.Set(i, 0, c.list()[i]);
+    out.column_to_query = {0};
+    out.stats.partitions_used = 1;
+  } else if (filtered.AnyEmpty()) {
+    // Some query vertex has no candidates: zero matches, skip the join.
+    out.table = MatchTable::Alloc(primary, 0, query.num_vertices());
+    JoinPlan plan = MakeJoinPlan(query, data, filtered.candidates);
+    out.column_to_query = plan.order;
+    out.stats.partitions_used = 1;
+  } else {
+    const JoinPlan plan = MakeJoinPlan(query, data, filtered.candidates);
+    const CandidateSet& seed = filtered.candidates[plan.order[0]];
+
+    // Split the seed list by ownership (host-mediated read, like any seed
+    // scatter): partition p joins the subsequence of C(order[0]) it owns,
+    // on whichever device the selection mapped it to.
+    std::vector<std::vector<VertexId>> seed_cols(k);
+    for (size_t i = 0; i < seed.size(); ++i) {
+      const VertexId v = seed.list()[i];
+      seed_cols[rg.OwnerOf(v)].push_back(v);
+    }
+
+    std::vector<std::optional<Result<MatchTable>>> parts(k);
+    std::vector<gpusim::MemStats> deltas(k);
+    std::vector<JoinStats> part_join(k);
+    std::vector<internal::RoutedStoreView::Traffic> traffic(k);
+    {
+      ThreadPool pool(lanes.devices.size());
+      for (size_t lane = 0; lane < lanes.devices.size(); ++lane) {
+        pool.Submit([&, lane] {
+          const size_t d = lanes.devices[lane];
+          gpusim::Device& dev = rg.device(d);
+          std::vector<const PcsrStore*> serving;
+          std::vector<uint8_t> local;
+          RouteForDevice(rg, sel, d, serving, local);
+          for (PartitionId p : lanes.parts[lane]) {
+            const gpusim::MemStats before = dev.stats();
+            if (seed_cols[p].empty()) {
+              parts[p] = MatchTable::Alloc(dev, 0, plan.order.size());
+            } else {
+              MatchTable m = internal::SeedOwned(dev, seed_cols[p]);
+              internal::RoutedStoreView view(rg.owners(), serving, local, p);
+              JoinEngine join(&dev, &view, options.join);
+              parts[p] = join.RunSteps(plan, filtered.candidates,
+                                       std::move(m), 0, plan.steps.size());
+              part_join[p] = join.stats();
+              traffic[p] = view.traffic();
+            }
+            deltas[p] = dev.stats() - before;
+          }
+        });
+      }
+      pool.Wait();
+    }
+    for (PartitionId p = 0; p < k; ++p) {
+      if (!parts[p]->ok()) return parts[p]->status();
+    }
+
+    // --- Roll-up: counters sum total work; the time is the makespan of
+    // the concurrently-running lanes (each lane's partitions serialize on
+    // its device, and each partition's work is a deterministic function of
+    // its seed subsequence, not of the device that ran it) plus the merge.
+    gpusim::MemStats join_counters;
+    JoinStats detail;
+    std::vector<double> lane_ms(lanes.devices.size(), 0);
+    double sum_ms = 0;
+    double max_part_ms = 0;
+    size_t active = 0;
+    for (PartitionId p = 0; p < k; ++p) {
+      join_counters += deltas[p];
+      if (seed_cols[p].empty()) continue;
+      const double ms =
+          deltas[p].SimulatedMs(rg.device(lanes.devices[lanes.lane_of[p]])
+                                    .config());
+      lane_ms[lanes.lane_of[p]] += ms;
+      ++active;
+      sum_ms += ms;
+      max_part_ms = std::max(max_part_ms, ms);
+      detail.iterations = std::max(detail.iterations, part_join[p].iterations);
+      detail.peak_rows += part_join[p].peak_rows;  // concurrently resident
+      detail.total_chunks += part_join[p].total_chunks;
+      detail.dup_cache_hits += part_join[p].dup_cache_hits;
+      detail.dup_cache_misses += part_join[p].dup_cache_misses;
+      out.stats.remote_probes += traffic[p].remote_probes;
+      out.stats.halo_bytes += traffic[p].remote_lines * kTransactionBytes;
+      out.stats.co_located_probes += traffic[p].co_located_probes;
+    }
+    double max_lane_ms = 0;
+    for (double ms : lane_ms) max_lane_ms = std::max(max_lane_ms, ms);
+
+    // --- Merge on the primary, in global seed order (see MergeBySeedRuns
+    // for why this reconstructs the replicated table row for row). Rows
+    // from partitions not resident on the primary cross the interconnect.
+    const gpusim::MemStats before_merge = primary.stats();
+    const size_t cols_out = plan.order.size();
+    std::vector<const MatchTable*> tabs(k);
+    for (PartitionId p = 0; p < k; ++p) tabs[p] = &parts[p]->value();
+    std::vector<size_t> rows_from;
+    MatchTable merged =
+        internal::MergeBySeedRuns(primary, tabs, cols_out, rows_from);
+    uint64_t remote_rows = 0;
+    for (PartitionId p = 0; p < k; ++p) {
+      if (lanes.devices[lanes.lane_of[p]] != lanes.devices[0]) {
+        remote_rows += rows_from[p];
+      }
+    }
+    const uint64_t merge_bytes = remote_rows * cols_out * sizeof(VertexId);
+    primary.ChargeRemoteTransfer(merge_bytes);
+    out.stats.halo_bytes += merge_bytes;
+    const gpusim::MemStats merge_mem = primary.stats() - before_merge;
+    join_counters += merge_mem;
+
+    detail.final_rows = merged.rows();
+    detail.peak_rows = std::max(detail.peak_rows, merged.rows());
+    out.table = std::move(merged);
+    out.column_to_query = plan.order;
+    out.stats.join = join_counters;
+    out.stats.join_detail = detail;
+    out.stats.partitions_used = std::max<size_t>(1, active);
+    out.stats.partition_skew =
+        active > 0 && sum_ms > 0
+            ? max_part_ms / (sum_ms / static_cast<double>(active))
+            : 0;
+    out.stats.join_ms = max_lane_ms + merge_mem.SimulatedMs(primary.config());
+  }
+
+  out.stats.filter_ms = out.stats.filter.SimulatedMs(primary.config());
+  if (out.stats.join_ms == 0) {
+    out.stats.join_ms = out.stats.join.SimulatedMs(primary.config());
+  }
+  out.stats.total_ms = out.stats.filter_ms + out.stats.join_ms;
+  out.stats.num_matches = out.table.rows();
+  return out;
+}
+
+Result<QueryResult> ExecuteQueryReplicated(const ReplicatedGraph& rg,
+                                           const ReplicaSelection& sel,
+                                           const Graph& query) {
+  WallTimer wall;
+  QueryStats stats;
+  double filter_parallel_ms = 0;
+  Result<FilterResult> filtered =
+      RunFilterStageReplicated(rg, sel, query, stats, &filter_parallel_ms);
+  if (!filtered.ok()) return filtered.status();
+  Result<QueryResult> out = RunJoinStageReplicated(
+      rg, sel, query, std::move(filtered.value()), stats);
+  if (out.ok()) {
+    // The join stage derives filter_ms from the summed counters; restore
+    // the fanned-out filter's makespan so total_ms reflects wall-parallel
+    // lanes, not serialized work.
+    out->stats.filter_ms = filter_parallel_ms;
+    out->stats.total_ms = out->stats.filter_ms + out->stats.join_ms;
+    out->stats.wall_ms = wall.ElapsedMs();
+  }
+  return out;
+}
+
+}  // namespace gsi

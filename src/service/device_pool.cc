@@ -1,6 +1,7 @@
 #include "service/device_pool.h"
 
 #include <algorithm>
+#include <tuple>
 #include <utility>
 
 #include "util/check.h"
@@ -19,6 +20,18 @@ void DevicePool::Lease::Release() {
   pool->Release(index_);
 }
 
+double DevicePool::Stats::replica_pick_skew() const {
+  uint64_t max = 0;
+  uint64_t sum = 0;
+  for (uint64_t p : replica_picks) {
+    max = std::max(max, p);
+    sum += p;
+  }
+  if (sum == 0 || replica_picks.empty()) return 0;
+  return static_cast<double>(max) /
+         (static_cast<double>(sum) / static_cast<double>(replica_picks.size()));
+}
+
 DevicePool::DevicePool(size_t num_devices, gpusim::DeviceConfig config) {
   num_devices = std::max<size_t>(1, num_devices);
   devices_.reserve(num_devices);
@@ -27,6 +40,8 @@ DevicePool::DevicePool(size_t num_devices, gpusim::DeviceConfig config) {
     devices_.push_back(std::make_unique<gpusim::Device>(config));
     free_.push_back(num_devices - 1 - i);  // lease low indices first
   }
+  is_free_.assign(num_devices, 1);
+  replica_picks_.assign(num_devices, 0);
 }
 
 size_t DevicePool::idle() const {
@@ -40,6 +55,7 @@ DevicePool::Lease DevicePool::Acquire() {
   idle_cv_.wait(lock, [this] { return !free_.empty(); });
   size_t index = free_.back();
   free_.pop_back();
+  is_free_[index] = 0;
   ++stats_.acquired;
   stats_.in_use = devices_.size() - free_.size();
   stats_.peak_in_use = std::max(stats_.peak_in_use, stats_.in_use);
@@ -54,6 +70,7 @@ std::optional<DevicePool::Lease> DevicePool::TryAcquire() {
   }
   size_t index = free_.back();
   free_.pop_back();
+  is_free_[index] = 0;
   ++stats_.acquired;
   stats_.in_use = devices_.size() - free_.size();
   stats_.peak_in_use = std::max(stats_.peak_in_use, stats_.in_use);
@@ -75,6 +92,7 @@ std::vector<DevicePool::Lease> DevicePool::AcquireAll() {
     }
     idle_cv_.wait(lock, held);
     free_.erase(std::find(free_.begin(), free_.end(), i));
+    is_free_[i] = 0;
     ++stats_.acquired;
     stats_.in_use = devices_.size() - free_.size();
     stats_.peak_in_use = std::max(stats_.peak_in_use, stats_.in_use);
@@ -95,10 +113,87 @@ std::vector<DevicePool::Lease> DevicePool::AcquireUpTo(size_t max_devices) {
   return leases;
 }
 
+DevicePool::GroupLeases DevicePool::AcquireOneOfEach(
+    std::span<const std::vector<size_t>> groups) {
+  for (const std::vector<size_t>& group : groups) {
+    GSI_CHECK_MSG(!group.empty(), "AcquireOneOfEach given an empty group");
+    for (size_t d : group) GSI_CHECK(d < devices_.size());
+  }
+
+  GroupLeases out;
+  out.device_of_group.resize(groups.size());
+  out.lease_of_group.resize(groups.size());
+  if (groups.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.group_acquires;
+    return out;
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  auto feasible = [&] {
+    for (const std::vector<size_t>& group : groups) {
+      bool any = false;
+      for (size_t d : group) any = any || is_free_[d] != 0;
+      if (!any) return false;
+    }
+    return true;
+  };
+  if (!feasible()) ++stats_.group_blocked;
+  idle_cv_.wait(lock, feasible);
+
+  // Pick one free device per group, packing onto devices already picked
+  // for earlier groups (see the header for why packing wins), then by
+  // fewest historical picks, then lowest index.
+  std::vector<uint8_t> picked(devices_.size(), 0);
+  std::vector<size_t> distinct;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    size_t best = devices_.size();
+    bool best_picked = false;
+    for (size_t d : groups[g]) {
+      if (!is_free_[d]) continue;
+      const bool reuse = picked[d] != 0;
+      if (best == devices_.size() ||
+          std::make_tuple(!reuse, replica_picks_[d], d) <
+              std::make_tuple(!best_picked, replica_picks_[best], best)) {
+        best = d;
+        best_picked = reuse;
+      }
+    }
+    GSI_CHECK(best < devices_.size());  // feasible() held under the lock
+    out.device_of_group[g] = best;
+    if (!picked[best]) {
+      picked[best] = 1;
+      distinct.push_back(best);
+    }
+  }
+  for (size_t g = 0; g < groups.size(); ++g) {
+    ++replica_picks_[out.device_of_group[g]];
+  }
+
+  std::sort(distinct.begin(), distinct.end());
+  for (size_t d : distinct) {
+    free_.erase(std::find(free_.begin(), free_.end(), d));
+    is_free_[d] = 0;
+    ++stats_.acquired;
+    out.leases.push_back(Lease(this, d));
+  }
+  for (size_t g = 0; g < groups.size(); ++g) {
+    out.lease_of_group[g] =
+        std::lower_bound(distinct.begin(), distinct.end(),
+                         out.device_of_group[g]) -
+        distinct.begin();
+  }
+  ++stats_.group_acquires;
+  stats_.in_use = devices_.size() - free_.size();
+  stats_.peak_in_use = std::max(stats_.peak_in_use, stats_.in_use);
+  return out;
+}
+
 DevicePool::Stats DevicePool::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats out = stats_;
   out.in_use = devices_.size() - free_.size();
+  out.replica_picks = replica_picks_;
   return out;
 }
 
@@ -109,6 +204,7 @@ void DevicePool::Release(size_t index) {
     GSI_CHECK_MSG(std::find(free_.begin(), free_.end(), index) == free_.end(),
                   "double release of a pooled device");
     free_.push_back(index);
+    is_free_[index] = 1;
     stats_.in_use = devices_.size() - free_.size();
   }
   // notify_all, not notify_one: AcquireAll waiters need *specific* indices,

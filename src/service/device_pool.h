@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "gpusim/device.h"
@@ -31,6 +32,16 @@ class DevicePool {
     uint64_t blocked = 0;       ///< Acquire calls that had to wait
     size_t in_use = 0;          ///< currently leased devices
     size_t peak_in_use = 0;     ///< high-water mark of in_use
+    uint64_t group_acquires = 0;  ///< AcquireOneOfEach calls completed
+    uint64_t group_blocked = 0;   ///< AcquireOneOfEach calls that had to wait
+    /// Times device i was picked to serve a group in AcquireOneOfEach (a
+    /// device covering several groups of one call counts once per group) —
+    /// the replica-pick distribution the serving layer reports as skew.
+    std::vector<uint64_t> replica_picks;
+
+    /// max / mean of replica_picks over devices (1.0 = perfectly even;
+    /// 0 when no group acquisition has happened yet).
+    double replica_pick_skew() const;
   };
 
   /// Move-only handle to one leased device; releases it on destruction.
@@ -95,6 +106,41 @@ class DevicePool {
   /// order: leases[p] is device p.
   std::vector<Lease> AcquireAll();
 
+  /// Result of AcquireOneOfEach: exclusive leases over the *distinct*
+  /// devices picked (ascending device index) plus, per group, which device
+  /// serves it. One device may serve several groups of the same call (it
+  /// holds replicas of several partitions) — it is still leased exactly
+  /// once, so `leases.size() <= groups.size()`.
+  struct GroupLeases {
+    std::vector<Lease> leases;            ///< distinct devices, index order
+    std::vector<size_t> device_of_group;  ///< [g] -> pool device index
+    std::vector<size_t> lease_of_group;   ///< [g] -> index into leases
+
+    /// The leased device serving group g.
+    gpusim::Device* device(size_t g) const {
+      return leases[lease_of_group[g]].get();
+    }
+  };
+
+  /// Blocks until one device of *every* group can be leased, then takes
+  /// them atomically — the lease primitive of the replicated partitioned
+  /// data graph (gsi/replication.h), where group g lists the devices
+  /// holding a replica of partition g and a query needs one of each.
+  ///
+  /// Deadlock-free by construction: the whole selection is taken in one
+  /// critical section once every group has an idle member, so a waiting
+  /// caller never holds anything (no hold-and-wait; AcquireAll holders
+  /// eventually release and Release's notify_all re-evaluates the
+  /// predicate). Picks pack groups onto already-picked devices first —
+  /// maximizing the devices left idle for concurrent queries (the R-lane
+  /// effect) and the probes a co-resident replica can serve locally — and
+  /// break ties toward the least historically picked replica, then the
+  /// lowest index, so load spreads evenly across replicas over time.
+  ///
+  /// Every group must be non-empty with indices < size(); the vector of a
+  /// group lists the candidate devices (duplicates allowed, ignored).
+  GroupLeases AcquireOneOfEach(std::span<const std::vector<size_t>> groups);
+
   Stats stats() const;
 
  private:
@@ -104,6 +150,8 @@ class DevicePool {
   std::condition_variable idle_cv_;
   std::vector<std::unique_ptr<gpusim::Device>> devices_;
   std::vector<size_t> free_;  // indices of idle devices (LIFO)
+  std::vector<uint8_t> is_free_;  // [i] mirrors membership of i in free_
+  std::vector<uint64_t> replica_picks_;  // per-device AcquireOneOfEach picks
   Stats stats_;
 };
 

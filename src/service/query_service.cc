@@ -42,11 +42,44 @@ QueryService::QueryService(const Graph& data, GsiOptions gsi_options,
         "(intra-query sharding assumes every device holds a replica)");
     return;
   }
+  if (options_.partition_replicas < 1) {
+    init_status_ = Status::InvalidArgument(
+        "ServiceOptions.partition_replicas must be >= 1 (got " +
+        std::to_string(options_.partition_replicas) +
+        "); use 1 for unreplicated partitions");
+    return;
+  }
+  if (static_cast<size_t>(options_.partition_replicas) > num_devices) {
+    init_status_ = Status::InvalidArgument(
+        "ServiceOptions.partition_replicas = " +
+        std::to_string(options_.partition_replicas) + " exceeds the " +
+        std::to_string(num_devices) +
+        "-device pool; every replica of a partition needs its own device — "
+        "lower partition_replicas or raise num_devices");
+    return;
+  }
+  if (options_.partition_replicas > 1 && !options_.partition_data_graph) {
+    init_status_ = Status::InvalidArgument(
+        "ServiceOptions.partition_replicas > 1 only applies to the "
+        "partitioned data graph; set partition_data_graph = true (replicated "
+        "engine execution already stores a full replica per device)");
+    return;
+  }
+  if (options_.partition_replicas > 1 && options_.max_shards_per_query > 1) {
+    // Unreachable today (partition_data_graph already excludes sharding),
+    // but keep the combination check self-contained in case the gate above
+    // is ever relaxed.
+    init_status_ = Status::InvalidArgument(
+        "partition_replicas > 1 is incompatible with max_shards_per_query > "
+        "1 (a query's shards would contend with its replica lanes for the "
+        "same pool)");
+    return;
+  }
   devices_ = std::make_unique<DevicePool>(num_devices, gsi_options.device);
   if (options_.partition_data_graph) {
     // Workers have not started, so the pool is idle: take every device (in
-    // index order) and build its 1/K share on it. The leases drop at scope
-    // exit; queries re-acquire the full set per execution.
+    // index order) and build its share(s) on it. The leases drop at scope
+    // exit; queries re-acquire what they need per execution.
     std::vector<DevicePool::Lease> leases = devices_->AcquireAll();
     std::vector<gpusim::Device*> devs;
     devs.reserve(leases.size());
@@ -55,13 +88,25 @@ QueryService::QueryService(const Graph& data, GsiOptions gsi_options,
     const GraphPartitioner& partitioner = options_.partitioner
                                               ? *options_.partitioner
                                               : default_partitioner;
-    Result<PartitionedGraph> pg =
-        PartitionedGraph::Build(devs, data, gsi_options, partitioner);
-    if (!pg.ok()) {
-      init_status_ = pg.status();
-      return;
+    if (options_.partition_replicas > 1) {
+      Result<ReplicatedGraph> rg = ReplicatedGraph::Build(
+          devs, data, gsi_options, partitioner,
+          /*partitions=*/devs.size(),
+          static_cast<size_t>(options_.partition_replicas));
+      if (!rg.ok()) {
+        init_status_ = rg.status();
+        return;
+      }
+      replicated_ = std::make_unique<ReplicatedGraph>(std::move(rg.value()));
+    } else {
+      Result<PartitionedGraph> pg =
+          PartitionedGraph::Build(devs, data, gsi_options, partitioner);
+      if (!pg.ok()) {
+        init_status_ = pg.status();
+        return;
+      }
+      partitioned_ = std::make_unique<PartitionedGraph>(std::move(pg.value()));
     }
-    partitioned_ = std::make_unique<PartitionedGraph>(std::move(pg.value()));
   }
   pool_ = std::make_unique<ThreadPool>(workers);
   for (size_t i = 0; i < workers; ++i) {
@@ -188,6 +233,11 @@ ServiceStats QueryService::stats() const {
   out.p99_simulated_ms = PercentileOfSorted(latencies, 0.99);
   if (cache_) out.cache = cache_->stats();
   if (devices_) out.pool = devices_->stats();
+  if (out.replicated_queries > 0) {
+    out.avg_replica_lanes = static_cast<double>(out.replica_lanes_total) /
+                            static_cast<double>(out.replicated_queries);
+  }
+  out.replica_pick_skew = out.pool.replica_pick_skew();
   return out;
 }
 
@@ -208,6 +258,11 @@ void QueryService::FinishLocked(const TicketPtr& ticket,
       stats_.halo_bytes += result->stats.halo_bytes;
       stats_.max_partition_skew =
           std::max(stats_.max_partition_skew, result->stats.partition_skew);
+    }
+    if (result->stats.replica_lanes > 0) {
+      ++stats_.replicated_queries;
+      stats_.replica_lanes_total += result->stats.replica_lanes;
+      stats_.co_located_probes += result->stats.co_located_probes;
     }
     if (latencies_ms_.size() < kLatencyWindow) {
       latencies_ms_.push_back(result->stats.total_ms);
@@ -283,36 +338,77 @@ Result<FilterResult> QueryService::FilterViaCache(
   return fresh;
 }
 
+Result<QueryResult> QueryService::RunPartitionedFlow(
+    const Graph& query, gpusim::Device& primary,
+    const std::function<Result<FilterResult>(QueryStats&, double*)>&
+        fresh_filter,
+    const std::function<Result<QueryResult>(FilterResult, QueryStats)>&
+        join) {
+  WallTimer wall;
+  QueryStats stats;
+  double filter_parallel_ms = 0;
+  bool cache_hit = false;
+  Result<FilterResult> filtered =
+      FilterViaCache(query, primary, stats, &cache_hit, [&] {
+        return fresh_filter(stats, &filter_parallel_ms);
+      });
+  if (!filtered.ok()) return filtered.status();
+  if (cache_hit) {
+    // The memoized lists are already global: the per-partition scans (and
+    // their halo gather) were skipped and the phase ran on the primary.
+    filter_parallel_ms = stats.filter.SimulatedMs(primary.config());
+  }
+  Result<QueryResult> out = join(std::move(filtered.value()), stats);
+  if (out.ok()) {
+    // The join stage derives filter_ms from the summed counters; restore
+    // the fanned-out filter's makespan so total_ms reflects wall-parallel
+    // partitions, not serialized work.
+    out->stats.filter_ms = filter_parallel_ms;
+    out->stats.total_ms = out->stats.filter_ms + out->stats.join_ms;
+    out->stats.wall_ms = wall.ElapsedMs();
+  }
+  return out;
+}
+
 Result<QueryResult> QueryService::RunOne(const Graph& query) {
   const GsiOptions& go = engine_.options();
+  if (replicated_) {
+    // R-way replicated partitions: lease one replica of each (packed onto
+    // as few devices as possible, so other lanes stay free for concurrent
+    // queries), then serve every partition from its leased replica. The
+    // primary (gather/merge/materialize device) is the lowest-indexed
+    // leased device — the same device RunFilterStageReplicated picks.
+    const ReplicatedGraph& rg = *replicated_;
+    DevicePool::GroupLeases leases =
+        devices_->AcquireOneOfEach(rg.placement().lease_groups());
+    Result<ReplicaSelection> sel =
+        SelectionFromDevices(rg, leases.device_of_group);
+    if (!sel.ok()) return sel.status();
+    return RunPartitionedFlow(
+        query, *leases.leases.front().get(),
+        [&](QueryStats& stats, double* parallel_ms) {
+          return RunFilterStageReplicated(rg, *sel, query, stats,
+                                          parallel_ms);
+        },
+        [&](FilterResult filtered, QueryStats stats) {
+          return RunJoinStageReplicated(rg, *sel, query, std::move(filtered),
+                                        stats);
+        });
+  }
   if (partitioned_) {
     // The partitions *are* the data: a query needs every pool device, so
     // partitioned queries serialize on AcquireAll (workers just queue).
     const PartitionedGraph& pg = *partitioned_;
     std::vector<DevicePool::Lease> all = devices_->AcquireAll();
-    WallTimer wall;
-    QueryStats stats;
-    double filter_parallel_ms = 0;
-    bool cache_hit = false;
-    Result<FilterResult> filtered =
-        FilterViaCache(query, pg.device(0), stats, &cache_hit, [&] {
-          return RunFilterStagePartitioned(pg, query, stats,
-                                           &filter_parallel_ms);
+    return RunPartitionedFlow(
+        query, pg.device(0),
+        [&](QueryStats& stats, double* parallel_ms) {
+          return RunFilterStagePartitioned(pg, query, stats, parallel_ms);
+        },
+        [&](FilterResult filtered, QueryStats stats) {
+          return RunJoinStagePartitioned(pg, query, std::move(filtered),
+                                         stats);
         });
-    if (!filtered.ok()) return filtered.status();
-    if (cache_hit) {
-      // The memoized lists are already global: the partition scans (and
-      // their halo gather) were skipped and the phase ran on the primary.
-      filter_parallel_ms = stats.filter.SimulatedMs(pg.device(0).config());
-    }
-    Result<QueryResult> out = RunJoinStagePartitioned(
-        pg, query, std::move(filtered.value()), stats);
-    if (out.ok()) {
-      out->stats.filter_ms = filter_parallel_ms;
-      out->stats.total_ms = out->stats.filter_ms + out->stats.join_ms;
-      out->stats.wall_ms = wall.ElapsedMs();
-    }
-    return out;
   }
   DevicePool::Lease primary = devices_->Acquire();
   gpusim::Device& dev = *primary;

@@ -15,6 +15,7 @@
 #include "gsi/matcher.h"
 #include "gsi/partition.h"
 #include "gsi/query_engine.h"
+#include "gsi/replication.h"
 #include "gsi/sharded_engine.h"
 #include "service/device_pool.h"
 #include "service/filter_cache.h"
@@ -76,6 +77,24 @@ struct ServiceOptions {
   bool partition_data_graph = false;
   /// Ownership policy for partition_data_graph (null = HashVertexPartitioner).
   std::shared_ptr<const GraphPartitioner> partitioner;
+  /// Replicas of each partition in partition_data_graph mode (R). With the
+  /// default 1, a query needs the whole pool (AcquireAll) and partitioned
+  /// queries serialize. With R > 1 every partition lives on R pool devices
+  /// (staggered placement; see gsi/replication.h), a query leases just one
+  /// replica of each (DevicePool::AcquireOneOfEach, least-loaded picks),
+  /// and up to R partitioned queries run concurrently — at R times the
+  /// per-device resident bytes. R should divide the pool size: a query's
+  /// lease packs onto ceil(pool/R) devices, so a non-divisor R buys only
+  /// floor(pool / ceil(pool/R)) concurrent lanes (R=3 on a 4-device pool
+  /// yields the 2 lanes of R=2 at 3x the memory — its only edge over R=2
+  /// is a few more co-resident replicas absorbing remote probes). Remote
+  /// probes are served by a co-resident
+  /// replica when the probing device holds one, else routed to the replica
+  /// the query leased. Must be in [1, pool size]; needs
+  /// partition_data_graph and is incompatible with max_shards_per_query >
+  /// 1. Match results stay bit-identical to GsiMatcher::Find for every
+  /// replica choice.
+  int partition_replicas = 1;
 };
 
 /// Per-submission overrides.
@@ -111,6 +130,18 @@ struct ServiceStats {
   uint64_t remote_probes = 0;        ///< cross-partition N(v, l) lookups
   uint64_t halo_bytes = 0;           ///< interconnect bytes, filter + join
   double max_partition_skew = 0;     ///< worst max/mean per-partition time
+  /// Replicated-placement activity (zeros unless partition_replicas > 1).
+  /// Partitioned queries then also count in the partitioned fields above.
+  uint64_t replicated_queries = 0;  ///< completed-ok via a replica selection
+  uint64_t replica_lanes_total = 0; ///< sum of per-query distinct devices
+  /// Lane occupancy: replica_lanes_total / replicated_queries — devices a
+  /// partitioned query actually held, vs the whole pool under AcquireAll.
+  double avg_replica_lanes = 0;
+  /// Probes replication served from a co-resident replica instead of the
+  /// interconnect (the traffic R bought back).
+  uint64_t co_located_probes = 0;
+  /// max/mean of per-device replica picks (AcquireOneOfEach), 1.0 = even.
+  double replica_pick_skew = 0;
   DevicePool::Stats pool;        ///< device-pool health
 };
 
@@ -176,6 +207,13 @@ class QueryTicket {
 /// take the whole pool (DevicePool::AcquireAll) and run the partitioned
 /// filter/join of gsi/partition.h — still bit-identical, still
 /// cache-compatible (memoized candidate lists are global either way).
+/// Raising partition_replicas to R > 1 stores every partition on R pool
+/// devices (gsi/replication.h): a query leases one replica of each
+/// (DevicePool::AcquireOneOfEach) instead of the whole pool, so up to R
+/// partitioned queries run concurrently, remote probes are served by
+/// co-resident replicas when possible, and per-device residency grows to
+/// ~R/K of the replica — the replication/concurrency trade the ServiceStats
+/// replica counters observe.
 ///
 /// Thread-safe. The data graph must outlive the service. Results handed
 /// out by Poll/Wait own their match tables; they stay valid after the
@@ -229,8 +267,20 @@ class QueryService {
   /// the filter phase (through the cache when enabled), and — when the
   /// query is heavy and devices are idle — fans the join out across up to
   /// max_shards_per_query devices. In partition_data_graph mode it instead
-  /// takes the whole pool and runs the partitioned filter/join.
+  /// takes the whole pool (partition_replicas == 1) or one replica of each
+  /// partition (AcquireOneOfEach) and runs the partitioned/replicated
+  /// filter/join.
   Result<QueryResult> RunOne(const Graph& query);
+  /// The orchestration both partitioned-data paths share: cache-aware
+  /// filter on `primary` (falling back to `fresh_filter`, which reports
+  /// the phase's parallel makespan), then `join`, then the filter-makespan
+  /// and wall-time fixups. Devices must already be leased by the caller.
+  Result<QueryResult> RunPartitionedFlow(
+      const Graph& query, gpusim::Device& primary,
+      const std::function<Result<FilterResult>(QueryStats&, double*)>&
+          fresh_filter,
+      const std::function<Result<QueryResult>(FilterResult, QueryStats)>&
+          join);
   /// Satisfies the filter phase through the cache when enabled: a hit
   /// rematerializes the memoized lists on `materialize_dev` (recording the
   /// counter delta and min-candidate metric into `stats`); a miss runs
@@ -251,9 +301,13 @@ class QueryService {
   Status init_status_;
   std::unique_ptr<FilterCache> cache_;  // null when disabled
   std::unique_ptr<DevicePool> devices_;  // null when init failed
-  /// The 1/K-per-device data graph (partition_data_graph mode); built over
-  /// the pool's devices in index order, null otherwise.
+  /// The 1/K-per-device data graph (partition_data_graph mode with
+  /// partition_replicas == 1); built over the pool's devices in index
+  /// order, null otherwise.
   std::unique_ptr<PartitionedGraph> partitioned_;
+  /// The R-way replicated placement (partition_replicas > 1); K = pool
+  /// size partitions, each on R pool devices. Null otherwise.
+  std::unique_ptr<ReplicatedGraph> replicated_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // queue non-empty or stopping

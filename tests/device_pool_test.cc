@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <mutex>
@@ -191,6 +192,143 @@ TEST(DevicePool, AcquireAllWaitsForOutstandingLeases) {
   waiter.join();
   EXPECT_TRUE(acquired_all.load());
   EXPECT_EQ(pool.idle(), 3u);
+}
+
+/// Staggered replica groups over 4 devices, R=2 (what the replicated
+/// placement hands the pool): group p lists devices {p, (p+2) % 4}.
+std::vector<std::vector<size_t>> StaggeredGroups() {
+  return {{0, 2}, {1, 3}, {2, 0}, {3, 1}};
+}
+
+TEST(DevicePool, OneOfEachLeasesOneDevicePerGroupPacked) {
+  DevicePool pool(4);
+  std::vector<std::vector<size_t>> groups = StaggeredGroups();
+  DevicePool::GroupLeases gl = pool.AcquireOneOfEach(groups);
+  ASSERT_EQ(gl.device_of_group.size(), 4u);
+  // Every group got a device that actually belongs to it...
+  for (size_t g = 0; g < groups.size(); ++g) {
+    EXPECT_TRUE(std::find(groups[g].begin(), groups[g].end(),
+                          gl.device_of_group[g]) != groups[g].end());
+    EXPECT_EQ(gl.leases[gl.lease_of_group[g]].get(), gl.device(g));
+  }
+  // ...and the picks packed onto the fewest devices (2 cover all 4
+  // groups), leaving the other lane idle for a concurrent caller.
+  EXPECT_EQ(gl.leases.size(), 2u);
+  EXPECT_EQ(pool.idle(), 2u);
+  DevicePool::Stats s = pool.stats();
+  EXPECT_EQ(s.group_acquires, 1u);
+  EXPECT_EQ(s.group_blocked, 0u);
+  uint64_t total_picks = 0;
+  for (uint64_t p : s.replica_picks) total_picks += p;
+  EXPECT_EQ(total_picks, 4u);  // one pick per group
+}
+
+TEST(DevicePool, ConcurrentOneOfEachCallsGetDisjointLanes) {
+  DevicePool pool(4);
+  std::vector<std::vector<size_t>> groups = StaggeredGroups();
+  DevicePool::GroupLeases a = pool.AcquireOneOfEach(groups);
+  DevicePool::GroupLeases b = pool.AcquireOneOfEach(groups);
+  std::set<gpusim::Device*> distinct;
+  for (DevicePool::Lease& l : a.leases) distinct.insert(l.get());
+  for (DevicePool::Lease& l : b.leases) distinct.insert(l.get());
+  EXPECT_EQ(distinct.size(), a.leases.size() + b.leases.size())
+      << "two lanes must never share a device";
+  EXPECT_EQ(pool.idle(), 0u);
+
+  // A third caller blocks until a lane frees, then completes.
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    DevicePool::GroupLeases c = pool.AcquireOneOfEach(groups);
+    EXPECT_EQ(c.device_of_group.size(), 4u);
+    acquired = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(acquired.load());
+  a.leases.clear();  // release lane A; notify_all wakes the group waiter
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+  EXPECT_GE(pool.stats().group_blocked, 1u);
+}
+
+TEST(DevicePool, OneOfEachPrefersLeastPickedReplica) {
+  DevicePool pool(2);
+  std::vector<std::vector<size_t>> one_group = {{0, 1}};
+  // Repeated acquire/release alternates devices: historical pick counts
+  // balance the replicas instead of hammering device 0.
+  std::vector<size_t> picked;
+  for (int i = 0; i < 4; ++i) {
+    DevicePool::GroupLeases gl = pool.AcquireOneOfEach(one_group);
+    picked.push_back(gl.device_of_group[0]);
+  }
+  EXPECT_EQ(picked, (std::vector<size_t>{0, 1, 0, 1}));
+  DevicePool::Stats s = pool.stats();
+  ASSERT_EQ(s.replica_picks.size(), 2u);
+  EXPECT_EQ(s.replica_picks[0], 2u);
+  EXPECT_EQ(s.replica_picks[1], 2u);
+  EXPECT_DOUBLE_EQ(s.replica_pick_skew(), 1.0);
+}
+
+TEST(DevicePool, OneOfEachNeverDeadlocksAgainstAcquireAllAndAcquire) {
+  // The three lease shapes hammer one pool concurrently: AcquireAll holds
+  // partial prefixes while waiting, OneOfEach waits holding nothing, and
+  // plain Acquire churns single devices. Nothing here can cycle (see the
+  // header's deadlock argument); the test asserts everyone finishes and
+  // exclusivity never breaks.
+  constexpr size_t kDevices = 4;
+  constexpr int kIters = 60;
+  DevicePool pool(kDevices);
+  std::vector<std::vector<size_t>> groups = StaggeredGroups();
+
+  std::mutex mu;
+  std::set<gpusim::Device*> held;
+  bool double_lease = false;
+  auto track = [&](std::vector<DevicePool::Lease>& leases) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      for (DevicePool::Lease& l : leases) {
+        if (!held.insert(l.get()).second) double_lease = true;
+      }
+    }
+    std::this_thread::yield();
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      for (DevicePool::Lease& l : leases) held.erase(l.get());
+    }
+  };
+
+  std::atomic<int> completed{0};
+  {
+    ThreadPool workers(6);
+    for (int t = 0; t < 2; ++t) {
+      workers.Submit([&] {
+        for (int i = 0; i < kIters; ++i) {
+          std::vector<DevicePool::Lease> all = pool.AcquireAll();
+          track(all);
+          ++completed;
+        }
+      });
+      workers.Submit([&] {
+        for (int i = 0; i < kIters; ++i) {
+          DevicePool::GroupLeases gl = pool.AcquireOneOfEach(groups);
+          track(gl.leases);
+          ++completed;
+        }
+      });
+      workers.Submit([&] {
+        for (int i = 0; i < kIters; ++i) {
+          std::vector<DevicePool::Lease> one;
+          one.push_back(pool.Acquire());
+          track(one);
+          ++completed;
+        }
+      });
+    }
+    workers.Wait();
+  }
+  EXPECT_FALSE(double_lease);
+  EXPECT_EQ(completed.load(), 6 * kIters);
+  EXPECT_EQ(pool.idle(), kDevices);
+  EXPECT_EQ(pool.stats().in_use, 0u);
 }
 
 TEST(DevicePool, ConcurrentAcquireAllCallersDoNotDeadlock) {

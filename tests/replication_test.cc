@@ -1,0 +1,477 @@
+// R-way replicated partitions: placement invariants (R distinct devices
+// per partition, staggered lanes, resident bytes ~R/K of the replica),
+// bit-identical match tables for *every* replica selection (the guarantee
+// that lets the serving layer route each partition to any live replica),
+// co-location accounting (replication converts remote probes into local
+// reads), and the QueryService wiring over AcquireOneOfEach.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "graph/datasets.h"
+#include "graph/query_generator.h"
+#include "gsi/matcher.h"
+#include "gsi/query_engine.h"
+#include "gsi/replication.h"
+#include "service/query_service.h"
+#include "test_util.h"
+
+namespace gsi {
+namespace {
+
+void ExpectBitIdentical(const QueryResult& got, const QueryResult& want,
+                        const std::string& context) {
+  ASSERT_EQ(got.table.rows(), want.table.rows()) << context;
+  ASSERT_EQ(got.table.cols(), want.table.cols()) << context;
+  EXPECT_EQ(got.column_to_query, want.column_to_query) << context;
+  for (size_t r = 0; r < want.table.rows(); ++r) {
+    for (size_t c = 0; c < want.table.cols(); ++c) {
+      ASSERT_EQ(got.table.At(r, c), want.table.At(r, c))
+          << context << " cell (" << r << ", " << c << ")";
+    }
+  }
+  EXPECT_TRUE(got.TableEquals(want)) << context;
+}
+
+struct DeviceSet {
+  std::vector<std::unique_ptr<gpusim::Device>> owned;
+  std::vector<gpusim::Device*> ptrs;
+};
+
+DeviceSet MakeDevices(size_t n, const gpusim::DeviceConfig& config) {
+  DeviceSet ds;
+  for (size_t i = 0; i < n; ++i) {
+    ds.owned.push_back(std::make_unique<gpusim::Device>(config));
+    ds.ptrs.push_back(ds.owned.back().get());
+  }
+  return ds;
+}
+
+Result<ReplicatedGraph> BuildReplicated(const DeviceSet& ds, const Graph& g,
+                                        const GsiOptions& options,
+                                        size_t replicas) {
+  return ReplicatedGraph::Build(ds.ptrs, g, options, HashVertexPartitioner(),
+                                /*partitions=*/ds.ptrs.size(), replicas);
+}
+
+/// The selection that serves every partition from replica j (a maximally
+/// spread choice for j == 0: partition p on device p).
+ReplicaSelection UniformSelection(const ReplicatedGraph& rg, uint32_t j) {
+  ReplicaSelection sel;
+  sel.choice.assign(rg.num_partitions(), j);
+  return sel;
+}
+
+// ---------------------------------------------------------- placement ---
+
+TEST(ReplicaPlacement, StaggeredCoversEveryPartitionOnDistinctDevices) {
+  for (size_t n : {1, 2, 4, 6, 8}) {
+    for (size_t r = 1; r <= n; ++r) {
+      Result<ReplicaPlacement> pl = MakeStaggeredPlacement(n, n, r);
+      ASSERT_TRUE(pl.ok()) << "n=" << n << " r=" << r;
+      ASSERT_EQ(pl->device_of.size(), n);
+      size_t shares = 0;
+      for (PartitionId p = 0; p < n; ++p) {
+        ASSERT_EQ(pl->device_of[p].size(), r);
+        std::set<size_t> distinct(pl->device_of[p].begin(),
+                                  pl->device_of[p].end());
+        EXPECT_EQ(distinct.size(), r)
+            << "n=" << n << " r=" << r << ": replicas of partition " << p
+            << " share a device";
+      }
+      for (size_t d = 0; d < n; ++d) shares += pl->shares_of[d].size();
+      EXPECT_EQ(shares, n * r);  // K*R shares over N devices
+      // shares_of is the transpose of device_of.
+      for (size_t d = 0; d < n; ++d) {
+        for (PartitionId p : pl->shares_of[d]) {
+          EXPECT_TRUE(pl->Hosts(d, p));
+        }
+      }
+    }
+  }
+}
+
+TEST(ReplicaPlacement, EvenSharesWhenReplicasDividePool) {
+  // The serving configuration: N == K, R | N -> exactly R shares per
+  // device, and the first K/R devices cover every partition (one lane).
+  Result<ReplicaPlacement> pl = MakeStaggeredPlacement(8, 8, 2);
+  ASSERT_TRUE(pl.ok());
+  std::set<PartitionId> lane_parts;
+  for (size_t d = 0; d < 8; ++d) {
+    EXPECT_EQ(pl->shares_of[d].size(), 2u);
+    if (d < 4) {
+      lane_parts.insert(pl->shares_of[d].begin(), pl->shares_of[d].end());
+    }
+  }
+  EXPECT_EQ(lane_parts.size(), 8u) << "first N/R devices must form a lane";
+}
+
+TEST(ReplicaPlacement, RejectsInvalidShapes) {
+  EXPECT_EQ(MakeStaggeredPlacement(4, 4, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeStaggeredPlacement(4, 4, 5).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeStaggeredPlacement(0, 4, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeStaggeredPlacement(4, 0, 1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// -------------------------------------------------------------- build ---
+
+TEST(ReplicatedGraphBuild, ResidentBytesScaleWithReplicas) {
+  Graph g = testing::RandomGraph(400, 4, 3, 3, 23);
+  const GsiOptions options = GsiOptOptions();
+  uint64_t replicated = 0;
+  for (size_t r : {1, 2, 4}) {
+    DeviceSet ds = MakeDevices(4, options.device);
+    Result<ReplicatedGraph> rg = BuildReplicated(ds, g, options, r);
+    ASSERT_TRUE(rg.ok()) << rg.status().ToString();
+    const ReplicationBuildStats& bs = rg->build_stats();
+    if (replicated == 0) replicated = bs.replicated_bytes;
+    // One full copy of the graph costs the same regardless of R...
+    EXPECT_EQ(bs.replicated_bytes, replicated);
+    // ...and the pool stores exactly R copies.
+    EXPECT_EQ(bs.total_bytes, r * replicated);
+    // Per-device residency ~ R/K of the replica (hash-balanced 4 ways).
+    EXPECT_LT(bs.max_resident_bytes(),
+              r * replicated / 4 + replicated / 8);
+    EXPECT_GT(bs.max_resident_bytes(), r * replicated / 8);
+  }
+}
+
+TEST(ReplicatedGraphBuild, ShareContentIsIdenticalAcrossReplicas) {
+  Graph g = testing::RandomGraph(200, 3, 3, 2, 29);
+  DeviceSet ds = MakeDevices(4, gpusim::DeviceConfig());
+  Result<ReplicatedGraph> rg = BuildReplicated(ds, g, GsiOptOptions(), 2);
+  ASSERT_TRUE(rg.ok());
+  for (PartitionId p = 0; p < rg->num_partitions(); ++p) {
+    // Same bytes and same signature words on every replica.
+    EXPECT_EQ(rg->store(p, 0).device_bytes(), rg->store(p, 1).device_bytes());
+    const SignatureTable& a = rg->signatures(p, 0);
+    const SignatureTable& b = rg->signatures(p, 1);
+    ASSERT_EQ(a.num_vertices(), b.num_vertices());
+    ASSERT_EQ(a.num_vertices(), rg->owned(p).size());
+    for (VertexId i = 0; i < a.num_vertices(); ++i) {
+      for (int w = 0; w < a.words_per_sig(); ++w) {
+        ASSERT_EQ(a.WordAt(i, w), b.WordAt(i, w))
+            << "partition " << p << " row " << i << " word " << w;
+      }
+    }
+    // StoreOn resolves each placement entry to its resident share.
+    for (size_t j = 0; j < rg->num_replicas(); ++j) {
+      EXPECT_EQ(rg->StoreOn(rg->placement().device_of[p][j], p),
+                &rg->store(p, j));
+    }
+  }
+}
+
+TEST(ReplicatedGraphBuild, RejectsUnsupportedConfigurations) {
+  Graph g = testing::RandomGraph(100, 2, 2, 2, 5);
+  DeviceSet ds = MakeDevices(2, gpusim::DeviceConfig());
+  GsiOptions csr = GsiOptOptions();
+  csr.join.storage = StorageKind::kCsr;
+  EXPECT_EQ(BuildReplicated(ds, g, csr, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(BuildReplicated(ds, g, GsiOptOptions(), 3).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ReplicatedGraph::Build({}, g, GsiOptOptions(),
+                                   HashVertexPartitioner(), 2, 1)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --------------------------------------------------------- selections ---
+
+TEST(ReplicaSelectionTest, CompactSelectionPacksOntoFewestDevices) {
+  Graph g = testing::RandomGraph(200, 3, 3, 2, 31);
+  DeviceSet ds = MakeDevices(4, gpusim::DeviceConfig());
+  Result<ReplicatedGraph> rg = BuildReplicated(ds, g, GsiOptOptions(), 2);
+  ASSERT_TRUE(rg.ok());
+  ReplicaSelection sel = CompactSelection(*rg);
+  std::set<size_t> devices;
+  for (PartitionId p = 0; p < rg->num_partitions(); ++p) {
+    devices.insert(sel.DeviceOf(rg->placement(), p));
+  }
+  EXPECT_EQ(devices.size(), 2u) << "K/R devices cover all K partitions";
+}
+
+TEST(ReplicaSelectionTest, SelectionFromDevicesRoundTripsAndValidates) {
+  Graph g = testing::RandomGraph(200, 3, 3, 2, 37);
+  DeviceSet ds = MakeDevices(4, gpusim::DeviceConfig());
+  Result<ReplicatedGraph> rg = BuildReplicated(ds, g, GsiOptOptions(), 2);
+  ASSERT_TRUE(rg.ok());
+  ReplicaSelection sel = CompactSelection(*rg);
+  std::vector<size_t> devices;
+  for (PartitionId p = 0; p < rg->num_partitions(); ++p) {
+    devices.push_back(sel.DeviceOf(rg->placement(), p));
+  }
+  Result<ReplicaSelection> back = SelectionFromDevices(*rg, devices);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->choice, sel.choice);
+
+  // A device that holds no replica of partition 0 is rejected.
+  std::vector<size_t> bad = devices;
+  const std::vector<size_t>& holders = rg->placement().device_of[0];
+  for (size_t d = 0; d < 4; ++d) {
+    if (std::find(holders.begin(), holders.end(), d) == holders.end()) {
+      bad[0] = d;
+      break;
+    }
+  }
+  EXPECT_EQ(SelectionFromDevices(*rg, bad).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------- execution ---
+
+TEST(ReplicatedExecution, BitIdenticalForEverySelection) {
+  Graph g = testing::RandomGraph(300, 3, 3, 2, 41);
+  GsiMatcher sequential(g, GsiOptOptions());
+  DeviceSet ds = MakeDevices(4, GsiOptOptions().device);
+  Result<ReplicatedGraph> rg = BuildReplicated(ds, g, GsiOptOptions(), 2);
+  ASSERT_TRUE(rg.ok());
+
+  for (uint64_t qseed = 0; qseed < 3; ++qseed) {
+    Graph q = testing::RandomQuery(g, 5, 4300 + qseed);
+    Result<QueryResult> single = sequential.Find(q);
+    ASSERT_TRUE(single.ok());
+    // Compact (2 lanes), spread (replica 0 of each: 4 devices), rotated
+    // (replica 1 of each) — the table must not depend on the choice.
+    std::vector<ReplicaSelection> selections = {
+        CompactSelection(*rg), UniformSelection(*rg, 0),
+        UniformSelection(*rg, 1)};
+    for (size_t s = 0; s < selections.size(); ++s) {
+      Result<QueryResult> got =
+          ExecuteQueryReplicated(*rg, selections[s], q);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ExpectBitIdentical(*got, *single,
+                         "query " + std::to_string(qseed) + " selection " +
+                             std::to_string(s));
+    }
+  }
+}
+
+TEST(ReplicatedExecution, BitIdenticalOnIntegrationGraphs) {
+  for (const std::string& name : {"enron", "gowalla"}) {
+    Result<Dataset> d = MakeDataset(name, /*scale=*/0.01);
+    ASSERT_TRUE(d.ok());
+    const Graph& g = d->graph;
+    QueryGenConfig qc;
+    qc.num_vertices = 5;
+    std::vector<Graph> queries = GenerateQuerySet(g, qc, 2, 77);
+    ASSERT_FALSE(queries.empty());
+    GsiMatcher sequential(g, GsiOptOptions());
+    for (size_t r : {2, 4}) {
+      DeviceSet ds = MakeDevices(4, GsiOptOptions().device);
+      Result<ReplicatedGraph> rg = BuildReplicated(ds, g, GsiOptOptions(), r);
+      ASSERT_TRUE(rg.ok());
+      const ReplicaSelection sel = CompactSelection(*rg);
+      for (size_t qi = 0; qi < queries.size(); ++qi) {
+        Result<QueryResult> single = sequential.Find(queries[qi]);
+        ASSERT_TRUE(single.ok());
+        Result<QueryResult> got = ExecuteQueryReplicated(*rg, sel, queries[qi]);
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        ExpectBitIdentical(*got, *single,
+                           name + " query " + std::to_string(qi) + " R=" +
+                               std::to_string(r));
+      }
+    }
+  }
+}
+
+TEST(ReplicatedExecution, FullReplicationHasNoRemoteTraffic) {
+  Graph g = testing::RandomGraph(400, 4, 2, 2, 7);
+  Graph q = testing::RandomQuery(g, 4, 8);
+  QueryEngine engine(g, GsiOptOptions());
+  Result<QueryResult> single = engine.Run(q);
+  ASSERT_TRUE(single.ok());
+
+  DeviceSet ds = MakeDevices(4, engine.options().device);
+  Result<ReplicatedGraph> rg = BuildReplicated(ds, g, engine.options(), 4);
+  ASSERT_TRUE(rg.ok());
+  // R == N: one device holds every partition, so the compact selection is
+  // a single lane and nothing ever crosses the interconnect.
+  ReplicaSelection sel = CompactSelection(*rg);
+  Result<QueryResult> got = engine.RunPartitioned(q, *rg, sel);
+  ASSERT_TRUE(got.ok());
+  ExpectBitIdentical(*got, *single, "full replication");
+  EXPECT_EQ(got->stats.replica_lanes, 1u);
+  EXPECT_EQ(got->stats.remote_probes, 0u);
+  EXPECT_EQ(got->stats.halo_bytes, 0u);
+  EXPECT_GT(got->stats.co_located_probes, 0u)
+      << "peer-partition probes must be served by co-resident replicas";
+  // Replicated runs keep the replica fields at zero on other paths.
+  EXPECT_EQ(single->stats.replica_lanes, 0u);
+  EXPECT_EQ(single->stats.co_located_probes, 0u);
+}
+
+TEST(ReplicatedExecution, CoLocationShrinksRemoteTraffic) {
+  Graph g = testing::RandomGraph(400, 4, 2, 2, 7);
+  Graph q = testing::RandomQuery(g, 4, 8);
+  const GsiOptions options = GsiOptOptions();
+
+  uint64_t remote_r1 = 0;
+  uint64_t remote_r2 = 0;
+  for (size_t r : {1, 2}) {
+    DeviceSet ds = MakeDevices(4, options.device);
+    Result<ReplicatedGraph> rg = BuildReplicated(ds, g, options, r);
+    ASSERT_TRUE(rg.ok());
+    Result<QueryResult> got =
+        ExecuteQueryReplicated(*rg, CompactSelection(*rg), q);
+    ASSERT_TRUE(got.ok());
+    if (r == 1) {
+      remote_r1 = got->stats.remote_probes;
+      EXPECT_EQ(got->stats.co_located_probes, 0u);
+      EXPECT_EQ(got->stats.replica_lanes, 4u);
+    } else {
+      remote_r2 = got->stats.remote_probes;
+      EXPECT_GT(got->stats.co_located_probes, 0u);
+      EXPECT_EQ(got->stats.replica_lanes, 2u);
+    }
+  }
+  EXPECT_GT(remote_r1, 0u);
+  EXPECT_LT(remote_r2, remote_r1)
+      << "co-resident replicas must absorb some probes";
+}
+
+TEST(ReplicatedExecution, DeterministicAcrossRuns) {
+  Graph g = testing::RandomGraph(300, 3, 3, 2, 11);
+  Graph q = testing::RandomQuery(g, 5, 13);
+  DeviceSet ds = MakeDevices(4, gpusim::DeviceConfig());
+  Result<ReplicatedGraph> rg = BuildReplicated(ds, g, GsiOptOptions(), 2);
+  ASSERT_TRUE(rg.ok());
+  const ReplicaSelection sel = CompactSelection(*rg);
+  Result<QueryResult> a = ExecuteQueryReplicated(*rg, sel, q);
+  Result<QueryResult> b = ExecuteQueryReplicated(*rg, sel, q);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ExpectBitIdentical(*a, *b, "repeat run");
+  EXPECT_EQ(a->stats.remote_probes, b->stats.remote_probes);
+  EXPECT_EQ(a->stats.co_located_probes, b->stats.co_located_probes);
+  EXPECT_EQ(a->stats.halo_bytes, b->stats.halo_bytes);
+  EXPECT_DOUBLE_EQ(a->stats.join_ms, b->stats.join_ms);
+}
+
+TEST(ReplicatedExecution, RejectsBadSelectionsAndMismatchedOptions) {
+  Graph g = testing::RandomGraph(100, 3, 2, 2, 5);
+  Graph q = testing::RandomQuery(g, 3, 6);
+  DeviceSet ds = MakeDevices(4, gpusim::DeviceConfig());
+  Result<ReplicatedGraph> rg = BuildReplicated(ds, g, GsiOptOptions(), 2);
+  ASSERT_TRUE(rg.ok());
+  ReplicaSelection wrong_size;
+  wrong_size.choice = {0, 0};
+  EXPECT_EQ(ExecuteQueryReplicated(*rg, wrong_size, q).status().code(),
+            StatusCode::kInvalidArgument);
+  ReplicaSelection out_of_range = CompactSelection(*rg);
+  out_of_range.choice[0] = 7;
+  EXPECT_EQ(ExecuteQueryReplicated(*rg, out_of_range, q).status().code(),
+            StatusCode::kInvalidArgument);
+  QueryEngine other(g, DefaultGsiOptions());
+  EXPECT_EQ(other.RunPartitioned(q, *rg, CompactSelection(*rg))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------------ service ---
+
+TEST(ReplicatedService, StaysBitIdenticalUnderConcurrentLoad) {
+  for (bool cache : {false, true}) {
+    Graph data = testing::RandomGraph(300, 3, 4, 3, 700);
+    std::vector<Graph> queries;
+    for (uint64_t q = 0; q < 8; ++q) {
+      queries.push_back(testing::RandomQuery(data, 5, 7000 + q));
+    }
+    GsiMatcher sequential(data, GsiOptOptions());
+
+    ServiceOptions so;
+    so.num_workers = 3;
+    so.num_devices = 4;
+    so.partition_data_graph = true;
+    so.partition_replicas = 2;
+    so.enable_filter_cache = cache;
+    QueryService service(data, GsiOptOptions(), so);
+    ASSERT_TRUE(service.init_status().ok())
+        << service.init_status().ToString();
+
+    std::vector<QueryTicket> tickets;
+    for (const Graph& q : queries) {
+      Result<QueryTicket> t = service.Submit(q);
+      ASSERT_TRUE(t.ok());
+      tickets.push_back(*t);
+    }
+    for (size_t i = 0; i < queries.size(); ++i) {
+      Result<QueryResult> expected = sequential.Find(queries[i]);
+      Result<QueryResult> got = service.Wait(tickets[i]);
+      ASSERT_EQ(expected.ok(), got.ok()) << "query " << i;
+      if (!expected.ok()) continue;
+      EXPECT_TRUE(got->TableEquals(*expected))
+          << "query " << i << " cache=" << cache;
+      EXPECT_GE(got->stats.replica_lanes, 1u);
+      EXPECT_LE(got->stats.replica_lanes, 4u);
+    }
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.replicated_queries, stats.completed_ok);
+    EXPECT_EQ(stats.partitioned_queries, stats.completed_ok);
+    EXPECT_GE(stats.avg_replica_lanes, 1.0);
+    EXPECT_GE(stats.pool.group_acquires, stats.completed_ok);
+    EXPECT_GE(stats.replica_pick_skew, 1.0);
+    EXPECT_EQ(stats.pool.in_use, 0u);
+  }
+}
+
+TEST(ReplicatedService, ValidatesPartitionReplicas) {
+  Graph data = testing::RandomGraph(100, 3, 2, 2, 900);
+  {
+    ServiceOptions so;
+    so.partition_data_graph = true;
+    so.partition_replicas = 0;
+    QueryService service(data, GsiOptOptions(), so);
+    EXPECT_EQ(service.init_status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    ServiceOptions so;
+    so.num_devices = 4;
+    so.partition_data_graph = true;
+    so.partition_replicas = 5;  // > pool size
+    QueryService service(data, GsiOptOptions(), so);
+    EXPECT_EQ(service.init_status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(service.init_status().ToString().find("pool"),
+              std::string::npos);
+  }
+  {
+    ServiceOptions so;
+    so.num_devices = 4;
+    so.partition_replicas = 2;  // without partition_data_graph
+    QueryService service(data, GsiOptOptions(), so);
+    EXPECT_EQ(service.init_status().code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(
+        service.Submit(testing::RandomQuery(data, 3, 1)).status().code(),
+        StatusCode::kInvalidArgument);
+  }
+  {
+    // R == pool size is legal: full replication, single-device queries.
+    ServiceOptions so;
+    so.num_devices = 2;
+    so.partition_data_graph = true;
+    so.partition_replicas = 2;
+    QueryService service(data, GsiOptOptions(), so);
+    ASSERT_TRUE(service.init_status().ok())
+        << service.init_status().ToString();
+    Result<QueryTicket> t = service.Submit(testing::RandomQuery(data, 4, 2));
+    ASSERT_TRUE(t.ok());
+    Result<QueryResult> got = service.Wait(*t);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->stats.replica_lanes, 1u);
+    EXPECT_EQ(got->stats.remote_probes, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace gsi
