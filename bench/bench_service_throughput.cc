@@ -65,7 +65,7 @@ void Record(benchmark::State& state, const std::string& mode,
                   TablePrinter::FormatMs(o.p50_ms),
                   TablePrinter::FormatMs(o.p99_ms),
                   TablePrinter::FormatPercent(o.cache_hit_rate)});
-  RecordJson({"service_throughput", mode, o.qps, o.p50_ms, o.p99_ms});
+  RecordJson({"service_throughput", mode, o.qps, o.p50_ms, o.p99_ms, {}});
 }
 
 Outcome RunViaBatch() {

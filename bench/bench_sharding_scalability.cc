@@ -120,7 +120,8 @@ void BM_Sharding(benchmark::State& state, size_t num_devices) {
               "devices=" + std::to_string(num_devices),
               /*qps=*/stats.total_ms > 0 ? 1000.0 / stats.total_ms : 0,
               /*p50_ms=*/stats.total_ms,
-              /*p99_ms=*/stats.total_ms});
+              /*p99_ms=*/stats.total_ms,
+              /*extras=*/{}});
 }
 
 void RegisterAll() {

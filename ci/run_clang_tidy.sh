@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# clang-tidy gate over the execution path (.clang-tidy holds the check set).
+#
+# Runs clang-tidy on every translation unit under src/gsi, src/service and
+# src/util against a compile_commands.json, and fails on any finding
+# (WarningsAsErrors: '*' in .clang-tidy). Generates the compilation
+# database itself if the build dir does not have one yet.
+#
+# Usage: ci/run_clang_tidy.sh [build-dir]
+# Env:   CLANG_TIDY  explicit binary (default: clang-tidy, then the newest
+#                    versioned clang-tidy-* on PATH)
+#        TIDY_JOBS   parallel workers (default: nproc)
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-${BUILD_DIR:-build}}"
+cd "$REPO_ROOT"
+
+find_clang_tidy() {
+  if [ -n "${CLANG_TIDY:-}" ]; then
+    echo "$CLANG_TIDY"
+    return
+  fi
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo clang-tidy
+    return
+  fi
+  # Distro packages often install only clang-tidy-<N>; take the newest.
+  # compgen exits 1 on no match — don't let set -e turn that into a
+  # silent abort before the "no clang-tidy" diagnostic below.
+  { compgen -c clang-tidy- 2>/dev/null || true; } |
+    sort -t- -k3 -n -u | tail -n1
+}
+
+TIDY="$(find_clang_tidy)"
+if [ -z "$TIDY" ]; then
+  echo "error: no clang-tidy on PATH (set CLANG_TIDY=...)" >&2
+  exit 2
+fi
+echo "using: $("$TIDY" --version | head -n2 | tr '\n' ' ')"
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "generating $BUILD_DIR/compile_commands.json"
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+mapfile -t SOURCES < <(find src/gsi src/service src/util -name '*.cc' | sort)
+echo "checking ${#SOURCES[@]} translation units"
+
+JOBS="${TIDY_JOBS:-$(nproc)}"
+STATUS=0
+# xargs fan-out: each worker exits non-zero on findings; -P keeps CI wall
+# time sane, and the per-file output stays readable because clang-tidy
+# buffers per invocation.
+printf '%s\n' "${SOURCES[@]}" |
+  xargs -P "$JOBS" -n 1 "$TIDY" -p "$BUILD_DIR" --quiet || STATUS=$?
+
+if [ "$STATUS" -ne 0 ]; then
+  echo "clang-tidy: findings above must be fixed (or NOLINT'd with a" >&2
+  echo "comment explaining why the pattern is safe here)" >&2
+  exit 1
+fi
+echo "clang-tidy: clean"

@@ -6,8 +6,13 @@
 # every `--json` record lands in $ARTIFACTS_DIR so the workflow can upload
 # the full set as one artifact (the cross-run perf trajectory).
 #
-# Usage: ci/smoke.sh [all | <smoke> ...]
+# Usage: ci/smoke.sh [all | sanitizer | <smoke> ...]
 # Env:   BUILD_DIR (default: build), ARTIFACTS_DIR (default: bench-artifacts)
+#
+# `sanitizer` selects the subset the TSan/ASan CI legs run: one end-to-end
+# smoke per concurrency shape (async service, pool fan-out, replica lanes)
+# plus the two benches that stress Acquire*/Release wakeups, sized so an
+# instrumented build finishes in minutes.
 
 set -euo pipefail
 
@@ -23,6 +28,14 @@ ALL_SMOKES=(
   bench-service
   bench-sharding
   bench-partition
+  bench-replication
+)
+
+SANITIZER_SMOKES=(
+  example-query-service
+  example-sharded
+  example-replicated
+  bench-service
   bench-replication
 )
 
@@ -84,7 +97,7 @@ run_smoke() {
       ;;
     *)
       echo "unknown smoke: $1" >&2
-      echo "known: all ${ALL_SMOKES[*]}" >&2
+      echo "known: all sanitizer ${ALL_SMOKES[*]}" >&2
       exit 2
       ;;
   esac
@@ -92,6 +105,8 @@ run_smoke() {
 
 if [ "$#" -eq 0 ] || [ "$1" = "all" ]; then
   set -- "${ALL_SMOKES[@]}"
+elif [ "$1" = "sanitizer" ]; then
+  set -- "${SANITIZER_SMOKES[@]}"
 fi
 for smoke in "$@"; do
   echo "=== smoke: $smoke"

@@ -190,7 +190,9 @@ Result<QueryResult> RunJoinStageSharded(std::span<gpusim::Device* const> devs,
   std::vector<double> device_loads(devs.size(), 0);  // modeled, see below
   double makespan_ms = 0;
   size_t shards_used = 1;
-  const bool debug = std::getenv("GSI_SHARD_DEBUG") != nullptr;
+  // Read once under the thread-safe static initializer: getenv from
+  // concurrent sharded joins would be an MT-unsafe call per query.
+  static const bool debug = std::getenv("GSI_SHARD_DEBUG") != nullptr;
   ThreadPool pool(devs.size());  // reused by every fan-out below
 
   /// Per-row workload estimate for step `k` over the current table: the

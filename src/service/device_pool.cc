@@ -45,35 +45,35 @@ DevicePool::DevicePool(size_t num_devices, gpusim::DeviceConfig config) {
 }
 
 size_t DevicePool::idle() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return free_.size();
 }
 
-DevicePool::Lease DevicePool::Acquire() {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (free_.empty()) ++stats_.blocked;
-  idle_cv_.wait(lock, [this] { return !free_.empty(); });
-  size_t index = free_.back();
-  free_.pop_back();
+void DevicePool::TakeDeviceLocked(size_t index) {
+  free_.erase(std::find(free_.begin(), free_.end(), index));
   is_free_[index] = 0;
   ++stats_.acquired;
   stats_.in_use = devices_.size() - free_.size();
   stats_.peak_in_use = std::max(stats_.peak_in_use, stats_.in_use);
+}
+
+DevicePool::Lease DevicePool::Acquire() {
+  MutexLock lock(mu_);
+  if (free_.empty()) ++stats_.blocked;
+  while (free_.empty()) idle_cv_.Wait(mu_);
+  const size_t index = free_.back();
+  TakeDeviceLocked(index);
   return Lease(this, index);
 }
 
 std::optional<DevicePool::Lease> DevicePool::TryAcquire() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (free_.empty()) {
     ++stats_.try_failed;
     return std::nullopt;
   }
-  size_t index = free_.back();
-  free_.pop_back();
-  is_free_[index] = 0;
-  ++stats_.acquired;
-  stats_.in_use = devices_.size() - free_.size();
-  stats_.peak_in_use = std::max(stats_.peak_in_use, stats_.in_use);
+  const size_t index = free_.back();
+  TakeDeviceLocked(index);
   return Lease(this, index);
 }
 
@@ -82,20 +82,13 @@ std::vector<DevicePool::Lease> DevicePool::AcquireAll() {
   leases.reserve(devices_.size());
   bool counted_blocked = false;  // blocked counts calls, not busy indices
   for (size_t i = 0; i < devices_.size(); ++i) {
-    std::unique_lock<std::mutex> lock(mu_);
-    auto held = [&] {
-      return std::find(free_.begin(), free_.end(), i) != free_.end();
-    };
-    if (!held() && !counted_blocked) {
+    MutexLock lock(mu_);
+    if (is_free_[i] == 0 && !counted_blocked) {
       ++stats_.blocked;
       counted_blocked = true;
     }
-    idle_cv_.wait(lock, held);
-    free_.erase(std::find(free_.begin(), free_.end(), i));
-    is_free_[i] = 0;
-    ++stats_.acquired;
-    stats_.in_use = devices_.size() - free_.size();
-    stats_.peak_in_use = std::max(stats_.peak_in_use, stats_.in_use);
+    while (is_free_[i] == 0) idle_cv_.Wait(mu_);
+    TakeDeviceLocked(i);
     leases.push_back(Lease(this, i));
   }
   return leases;
@@ -124,22 +117,14 @@ DevicePool::GroupLeases DevicePool::AcquireOneOfEach(
   out.device_of_group.resize(groups.size());
   out.lease_of_group.resize(groups.size());
   if (groups.empty()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.group_acquires;
     return out;
   }
 
-  std::unique_lock<std::mutex> lock(mu_);
-  auto feasible = [&] {
-    for (const std::vector<size_t>& group : groups) {
-      bool any = false;
-      for (size_t d : group) any = any || is_free_[d] != 0;
-      if (!any) return false;
-    }
-    return true;
-  };
-  if (!feasible()) ++stats_.group_blocked;
-  idle_cv_.wait(lock, feasible);
+  MutexLock lock(mu_);
+  if (!EveryGroupHasIdleLocked(groups)) ++stats_.group_blocked;
+  while (!EveryGroupHasIdleLocked(groups)) idle_cv_.Wait(mu_);
 
   // Pick one free device per group, packing onto devices already picked
   // for earlier groups (see the header for why packing wins), then by
@@ -159,7 +144,7 @@ DevicePool::GroupLeases DevicePool::AcquireOneOfEach(
         best_picked = reuse;
       }
     }
-    GSI_CHECK(best < devices_.size());  // feasible() held under the lock
+    GSI_CHECK(best < devices_.size());  // the wait predicate held the lock
     out.device_of_group[g] = best;
     if (!picked[best]) {
       picked[best] = 1;
@@ -172,9 +157,7 @@ DevicePool::GroupLeases DevicePool::AcquireOneOfEach(
 
   std::sort(distinct.begin(), distinct.end());
   for (size_t d : distinct) {
-    free_.erase(std::find(free_.begin(), free_.end(), d));
-    is_free_[d] = 0;
-    ++stats_.acquired;
+    TakeDeviceLocked(d);
     out.leases.push_back(Lease(this, d));
   }
   for (size_t g = 0; g < groups.size(); ++g) {
@@ -184,13 +167,21 @@ DevicePool::GroupLeases DevicePool::AcquireOneOfEach(
         distinct.begin();
   }
   ++stats_.group_acquires;
-  stats_.in_use = devices_.size() - free_.size();
-  stats_.peak_in_use = std::max(stats_.peak_in_use, stats_.in_use);
   return out;
 }
 
+bool DevicePool::EveryGroupHasIdleLocked(
+    std::span<const std::vector<size_t>> groups) const {
+  for (const std::vector<size_t>& group : groups) {
+    bool any = false;
+    for (size_t d : group) any = any || is_free_[d] != 0;
+    if (!any) return false;
+  }
+  return true;
+}
+
 DevicePool::Stats DevicePool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Stats out = stats_;
   out.in_use = devices_.size() - free_.size();
   out.replica_picks = replica_picks_;
@@ -199,7 +190,7 @@ DevicePool::Stats DevicePool::stats() const {
 
 void DevicePool::Release(size_t index) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     GSI_CHECK(index < devices_.size());
     GSI_CHECK_MSG(std::find(free_.begin(), free_.end(), index) == free_.end(),
                   "double release of a pooled device");
@@ -207,10 +198,10 @@ void DevicePool::Release(size_t index) {
     is_free_[index] = 1;
     stats_.in_use = devices_.size() - free_.size();
   }
-  // notify_all, not notify_one: AcquireAll waiters need *specific* indices,
+  // NotifyAll, not NotifyOne: AcquireAll waiters need *specific* indices,
   // so waking one arbitrary waiter could park a freed device next to an
   // Acquire waiter that would take anything.
-  idle_cv_.notify_all();
+  idle_cv_.NotifyAll();
 }
 
 }  // namespace gsi

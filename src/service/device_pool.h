@@ -1,15 +1,15 @@
 #ifndef GSI_SERVICE_DEVICE_POOL_H_
 #define GSI_SERVICE_DEVICE_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "gpusim/device.h"
+#include "util/annotations.h"
+#include "util/sync.h"
 
 namespace gsi {
 
@@ -82,19 +82,19 @@ class DevicePool {
                       gpusim::DeviceConfig config = gpusim::DeviceConfig());
 
   size_t size() const { return devices_.size(); }
-  size_t idle() const;
+  size_t idle() const GSI_EXCLUDES(mu_);
 
   /// Blocks until a device is idle, then leases it.
-  Lease Acquire();
+  Lease Acquire() GSI_EXCLUDES(mu_);
 
   /// Leases an idle device or returns nullopt without blocking.
-  std::optional<Lease> TryAcquire();
+  std::optional<Lease> TryAcquire() GSI_EXCLUDES(mu_);
 
   /// One blocking lease plus up to `max_devices - 1` more without blocking:
   /// the fan-out primitive — a heavy query takes whatever is idle right
   /// now, never waits for peers to finish. Returns between 1 and
   /// max_devices leases (max_devices == 0 is treated as 1).
-  std::vector<Lease> AcquireUpTo(size_t max_devices);
+  std::vector<Lease> AcquireUpTo(size_t max_devices) GSI_EXCLUDES(mu_);
 
   /// Blocks until every device has been leased, acquiring them in index
   /// order (devices_[0] first) — the primitive of the partitioned data
@@ -104,7 +104,7 @@ class DevicePool {
   /// all contend on index 0 first), and Acquire/TryAcquire holders never
   /// wait on anyone, so no cycle can form. Returned leases are in index
   /// order: leases[p] is device p.
-  std::vector<Lease> AcquireAll();
+  std::vector<Lease> AcquireAll() GSI_EXCLUDES(mu_);
 
   /// Result of AcquireOneOfEach: exclusive leases over the *distinct*
   /// devices picked (ascending device index) plus, per group, which device
@@ -139,20 +139,36 @@ class DevicePool {
   ///
   /// Every group must be non-empty with indices < size(); the vector of a
   /// group lists the candidate devices (duplicates allowed, ignored).
-  GroupLeases AcquireOneOfEach(std::span<const std::vector<size_t>> groups);
+  GroupLeases AcquireOneOfEach(std::span<const std::vector<size_t>> groups)
+      GSI_EXCLUDES(mu_);
 
-  Stats stats() const;
+  Stats stats() const GSI_EXCLUDES(mu_);
 
  private:
-  void Release(size_t index);
+  /// Returns the leased device to the pool and wakes waiters; called by
+  /// Lease, which must not hold the pool lock (self-deadlock otherwise).
+  void Release(size_t index) GSI_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable idle_cv_;
+  /// The AcquireOneOfEach wait predicate: every group has an idle member.
+  bool EveryGroupHasIdleLocked(
+      std::span<const std::vector<size_t>> groups) const GSI_REQUIRES(mu_);
+
+  /// Bookkeeping shared by every lease-granting path: removes `index` from
+  /// the free set and maintains the acquisition counters.
+  void TakeDeviceLocked(size_t index) GSI_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  CondVar idle_cv_;
+  /// Immutable after construction (the pointers; device state is owned by
+  /// whoever holds the lease) — safe to read without mu_.
   std::vector<std::unique_ptr<gpusim::Device>> devices_;
-  std::vector<size_t> free_;  // indices of idle devices (LIFO)
-  std::vector<uint8_t> is_free_;  // [i] mirrors membership of i in free_
-  std::vector<uint64_t> replica_picks_;  // per-device AcquireOneOfEach picks
-  Stats stats_;
+  /// Indices of idle devices (LIFO).
+  std::vector<size_t> free_ GSI_GUARDED_BY(mu_);
+  /// [i] mirrors membership of i in free_.
+  std::vector<uint8_t> is_free_ GSI_GUARDED_BY(mu_);
+  /// Per-device AcquireOneOfEach picks.
+  std::vector<uint64_t> replica_picks_ GSI_GUARDED_BY(mu_);
+  Stats stats_ GSI_GUARDED_BY(mu_);
 };
 
 }  // namespace gsi

@@ -68,7 +68,7 @@ FilterResult FilterCache::Materialize(gpusim::Device& dev, const Entry& entry,
 
 std::shared_ptr<const FilterCache::Entry> FilterCache::Lookup(
     const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = map_.find(key);
   if (it == map_.end()) {
     ++stats_.misses;
@@ -82,7 +82,7 @@ std::shared_ptr<const FilterCache::Entry> FilterCache::Lookup(
 void FilterCache::Insert(const std::string& key,
                          std::shared_ptr<const Entry> entry) {
   if (entry == nullptr || entry->bytes > options_.max_bytes) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = map_.find(key);
   if (it != map_.end()) {
     // Refresh: another worker filtered the same shape concurrently.
@@ -112,12 +112,12 @@ void FilterCache::EvictWhileOverBudgetLocked() {
 }
 
 FilterCache::Stats FilterCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 void FilterCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   map_.clear();
   lru_.clear();
   stats_.bytes = 0;

@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -12,7 +11,9 @@
 #include "gpusim/device.h"
 #include "graph/graph.h"
 #include "gsi/filter.h"
+#include "util/annotations.h"
 #include "util/common.h"
+#include "util/sync.h"
 
 namespace gsi {
 
@@ -91,14 +92,16 @@ class FilterCache {
                                   bool build_bitmaps);
 
   /// Returns the entry and marks it most-recently-used; nullptr on miss.
-  std::shared_ptr<const Entry> Lookup(const std::string& key);
+  std::shared_ptr<const Entry> Lookup(const std::string& key)
+      GSI_EXCLUDES(mu_);
 
   /// Inserts (or refreshes) `entry`, evicting least-recently-used entries
   /// until the byte budget holds. Oversized entries are dropped silently.
-  void Insert(const std::string& key, std::shared_ptr<const Entry> entry);
+  void Insert(const std::string& key, std::shared_ptr<const Entry> entry)
+      GSI_EXCLUDES(mu_);
 
-  Stats stats() const;
-  void Clear();
+  Stats stats() const GSI_EXCLUDES(mu_);
+  void Clear() GSI_EXCLUDES(mu_);
 
  private:
   struct Slot {
@@ -106,13 +109,15 @@ class FilterCache {
     std::list<std::string>::iterator lru_it;
   };
 
-  void EvictWhileOverBudgetLocked();
+  void EvictWhileOverBudgetLocked() GSI_REQUIRES(mu_);
 
-  Options options_;
-  mutable std::mutex mu_;
-  std::list<std::string> lru_;  // front = most recently used
-  std::unordered_map<std::string, Slot> map_;
-  Stats stats_;
+  Options options_;  // immutable after construction
+  mutable Mutex mu_;
+  /// Front = most recently used. The map owns the entries; the list orders
+  /// the keys for eviction.
+  std::list<std::string> lru_ GSI_GUARDED_BY(mu_);
+  std::unordered_map<std::string, Slot> map_ GSI_GUARDED_BY(mu_);
+  Stats stats_ GSI_GUARDED_BY(mu_);
 };
 
 }  // namespace gsi

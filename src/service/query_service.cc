@@ -13,7 +13,9 @@ namespace gsi {
 
 using internal::TicketState;
 using Phase = internal::TicketState::Phase;
-using Clock = std::chrono::steady_clock;
+// Admission-deadline clock: decides *whether* a queued ticket still runs,
+// never what an executed query matches — match tables stay bit-identical.
+using Clock = std::chrono::steady_clock;  // NOLINT(determinism:nondeterministic-seed)
 
 QueryService::QueryService(const Graph& data, GsiOptions gsi_options,
                            ServiceOptions options)
@@ -116,7 +118,7 @@ QueryService::QueryService(const Graph& data, GsiOptions gsi_options,
 
 QueryService::~QueryService() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
     // Fail whatever never reached a worker; running queries finish below.
     while (!queue_.empty()) {
@@ -126,49 +128,51 @@ QueryService::~QueryService() {
                                         std::to_string(t->id) + " started"));
     }
   }
-  work_cv_.notify_all();
-  space_cv_.notify_all();
+  work_cv_.NotifyAll();
+  space_cv_.NotifyAll();
   pool_.reset();  // drains the worker loops and joins
 }
 
 Result<QueryTicket> QueryService::Submit(Graph query,
                                          const SubmitOptions& options) {
   if (!init_status_.ok()) return init_status_;
-  std::unique_lock<std::mutex> lock(mu_);
-  ++stats_.submitted;
-  if (queue_.size() >= options_.max_queue_depth && !stopping_) {
-    if (options_.overload == OverloadPolicy::kReject) {
-      ++stats_.rejected;
-      return Status::ResourceExhausted(
-          "admission queue full (max_queue_depth=" +
-          std::to_string(options_.max_queue_depth) + "); retry later");
+  TicketPtr ticket;
+  {
+    MutexLock lock(mu_);
+    ++stats_.submitted;
+    if (queue_.size() >= options_.max_queue_depth && !stopping_) {
+      if (options_.overload == OverloadPolicy::kReject) {
+        ++stats_.rejected;
+        return Status::ResourceExhausted(
+            "admission queue full (max_queue_depth=" +
+            std::to_string(options_.max_queue_depth) + "); retry later");
+      }
+      while (!stopping_ && queue_.size() >= options_.max_queue_depth) {
+        space_cv_.Wait(mu_);
+      }
     }
-    space_cv_.wait(lock, [this] {
-      return stopping_ || queue_.size() < options_.max_queue_depth;
-    });
-  }
-  if (stopping_) {
-    ++stats_.rejected;
-    return Status::Cancelled("service is shutting down");
-  }
+    if (stopping_) {
+      ++stats_.rejected;
+      return Status::Cancelled("service is shutting down");
+    }
 
-  auto ticket = std::make_shared<TicketState>();
-  ticket->id = next_id_++;
-  ticket->query = std::move(query);
-  const double deadline_ms = options.deadline_ms > 0
-                                 ? options.deadline_ms
-                                 : options_.default_deadline_ms;
-  if (deadline_ms > 0) {
-    ticket->has_deadline = true;
-    ticket->deadline =
-        Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                           std::chrono::duration<double, std::milli>(
-                               deadline_ms));
+    ticket = std::make_shared<TicketState>();
+    ticket->id = next_id_++;
+    ticket->query = std::move(query);
+    const double deadline_ms = options.deadline_ms > 0
+                                   ? options.deadline_ms
+                                   : options_.default_deadline_ms;
+    if (deadline_ms > 0) {
+      ticket->has_deadline = true;
+      ticket->deadline =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double, std::milli>(
+                                 deadline_ms));
+    }
+    queue_.push_back(ticket);
+    ++stats_.admitted;
   }
-  queue_.push_back(ticket);
-  ++stats_.admitted;
-  lock.unlock();
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
   return QueryTicket(std::move(ticket));
 }
 
@@ -177,7 +181,7 @@ std::optional<Result<QueryResult>> QueryService::Poll(
   if (!ticket.valid()) {
     return Result<QueryResult>(Status::InvalidArgument("invalid ticket"));
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   TicketState& t = *ticket.state_;
   if (t.phase != Phase::kDone) return std::nullopt;
   if (t.taken) {
@@ -190,9 +194,9 @@ std::optional<Result<QueryResult>> QueryService::Poll(
 
 Result<QueryResult> QueryService::Wait(const QueryTicket& ticket) {
   if (!ticket.valid()) return Status::InvalidArgument("invalid ticket");
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   TicketState& t = *ticket.state_;
-  done_cv_.wait(lock, [&t] { return t.phase == Phase::kDone; });
+  while (t.phase != Phase::kDone) done_cv_.Wait(mu_);
   if (t.taken) {
     return Status::Internal("result of ticket " + std::to_string(t.id) +
                             " already taken");
@@ -203,7 +207,7 @@ Result<QueryResult> QueryService::Wait(const QueryTicket& ticket) {
 
 bool QueryService::Cancel(const QueryTicket& ticket) {
   if (!ticket.valid()) return false;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (ticket.state_->phase != Phase::kQueued) return false;
   auto it = std::find(queue_.begin(), queue_.end(), ticket.state_);
   if (it == queue_.end()) return false;  // being picked up right now
@@ -211,23 +215,27 @@ bool QueryService::Cancel(const QueryTicket& ticket) {
   FinishLocked(ticket.state_,
                Status::Cancelled("ticket " + std::to_string(ticket.id()) +
                                  " cancelled before execution"));
-  space_cv_.notify_one();
+  space_cv_.NotifyOne();
   return true;
 }
 
 void QueryService::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock,
-                [this] { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (!queue_.empty() || in_flight_ != 0) done_cv_.Wait(mu_);
 }
 
 ServiceStats QueryService::stats() const {
-  std::unique_lock<std::mutex> lock(mu_);
-  ServiceStats out = stats_;
-  out.queue_depth = queue_.size();
-  out.in_flight = in_flight_;
-  std::vector<double> latencies = latencies_ms_;
-  lock.unlock();  // percentile sort and pool/cache snapshots lock elsewhere
+  ServiceStats out;
+  std::vector<double> latencies;
+  {
+    MutexLock lock(mu_);
+    out = stats_;
+    out.queue_depth = queue_.size();
+    out.in_flight = in_flight_;
+    latencies = latencies_ms_;
+  }
+  // The percentile sort and pool/cache snapshots lock elsewhere — do them
+  // outside the critical section.
   std::sort(latencies.begin(), latencies.end());
   out.p50_simulated_ms = PercentileOfSorted(latencies, 0.5);
   out.p99_simulated_ms = PercentileOfSorted(latencies, 0.99);
@@ -279,7 +287,7 @@ void QueryService::FinishLocked(const TicketPtr& ticket,
   }
   ticket->result = std::move(result);
   ticket->phase = Phase::kDone;
-  done_cv_.notify_all();
+  done_cv_.NotifyAll();
 }
 
 void QueryService::WorkerLoop() {
@@ -290,12 +298,12 @@ void QueryService::WorkerLoop() {
   for (;;) {
     TicketPtr ticket;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) work_cv_.Wait(mu_);
       if (queue_.empty()) return;  // stopping_ with a drained queue
       ticket = std::move(queue_.front());
       queue_.pop_front();
-      space_cv_.notify_one();
+      space_cv_.NotifyOne();
       if (ticket->has_deadline && Clock::now() > ticket->deadline) {
         FinishLocked(ticket,
                      Status::DeadlineExceeded(
@@ -308,7 +316,7 @@ void QueryService::WorkerLoop() {
     }
     Result<QueryResult> result = RunOne(ticket->query);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
       FinishLocked(ticket, std::move(result));
     }

@@ -2,12 +2,10 @@
 #define GSI_SERVICE_QUERY_SERVICE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -19,7 +17,9 @@
 #include "gsi/sharded_engine.h"
 #include "service/device_pool.h"
 #include "service/filter_cache.h"
+#include "util/annotations.h"
 #include "util/status.h"
+#include "util/sync.h"
 #include "util/thread_pool.h"
 
 namespace gsi {
@@ -153,6 +153,8 @@ struct TicketState {
   uint64_t id = 0;
   Graph query;
   bool has_deadline = false;
+  /// Queueing-deadline expiry: admission policy, not match results.
+  // NOLINTNEXTLINE(determinism:nondeterministic-seed)
   std::chrono::steady_clock::time_point deadline{};
   /// Set exactly when phase becomes kDone; moved out by the first
   /// Poll/Wait that observes it.
@@ -233,25 +235,27 @@ class QueryService {
   /// queue is full under kReject (blocks under kBlock), or with the
   /// constructor's error when the GsiOptions were invalid.
   Result<QueryTicket> Submit(Graph query,
-                             const SubmitOptions& options = SubmitOptions());
+                             const SubmitOptions& options = SubmitOptions())
+      GSI_EXCLUDES(mu_);
 
   /// Non-blocking: nullopt while queued/running; once finished, moves the
   /// result out (exactly one Poll/Wait call gets it; later calls return an
   /// Internal "already taken" status).
-  std::optional<Result<QueryResult>> Poll(const QueryTicket& ticket);
+  std::optional<Result<QueryResult>> Poll(const QueryTicket& ticket)
+      GSI_EXCLUDES(mu_);
 
   /// Blocks until the ticket finishes, then moves the result out.
-  Result<QueryResult> Wait(const QueryTicket& ticket);
+  Result<QueryResult> Wait(const QueryTicket& ticket) GSI_EXCLUDES(mu_);
 
   /// Cancels a not-yet-started ticket: true if it was removed from the
   /// queue (its result becomes Cancelled); false if it already started or
   /// finished.
-  bool Cancel(const QueryTicket& ticket);
+  bool Cancel(const QueryTicket& ticket) GSI_EXCLUDES(mu_);
 
   /// Blocks until no ticket is queued or running (stream-then-drain usage).
-  void Drain();
+  void Drain() GSI_EXCLUDES(mu_);
 
-  ServiceStats stats() const;
+  ServiceStats stats() const GSI_EXCLUDES(mu_);
 
   /// Not Ok when the GsiOptions or ServiceOptions were rejected (e.g.
   /// max_queue_depth = 0, which would deadlock kBlock submitters); Submit
@@ -262,7 +266,7 @@ class QueryService {
  private:
   using TicketPtr = std::shared_ptr<internal::TicketState>;
 
-  void WorkerLoop();
+  void WorkerLoop() GSI_EXCLUDES(mu_);
   /// Executes one query: leases a primary device from the pool, satisfies
   /// the filter phase (through the cache when enabled), and — when the
   /// query is heavy and devices are idle — fans the join out across up to
@@ -290,7 +294,8 @@ class QueryService {
   Result<FilterResult> FilterViaCache(
       const Graph& query, gpusim::Device& materialize_dev, QueryStats& stats,
       bool* hit, const std::function<Result<FilterResult>()>& fresh_filter);
-  void FinishLocked(const TicketPtr& ticket, Result<QueryResult> result);
+  void FinishLocked(const TicketPtr& ticket, Result<QueryResult> result)
+      GSI_REQUIRES(mu_);
 
   /// Completed-ok latencies kept for the percentile snapshot.
   static constexpr size_t kLatencyWindow = 4096;
@@ -309,18 +314,22 @@ class QueryService {
   /// size partitions, each on R pool devices. Null otherwise.
   std::unique_ptr<ReplicatedGraph> replicated_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;   // queue non-empty or stopping
-  std::condition_variable space_cv_;  // queue below max_queue_depth
-  std::condition_variable done_cv_;   // some ticket finished / drained
-  std::deque<TicketPtr> queue_;
-  size_t in_flight_ = 0;
-  uint64_t next_id_ = 1;
-  bool stopping_ = false;
-  ServiceStats stats_;                  // counters; depth fields derived
+  mutable Mutex mu_;
+  CondVar work_cv_;   // queue non-empty or stopping
+  CondVar space_cv_;  // queue below max_queue_depth
+  CondVar done_cv_;   // some ticket finished / drained
+  /// TicketState fields (phase/result/taken/deadline) are also guarded by
+  /// mu_ — tickets are shared with callers, but every access goes through
+  /// a service method that holds the lock.
+  std::deque<TicketPtr> queue_ GSI_GUARDED_BY(mu_);
+  size_t in_flight_ GSI_GUARDED_BY(mu_) = 0;
+  uint64_t next_id_ GSI_GUARDED_BY(mu_) = 1;
+  bool stopping_ GSI_GUARDED_BY(mu_) = false;
+  /// Counters; depth fields derived in stats().
+  ServiceStats stats_ GSI_GUARDED_BY(mu_);
   /// Ring of the last kLatencyWindow completed-ok total_ms values.
-  std::vector<double> latencies_ms_;
-  size_t latency_cursor_ = 0;
+  std::vector<double> latencies_ms_ GSI_GUARDED_BY(mu_);
+  size_t latency_cursor_ GSI_GUARDED_BY(mu_) = 0;
 
   /// Declared last so workers die before the state they use.
   std::unique_ptr<ThreadPool> pool_;

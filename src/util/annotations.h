@@ -1,0 +1,52 @@
+#ifndef GSI_UTIL_ANNOTATIONS_H_
+#define GSI_UTIL_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis annotations (no-ops on other compilers).
+///
+/// The concurrency layer (util/thread_pool, service/device_pool,
+/// service/query_service, service/filter_cache) declares its locking
+/// discipline with these macros so `clang++ -Wthread-safety` proves, at
+/// compile time, that every access to a shared field happens under the
+/// mutex that guards it and that every helper is called with the locks it
+/// requires — the static counterpart of the TSan CI legs. Build with
+/// `-DGSI_THREAD_SAFETY=ON` (Clang only) to turn the analysis into errors;
+/// under GCC the macros expand to nothing and the code is unchanged.
+///
+/// Conventions (documented in docs/ARCHITECTURE.md):
+///  - every shared field is `GSI_GUARDED_BY(mu_)`;
+///  - private helpers that expect the caller to hold the lock are
+///    `GSI_REQUIRES(mu_)` and named `...Locked`;
+///  - public methods that take the lock themselves are
+///    `GSI_EXCLUDES(mu_)` when calling them with the lock held would
+///    self-deadlock.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define GSI_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define GSI_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+#define GSI_CAPABILITY(x) GSI_THREAD_ANNOTATION(capability(x))
+#define GSI_SCOPED_CAPABILITY GSI_THREAD_ANNOTATION(scoped_lockable)
+#define GSI_GUARDED_BY(x) GSI_THREAD_ANNOTATION(guarded_by(x))
+#define GSI_PT_GUARDED_BY(x) GSI_THREAD_ANNOTATION(pt_guarded_by(x))
+#define GSI_ACQUIRED_BEFORE(...) \
+  GSI_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define GSI_ACQUIRED_AFTER(...) \
+  GSI_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define GSI_REQUIRES(...) \
+  GSI_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define GSI_ACQUIRE(...) \
+  GSI_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define GSI_RELEASE(...) \
+  GSI_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define GSI_TRY_ACQUIRE(...) \
+  GSI_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define GSI_EXCLUDES(...) GSI_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define GSI_ASSERT_CAPABILITY(x) \
+  GSI_THREAD_ANNOTATION(assert_capability(x))
+#define GSI_RETURN_CAPABILITY(x) GSI_THREAD_ANNOTATION(lock_returned(x))
+#define GSI_NO_THREAD_SAFETY_ANALYSIS \
+  GSI_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // GSI_UTIL_ANNOTATIONS_H_

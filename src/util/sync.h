@@ -1,0 +1,77 @@
+#ifndef GSI_UTIL_SYNC_H_
+#define GSI_UTIL_SYNC_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/annotations.h"
+
+namespace gsi {
+
+/// Annotated wrappers over std::mutex / std::condition_variable so the
+/// concurrency layer is checkable by Clang Thread Safety Analysis
+/// (util/annotations.h). Semantics are identical to the std types; the
+/// wrappers only add capability annotations the analysis can track.
+///
+/// Condition waits are written as explicit loops in the caller,
+///
+///   MutexLock lock(mu_);
+///   while (!predicate()) cv_.Wait(mu_);
+///
+/// rather than the std::condition_variable predicate overload: the
+/// predicate then runs in the enclosing scope, where the analysis knows
+/// `mu_` is held, instead of inside a lambda it cannot see into.
+
+class GSI_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() GSI_ACQUIRE() { mu_.lock(); }
+  void Unlock() GSI_RELEASE() { mu_.unlock(); }
+  bool TryLock() GSI_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock over a Mutex (the std::lock_guard shape, annotated).
+class GSI_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) GSI_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() GSI_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable usable with Mutex. Wait atomically releases `mu`,
+/// blocks, and re-acquires it before returning — callers must already
+/// hold `mu` and re-check their predicate in a loop (spurious wakeups).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) GSI_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's MutexLock still owns the re-acquired mu
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace gsi
+
+#endif  // GSI_UTIL_SYNC_H_

@@ -1,13 +1,14 @@
 #ifndef GSI_UTIL_THREAD_POOL_H_
 #define GSI_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.h"
+#include "util/sync.h"
 
 namespace gsi {
 
@@ -30,22 +31,22 @@ class ThreadPool {
 
   /// Enqueues a task. Tasks may Submit further tasks but must not call
   /// Wait() (deadlock).
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) GSI_EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and no task is executing.
-  void Wait();
+  void Wait() GSI_EXCLUDES(mu_);
 
   size_t num_threads() const { return workers_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() GSI_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_ready_;   // queue non-empty or stopping
-  std::condition_variable all_done_;     // pending_ dropped to zero
-  std::deque<std::function<void()>> queue_;
-  size_t pending_ = 0;  // queued + currently executing tasks
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar work_ready_;   // queue non-empty or stopping
+  CondVar all_done_;     // pending_ dropped to zero
+  std::deque<std::function<void()>> queue_ GSI_GUARDED_BY(mu_);
+  size_t pending_ GSI_GUARDED_BY(mu_) = 0;  // queued + executing tasks
+  bool stop_ GSI_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

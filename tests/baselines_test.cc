@@ -56,8 +56,8 @@ INSTANTIATE_TEST_SUITE_P(All, CpuAlgorithmSuite,
                          ::testing::Values(CpuAlgorithm::kUllmann,
                                            CpuAlgorithm::kVf2,
                                            CpuAlgorithm::kCflMatch),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& suite_info) {
+                           switch (suite_info.param) {
                              case CpuAlgorithm::kUllmann:
                                return std::string("Ullmann");
                              case CpuAlgorithm::kVf2:

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Self-test for tools/determinism_lint.py (ctest: determinism_lint_selftest).
+
+Asserts the exact finding set over the fixture sources in
+tests/lint_fixtures/, that NOLINT escapes suppress (and wrong-rule NOLINTs
+do not), that the baseline gates only *new* findings, and that the real
+execution-path tree is clean under the checked-in baseline.
+"""
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINT = os.path.join(REPO_ROOT, "tools", "determinism_lint.py")
+FIXTURES = os.path.join(REPO_ROOT, "tests", "lint_fixtures")
+FINDING_RE = re.compile(r"^(\S+):(\d+): \[determinism:([\w-]+)\]")
+
+failures = []
+
+
+def check(condition, message):
+    if not condition:
+        failures.append(message)
+        print("FAIL: %s" % message)
+    else:
+        print("ok:   %s" % message)
+
+
+def run_lint(*args):
+    proc = subprocess.run(
+        [sys.executable, LINT, "--engine=regex"] + list(args),
+        capture_output=True, text=True, cwd=REPO_ROOT)
+    return proc.returncode, proc.stdout
+
+
+def parse_findings(output):
+    found = []
+    for line in output.splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            found.append((m.group(1), int(m.group(2)), m.group(3)))
+    return found
+
+
+def fixture_line(name, anchor):
+    """1-based line number of the first fixture line containing `anchor`."""
+    with open(os.path.join(FIXTURES, name), encoding="utf-8") as f:
+        for i, line in enumerate(f, 1):
+            if anchor in line:
+                return i
+    raise AssertionError("anchor %r not in %s" % (anchor, name))
+
+
+def main():
+    v = "tests/lint_fixtures/violations.cc"
+    s = "tests/lint_fixtures/suppressed.cc"
+
+    # --- exact findings over the fixtures (order: path, line, rule).
+    code, out = run_lint("--list", "tests/lint_fixtures")
+    check(code == 0, "--list exits 0")
+    findings = parse_findings(out)
+    vl = lambda anchor: fixture_line("violations.cc", anchor)
+    expected = [
+        (s, fixture_line("suppressed.cc", "for (int id : ids) n += id;"),
+         "unordered-iteration"),  # wrong-rule NOLINT must not suppress
+        (v, vl("std::set<Node*> g_dirty;"), "pointer-keyed-container"),
+        (v, vl("std::unordered_map<Node*, int> g_ranks;"),
+         "pointer-keyed-container"),
+        (v, vl("for (const auto& kv : counts)"), "unordered-iteration"),
+        (v, vl("for (int id : ids) {"), "unordered-iteration"),
+        (v, vl("acc += weight["), "float-accumulation"),
+        (v, vl("*ids.begin()"), "unordered-iteration"),
+        (v, vl("std::random_device rd;"), "nondeterministic-seed"),
+        (v, vl("steady_clock::now()"), "nondeterministic-seed"),
+        # srand(time(nullptr)): both tokens, two findings, one line.
+        (v, vl("srand(static_cast"), "nondeterministic-seed"),
+        (v, vl("srand(static_cast"), "nondeterministic-seed"),
+    ]
+    check(findings == expected,
+          "fixture findings match exactly (got %d, want %d)\n  got:  %s\n"
+          "  want: %s" % (len(findings), len(expected), findings, expected))
+
+    # --- every NOLINT-escaped hazard in suppressed.cc stays silent.
+    suppressed_findings = [f for f in findings if f[0] == s]
+    check(len(suppressed_findings) == 1,
+          "NOLINT(determinism[:rule]) suppresses all but the wrong-rule site")
+
+    # --- gate mode: an empty baseline reports every fixture finding as new.
+    with tempfile.TemporaryDirectory() as tmp:
+        empty = os.path.join(tmp, "empty_baseline.txt")
+        open(empty, "w").close()
+        code, out = run_lint("--baseline", empty, "tests/lint_fixtures")
+        check(code == 1, "gate fails on unbaselined findings")
+        check("%d new finding(s)" % len(expected) in out,
+              "gate counts all fixture findings as new")
+
+        # --- --write-baseline grandfathers them; the gate then passes.
+        base = os.path.join(tmp, "baseline.txt")
+        code, _ = run_lint("--baseline", base, "--write-baseline",
+                           "tests/lint_fixtures")
+        check(code == 0, "--write-baseline succeeds")
+        code, out = run_lint("--baseline", base, "tests/lint_fixtures")
+        check(code == 0, "gate passes once findings are baselined")
+
+        # --- a *new* violation still fails against that baseline.
+        extra_dir = os.path.join(tmp, "extra")
+        os.makedirs(extra_dir)
+        with open(os.path.join(extra_dir, "fresh.cc"), "w") as f:
+            f.write("#include <unordered_set>\n"
+                    "int F(const std::unordered_set<int>& ids) {\n"
+                    "  int n = 0;\n"
+                    "  for (int id : ids) n += id;\n"
+                    "  return n;\n"
+                    "}\n")
+        code, out = run_lint("--baseline", base, "tests/lint_fixtures",
+                             extra_dir)
+        check(code == 1, "a new violation fails against the baseline")
+        check("1 new finding(s)" in out, "only the new violation is new")
+
+    # --- the real execution path is clean under the checked-in baseline.
+    code, out = run_lint()
+    check(code == 0, "src/gsi + src/service are clean (checked-in baseline)")
+
+    if failures:
+        print("\n%d check(s) failed" % len(failures))
+        return 1
+    print("\nall checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -331,6 +331,91 @@ TEST(DevicePool, OneOfEachNeverDeadlocksAgainstAcquireAllAndAcquire) {
   EXPECT_EQ(pool.stats().in_use, 0u);
 }
 
+// Lock contract: the read-only observers (size / idle / stats) take mu_
+// but never wait on a condition — they must return promptly even when
+// every device is leased out and blocked acquirers are parked on the
+// CondVar. A regression that makes an observer wait for idle devices
+// turns every stats scrape into a hang under load.
+TEST(DevicePool, ObserversNeverBlockWhileAllDevicesAreLeased) {
+  DevicePool pool(3);
+  std::vector<DevicePool::Lease> all = pool.AcquireAll();
+  ASSERT_EQ(all.size(), 3u);
+
+  std::atomic<bool> done{false};
+  std::thread observer([&] {
+    EXPECT_EQ(pool.size(), 3u);
+    EXPECT_EQ(pool.idle(), 0u);
+    DevicePool::Stats s = pool.stats();
+    EXPECT_EQ(s.in_use, 3u);
+    EXPECT_EQ(s.acquired, 3u);
+    done = true;
+  });
+  // Poll instead of join so a deadlocked observer fails the expectation
+  // (and is then unblocked by the releases below) rather than hanging.
+  for (int i = 0; i < 500 && !done; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(done) << "observer blocked while leases were held";
+  all.clear();
+  observer.join();
+}
+
+// Lock contract: Release must wake a parked AcquireOneOfEach (NotifyAll on
+// the shared CondVar), and the woken caller re-evaluates the every-group-
+// has-an-idle-member predicate under the lock before taking anything.
+TEST(DevicePool, ReleaseWakesBlockedAcquireOneOfEach) {
+  DevicePool pool(3);
+  std::vector<DevicePool::Lease> all = pool.AcquireAll();
+
+  const std::vector<std::vector<size_t>> groups = {{0}, {1, 2}};
+  std::atomic<bool> done{false};
+  std::thread lane([&] {
+    DevicePool::GroupLeases g = pool.AcquireOneOfEach(groups);
+    ASSERT_EQ(g.device_of_group.size(), 2u);
+    EXPECT_EQ(g.device_of_group[0], 0u);
+    done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(done) << "AcquireOneOfEach took devices that were leased";
+
+  all.clear();  // RAII releases -> NotifyAll -> the lane may proceed
+  lane.join();
+  EXPECT_TRUE(done);
+  DevicePool::Stats s = pool.stats();
+  EXPECT_EQ(s.in_use, 0u);
+  EXPECT_GE(s.group_blocked, 1u);
+}
+
+// Lock contract: stats() snapshots under mu_ — concurrent lease churn must
+// never produce a torn snapshot (in_use above the device count, counters
+// moving backwards, replica_picks resized mid-copy).
+TEST(DevicePool, StatsSnapshotsStayCoherentUnderChurn) {
+  DevicePool pool(4);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> churn;
+  for (int t = 0; t < 4; ++t) {
+    churn.emplace_back([&] {
+      const std::vector<std::vector<size_t>> groups = {{0, 1}, {2, 3}};
+      while (!stop) {
+        { DevicePool::Lease l = pool.Acquire(); }
+        { DevicePool::GroupLeases g = pool.AcquireOneOfEach(groups); }
+      }
+    });
+  }
+  uint64_t last_acquired = 0;
+  for (int i = 0; i < 200; ++i) {
+    DevicePool::Stats s = pool.stats();
+    EXPECT_LE(s.in_use, pool.size());
+    EXPECT_LE(s.peak_in_use, pool.size());
+    EXPECT_GE(s.acquired, last_acquired) << "counter moved backwards";
+    last_acquired = s.acquired;
+    EXPECT_EQ(s.replica_picks.size(), pool.size());
+  }
+  stop = true;
+  for (std::thread& t : churn) t.join();
+  EXPECT_EQ(pool.stats().in_use, 0u);
+}
+
 TEST(DevicePool, ConcurrentAcquireAllCallersDoNotDeadlock) {
   DevicePool pool(4);
   constexpr int kThreads = 4;

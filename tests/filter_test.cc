@@ -42,8 +42,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(FilterStrategy::kSignature,
                       FilterStrategy::kLabelDegreeNeighbor,
                       FilterStrategy::kLabelDegree),
-    [](const auto& info) {
-      switch (info.param) {
+    [](const auto& suite_info) {
+      switch (suite_info.param) {
         case FilterStrategy::kSignature: return std::string("Signature");
         case FilterStrategy::kLabelDegreeNeighbor: return std::string("GpSM");
         case FilterStrategy::kLabelDegree: return std::string("GunrockSM");

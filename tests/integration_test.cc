@@ -16,7 +16,7 @@ namespace gsi {
 namespace {
 
 TEST(Integration, AllEnginesAgreeOnDatasets) {
-  for (const std::string& name : {"enron", "gowalla", "watdiv"}) {
+  for (const char* name : {"enron", "gowalla", "watdiv"}) {
     Result<Dataset> d = MakeDataset(name, /*scale=*/0.01);
     ASSERT_TRUE(d.ok());
     const Graph& g = d->graph;

@@ -1,0 +1,39 @@
+// Fixture for tests/determinism_lint_test.py: the same hazards as
+// violations.cc, every one silenced by a NOLINT escape — the lint must
+// report zero findings here. Never compiled (tests/ only globs *_test.cc).
+#include <chrono>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+int SumCommutatively(const std::unordered_map<std::string, int>& counts) {
+  int total = 0;
+  // Order-safe: integer addition is commutative and associative.
+  // NOLINTNEXTLINE(determinism:unordered-iteration)
+  for (const auto& kv : counts) {
+    total += kv.second;
+  }
+  return total;
+}
+
+bool Contains(const std::unordered_set<int>& ids, int needle) {
+  for (int id : ids) {  // NOLINT(determinism)
+    if (id == needle) return true;
+  }
+  return false;
+}
+
+long ObservabilityStamp() {
+  // Metrics only — never feeds a match table.
+  // NOLINTNEXTLINE(determinism)
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+int WrongRuleDoesNotSuppress(const std::unordered_set<int>& ids) {
+  int n = 0;
+  // A NOLINT naming a *different* rule must not silence this one; the
+  // self-test asserts this line IS still reported.
+  // NOLINTNEXTLINE(determinism:nondeterministic-seed)
+  for (int id : ids) n += id;
+  return n;
+}

@@ -1,0 +1,63 @@
+// Fixture for tests/determinism_lint_test.py: every construct the
+// determinism lint must flag, at line numbers the test asserts exactly.
+// This file is never compiled into the library (tests/ only globs *_test.cc).
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <random>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct Node {
+  int id;
+};
+
+// line 19: ordered set keyed by a raw pointer (address order).
+std::set<Node*> g_dirty;  // pointer-keyed-container
+
+// line 22: unordered map keyed by a raw pointer (hash of the address).
+std::unordered_map<Node*, int> g_ranks;  // pointer-keyed-container
+
+int SumByBucketOrder(const std::unordered_map<std::string, int>& counts) {
+  int total = 0;
+  // line 27: range-for over an unordered container.
+  for (const auto& kv : counts) {
+    total += kv.second;
+  }
+  return total;
+}
+
+double MergeWeights(const std::unordered_set<int>& ids,
+                    const std::vector<double>& weight) {
+  double acc = 0;
+  // lines 37/39: unordered iteration + float accumulation in that order.
+  for (int id : ids) {
+    // The += below lands on line 39.
+    acc += weight[static_cast<size_t>(id)];
+  }
+  return acc;
+}
+
+int FirstInHashOrder(const std::unordered_set<int>& ids) {
+  // line 46: explicit iterator traversal of an unordered container.
+  return ids.empty() ? -1 : *ids.begin();
+}
+
+unsigned SeedFromEntropy() {
+  // line 51: per-run entropy feeding a value.
+  std::random_device rd;  // nondeterministic-seed
+  return rd();
+}
+
+long TickStamp() {
+  // line 57: steady_clock on the execution path.
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+void SeedLibc() {
+  // line 62: srand(time(...)) — two findings on one line.
+  srand(static_cast<unsigned>(time(nullptr)));
+}

@@ -229,7 +229,7 @@ TEST(PartitionedGraphBuild, RejectsUnsupportedConfigurations) {
 // ------------------------------------------------- halo-exchange paths ---
 
 TEST(PartitionedExecution, BitIdenticalToFindOnIntegrationGraphs) {
-  for (const std::string& name : {"enron", "gowalla", "watdiv"}) {
+  for (const char* name : {"enron", "gowalla", "watdiv"}) {
     Result<Dataset> d = MakeDataset(name, /*scale=*/0.01);
     ASSERT_TRUE(d.ok());
     const Graph& g = d->graph;
@@ -251,7 +251,7 @@ TEST(PartitionedExecution, BitIdenticalToFindOnIntegrationGraphs) {
               ExecuteQueryPartitioned(*pg, queries[qi]);
           ASSERT_TRUE(part.ok()) << part.status().ToString();
           ExpectBitIdentical(*part, *single,
-                             name + " query " + std::to_string(qi) +
+                             std::string(name) + " query " + std::to_string(qi) +
                                  " partitions " + std::to_string(k));
         }
       }

@@ -5,8 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "gsi/matcher.h"
@@ -385,12 +387,89 @@ TEST(QueryService, InvalidOptionsSurfaceThroughSubmit) {
   EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
 }
 
+// Lock contract: stats() copies the counters under mu_ and does the
+// expensive work (latency sort) outside it — scraping must never deadlock
+// against workers (who take mu_ only to pop/finish, never while matching)
+// and every snapshot must be internally coherent.
+TEST(QueryService, StatsScrapesStayCoherentWhileWorkersAreBusy) {
+  ServiceOptions so;
+  so.num_workers = 2;
+  so.max_queue_depth = 64;
+  QueryService service(HeavyData(), GsiOptOptions(), so);
+
+  Graph query = testing::RandomQuery(HeavyData(), 6, 23);
+  std::vector<QueryTicket> tickets;
+  for (int i = 0; i < 12; ++i) {
+    Result<QueryTicket> t = service.Submit(query);
+    ASSERT_TRUE(t.ok());
+    tickets.push_back(*t);
+  }
+  uint64_t last_done = 0;
+  for (int i = 0; i < 200; ++i) {
+    ServiceStats s = service.stats();
+    EXPECT_EQ(s.submitted, 12u);
+    EXPECT_EQ(s.admitted, 12u);
+    // queued + running + finished always accounts for every admission.
+    EXPECT_EQ(s.queue_depth + s.in_flight + s.completed_ok + s.failed +
+                  s.cancelled + s.expired,
+              12u);
+    uint64_t done = s.completed_ok + s.failed;
+    EXPECT_GE(done, last_done) << "completion counter moved backwards";
+    last_done = done;
+  }
+  service.Drain();
+  ServiceStats s = service.stats();
+  EXPECT_EQ(s.completed_ok + s.failed, 12u);
+  EXPECT_EQ(s.queue_depth, 0u);
+  EXPECT_EQ(s.in_flight, 0u);
+}
+
+// Lock contract: Drain (wait on done_cv_ until queue and in-flight are
+// empty) is safe against concurrent Submits — it simply waits for whatever
+// the submitters add, and once they stop, every ticket is accounted for.
+TEST(QueryService, ConcurrentSubmitAndDrainStayCoherent) {
+  Graph data = SmallData(83);
+  ServiceOptions so;
+  so.num_workers = 2;
+  so.max_queue_depth = 8;
+  so.overload = OverloadPolicy::kBlock;
+  QueryService service(data, GsiOptOptions(), so);
+
+  constexpr int kThreads = 3;
+  constexpr int kPerThread = 10;
+  std::atomic<int> submitted{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Graph q = testing::RandomQuery(data, 4, 8300 + t * 100 + i);
+        Result<QueryTicket> ticket = service.Submit(q);
+        ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+        ++submitted;
+      }
+    });
+  }
+  // Drain races the submitters: each call returns at *a* quiescent point;
+  // none may hang or miss a wakeup.
+  for (int i = 0; i < 5; ++i) service.Drain();
+  for (std::thread& t : submitters) t.join();
+  service.Drain();  // now nothing can be added: full quiescence
+
+  ServiceStats s = service.stats();
+  EXPECT_EQ(submitted.load(), kThreads * kPerThread);
+  EXPECT_EQ(s.admitted, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(s.completed_ok + s.failed,
+            static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(s.queue_depth, 0u);
+  EXPECT_EQ(s.in_flight, 0u);
+}
+
 TEST(QueryService, DestructorCancelsQueuedWorkWithoutHanging) {
-  auto service = std::make_unique<QueryService>(HeavyData(), GsiOptOptions(),
-                                                ServiceOptions{
-                                                    .num_workers = 1,
-                                                    .max_queue_depth = 64,
-                                                });
+  ServiceOptions so;
+  so.num_workers = 1;
+  so.max_queue_depth = 64;
+  auto service =
+      std::make_unique<QueryService>(HeavyData(), GsiOptOptions(), so);
   Graph query = testing::RandomQuery(HeavyData(), 6, 19);
   for (int i = 0; i < 15; ++i) {
     ASSERT_TRUE(service->Submit(query).ok());

@@ -259,7 +259,7 @@ TEST(ReplicatedExecution, BitIdenticalForEverySelection) {
 }
 
 TEST(ReplicatedExecution, BitIdenticalOnIntegrationGraphs) {
-  for (const std::string& name : {"enron", "gowalla"}) {
+  for (const char* name : {"enron", "gowalla"}) {
     Result<Dataset> d = MakeDataset(name, /*scale=*/0.01);
     ASSERT_TRUE(d.ok());
     const Graph& g = d->graph;
@@ -279,7 +279,7 @@ TEST(ReplicatedExecution, BitIdenticalOnIntegrationGraphs) {
         Result<QueryResult> got = ExecuteQueryReplicated(*rg, sel, queries[qi]);
         ASSERT_TRUE(got.ok()) << got.status().ToString();
         ExpectBitIdentical(*got, *single,
-                           name + " query " + std::to_string(qi) + " R=" +
+                           std::string(name) + " query " + std::to_string(qi) + " R=" +
                                std::to_string(r));
       }
     }

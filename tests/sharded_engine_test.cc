@@ -49,7 +49,7 @@ Result<QueryResult> RunSharded(const QueryEngine& engine, const Graph& query,
 }
 
 TEST(ShardedEngine, BitIdenticalToSingleDeviceOnIntegrationGraphs) {
-  for (const std::string& name : {"enron", "gowalla", "watdiv"}) {
+  for (const char* name : {"enron", "gowalla", "watdiv"}) {
     Result<Dataset> d = MakeDataset(name, /*scale=*/0.01);
     ASSERT_TRUE(d.ok());
     const Graph& g = d->graph;
@@ -70,7 +70,7 @@ TEST(ShardedEngine, BitIdenticalToSingleDeviceOnIntegrationGraphs) {
           ASSERT_TRUE(sharded.ok());
           ExpectBitIdentical(
               *sharded, *single,
-              name + " query " + std::to_string(qi) + " devices " +
+              std::string(name) + " query " + std::to_string(qi) + " devices " +
                   std::to_string(devices));
         }
       }

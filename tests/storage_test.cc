@@ -122,7 +122,7 @@ INSTANTIATE_TEST_SUITE_P(
                       StoreCase{StorageKind::kPcsr, "pcsr"},
                       StoreCase{StorageKind::kBasicRep, "br"},
                       StoreCase{StorageKind::kCompressedRep, "cr"}),
-    [](const auto& info) { return std::string(info.param.name); });
+    [](const auto& suite_info) { return std::string(suite_info.param.name); });
 
 // ---------------------------------------------------------------- PCSR ---
 
@@ -170,7 +170,9 @@ TEST_P(PcsrGpnSuite, ChainLengthBounded) {
     EXPECT_LE(worst, p->max_chain_length());
     // With 15 keys per group (gpn=16), chains should practically never
     // exceed the paper's bound of 3.
-    if (gpn == 16) EXPECT_LE(worst, 3u);
+    if (gpn == 16) {
+    EXPECT_LE(worst, 3u);
+  }
   }
 }
 

@@ -1,0 +1,419 @@
+#!/usr/bin/env python3
+"""Determinism lint for the GSI execution path.
+
+Every distributed execution mode (sharded, partitioned, replicated) must
+stay bit-identical to single-device GsiMatcher::Find — the ROADMAP
+invariant the integration tests assert. This lint statically bans the
+constructs that historically break that property *before* they reach a
+test: iteration order of unordered containers, pointer-keyed ordered
+containers (address order varies run to run), wall-clock / random seeds on
+the execution path, and floating-point accumulation in orders that can
+vary across merges.
+
+Rules (category `determinism`):
+  unordered-iteration      range-for / .begin() traversal of a
+                           std::unordered_{map,set,multimap,multiset}:
+                           bucket order depends on hash seeding, insertion
+                           history and libstdc++ version.
+  pointer-keyed-container  std::{map,set} (or unordered) keyed by a raw
+                           pointer: iteration (or bucket) order follows
+                           allocator addresses, which change run to run.
+  nondeterministic-seed    std::random_device, rand/srand, time(...),
+                           steady_clock/system_clock/high_resolution_clock:
+                           values that differ per run must never feed
+                           match results (observability-only uses get a
+                           NOLINT with a justification).
+  float-accumulation       += / -= on a float/double inside iteration over
+                           an unordered container: FP addition is not
+                           associative, so a hash-order reduction changes
+                           the result bit pattern.
+
+Escapes: append `// NOLINT(determinism)` (or
+`// NOLINT(determinism:<rule>)`) to the offending line, or put
+`// NOLINTNEXTLINE(determinism)` on the line above — with a comment saying
+*why* the order/time cannot reach match results.
+
+Baseline: findings listed in tools/determinism_baseline.txt (fingerprint:
+path|rule|normalized source line) are grandfathered; the lint fails only
+on findings beyond the baselined count, so CI gates on *new* violations
+immediately. Regenerate with --write-baseline after an audited change.
+
+Engine: a regex pass is the default and the one CI runs everywhere. When
+the libclang Python bindings are importable, --engine=clang upgrades
+range-for analysis to real type lookups (fewer false negatives through
+typedefs); --engine=auto picks clang when available. Both engines share
+the same rule names, escapes and baseline format.
+
+Usage:
+  tools/determinism_lint.py                    # lint default roots
+  tools/determinism_lint.py src/gsi/join.cc    # explicit files/dirs
+  tools/determinism_lint.py --list             # print all findings,
+                                               # ignoring the baseline
+  tools/determinism_lint.py --write-baseline   # regenerate the baseline
+"""
+
+import argparse
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_ROOTS = ["src/gsi", "src/service"]
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "tools",
+                                "determinism_baseline.txt")
+SOURCE_EXTENSIONS = (".cc", ".h", ".cpp", ".hpp", ".cu", ".cuh")
+
+UNORDERED_RE = re.compile(
+    r"\bunordered_(?:multi)?(?:map|set)\s*<")
+SEED_TOKEN_RE = re.compile(
+    r"std::random_device|\brandom_device\b|\bsrand\s*\(|[^\w.]rand\s*\(|"
+    r"\btime\s*\(\s*(?:0|NULL|nullptr)\s*\)|\bsteady_clock\b|"
+    r"\bsystem_clock\b|\bhigh_resolution_clock\b|[^\w.]clock\s*\(\s*\)")
+POINTER_KEY_RE = re.compile(
+    r"\b(?:std::)?(?:unordered_)?(?:multi)?(?:map|set)\s*<\s*"
+    r"(?:const\s+)?[\w:]+(?:\s*<[^<>]*>)?\s*\*")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(([^;()]*(?:\([^()]*\)[^;()]*)*)\)")
+FLOAT_DECL_RE = re.compile(r"\b(?:float|double)\s+(\w+)\s*[={;,)]")
+FLOAT_ACCUM_RE = re.compile(r"\b([\w.\[\]>-]+)\s*[+\-]\s*=")
+NOLINT_RE = re.compile(r"//\s*NOLINT\(determinism(?::([\w-]+))?\)")
+NOLINTNEXT_RE = re.compile(r"//\s*NOLINTNEXTLINE\(determinism(?::([\w-]+))?\)")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message, source_line):
+        self.path = path          # repo-relative, forward slashes
+        self.line = line          # 1-based
+        self.rule = rule
+        self.message = message
+        self.source_line = source_line
+
+    def fingerprint(self):
+        normalized = " ".join(self.source_line.split())
+        return "%s|%s|%s" % (self.path, self.rule, normalized)
+
+    def render(self):
+        return "%s:%d: [determinism:%s] %s\n    %s" % (
+            self.path, self.line, self.rule, self.message,
+            self.source_line.strip())
+
+
+def strip_comments_and_strings(text):
+    """Blanks comments and string/char literals, preserving line structure
+    (and the NOLINT markers, which the caller reads from the raw lines)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            if j == -1:
+                j = n
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.extend(ch if ch == "\n" else " " for ch in text[i:j])
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote)
+            out.extend(" " * (j - i - 2) if j - i >= 2 else "")
+            out.append(quote if j - i >= 2 else "")
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def balanced_template_end(text, open_idx):
+    """Index just past the `>` matching the `<` at open_idx, or -1."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "<":
+            depth += 1
+        elif text[i] == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def collect_unordered_names(code):
+    """Names declared (variables, members, parameters) with an unordered
+    container type anywhere in the file. File-scope tracking is enough: the
+    lint runs per translation unit and over headers independently."""
+    names = set()
+    for m in UNORDERED_RE.finditer(code):
+        open_idx = code.find("<", m.start())
+        end = balanced_template_end(code, open_idx)
+        if end == -1:
+            continue
+        tail = code[end:end + 160]
+        # `>> name` means this unordered type was nested inside another
+        # template (e.g. vector<unordered_map<...>>) — the declared name is
+        # not itself unordered.
+        decl = re.match(r"\s*[&*]?\s*(\w+)\s*[;,)=({\[]", tail)
+        if decl and not tail.lstrip().startswith(">"):
+            name = decl.group(1)
+            if name not in ("const", "return"):
+                names.add(name)
+    return names
+
+
+def line_of(code, idx):
+    return code.count("\n", 0, idx) + 1
+
+
+def loop_body_span(code, loop_header_end):
+    """(start, end) indices of the loop body starting at/after the header's
+    closing paren: a braced block or a single statement."""
+    i = loop_header_end
+    while i < len(code) and code[i].isspace():
+        i += 1
+    if i < len(code) and code[i] == "{":
+        depth = 0
+        for j in range(i, len(code)):
+            if code[j] == "{":
+                depth += 1
+            elif code[j] == "}":
+                depth -= 1
+                if depth == 0:
+                    return i, j + 1
+        return i, len(code)
+    j = code.find(";", i)
+    return i, (len(code) if j == -1 else j + 1)
+
+
+def scan_file_regex(path, rel, raw):
+    code = strip_comments_and_strings(raw)
+    lines = raw.splitlines()
+    code_lines = code.splitlines()
+    findings = []
+
+    def add(lineno, rule, message):
+        src = lines[lineno - 1] if lineno - 1 < len(lines) else ""
+        findings.append(Finding(rel, lineno, rule, message, src))
+
+    unordered = collect_unordered_names(code)
+
+    # --- pointer-keyed-container: declarations keyed by a raw pointer.
+    for m in POINTER_KEY_RE.finditer(code):
+        add(line_of(code, m.start()), "pointer-keyed-container",
+            "associative container keyed by a raw pointer iterates in "
+            "allocation-address order, which varies run to run")
+
+    # --- nondeterministic-seed: per-run values on the execution path.
+    for m in SEED_TOKEN_RE.finditer(code):
+        add(line_of(code, m.start()), "nondeterministic-seed",
+            "per-run value (clock / random seed) on the execution path; "
+            "results derived from it cannot be reproduced")
+
+    # --- unordered-iteration (+ float-accumulation inside such loops).
+    for m in RANGE_FOR_RE.finditer(code):
+        header = m.group(1)
+        if ":" not in header:
+            continue  # classic for(;;) — indices have a defined order
+        seq = header.rsplit(":", 1)[1]
+        iterates_unordered = "unordered_" in seq or any(
+            re.search(r"\b%s\b" % re.escape(name), seq)
+            for name in unordered)
+        if not iterates_unordered:
+            continue
+        add(line_of(code, m.start()), "unordered-iteration",
+            "iteration order of an unordered container depends on hash "
+            "seeding and insertion history")
+        body_start, body_end = loop_body_span(code, m.end())
+        float_names = set(FLOAT_DECL_RE.findall(code))
+        for fm in FLOAT_ACCUM_RE.finditer(code, body_start, body_end):
+            target = fm.group(1)
+            base = re.split(r"[.\[>]", target)[0]
+            if base in float_names or target in float_names:
+                add(line_of(code, fm.start()), "float-accumulation",
+                    "floating-point accumulation in unordered iteration "
+                    "order changes the result bit pattern")
+
+    # --- explicit iterator traversal of unordered containers.
+    for name in unordered:
+        for bm in re.finditer(r"\b%s\s*\.\s*c?begin\s*\(" % re.escape(name),
+                              code):
+            add(line_of(code, bm.start()), "unordered-iteration",
+                "iterator traversal of an unordered container visits "
+                "elements in hash order")
+
+    return suppress_nolint(findings, lines)
+
+
+def suppress_nolint(findings, lines):
+    kept = []
+    for f in findings:
+        suppressed = False
+        line = lines[f.line - 1] if f.line - 1 < len(lines) else ""
+        m = NOLINT_RE.search(line)
+        if m and m.group(1) in (None, f.rule):
+            suppressed = True
+        if not suppressed and f.line >= 2:
+            m = NOLINTNEXT_RE.search(lines[f.line - 2])
+            if m and m.group(1) in (None, f.rule):
+                suppressed = True
+        if not suppressed:
+            kept.append(f)
+    return kept
+
+
+def scan_file_clang(path, rel, raw, index):
+    """libclang pass: resolves the *type* of every range-for sequence, so
+    typedef'd/auto'd unordered containers are caught too. Falls back to the
+    regex engine's findings for the token-based rules."""
+    from clang import cindex  # caller verified importability
+
+    findings = scan_file_regex(path, rel, raw)
+    seen = {(f.line, f.rule) for f in findings}
+    try:
+        tu = index.parse(path, args=["-std=c++20",
+                                     "-I" + os.path.join(REPO_ROOT, "src")])
+    except cindex.TranslationUnitLoadError:
+        return findings
+    lines = raw.splitlines()
+
+    def walk(cursor):
+        for child in cursor.get_children():
+            if child.location.file and \
+                    os.path.abspath(str(child.location.file)) != \
+                    os.path.abspath(path):
+                continue
+            if child.kind == cindex.CursorKind.CXX_FOR_RANGE_STMT:
+                children = list(child.get_children())
+                if children:
+                    seq_type = children[-2].type.spelling if \
+                        len(children) >= 2 else ""
+                    if "unordered_" in seq_type:
+                        lineno = child.location.line
+                        if (lineno, "unordered-iteration") not in seen:
+                            src = lines[lineno - 1] if \
+                                lineno - 1 < len(lines) else ""
+                            findings.append(Finding(
+                                rel, lineno, "unordered-iteration",
+                                "range-for over %s visits elements in "
+                                "hash order" % seq_type, src))
+            walk(child)
+
+    walk(tu.cursor)
+    return suppress_nolint(findings, lines)
+
+
+def gather_sources(paths):
+    files = []
+    for p in paths:
+        absolute = p if os.path.isabs(p) else os.path.join(REPO_ROOT, p)
+        if os.path.isfile(absolute):
+            files.append(absolute)
+        else:
+            for dirpath, _, names in sorted(os.walk(absolute)):
+                for name in sorted(names):
+                    if name.endswith(SOURCE_EXTENSIONS):
+                        files.append(os.path.join(dirpath, name))
+    return files
+
+
+def load_baseline(path):
+    counts = {}
+    if not os.path.isfile(path):
+        return counts
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            counts[line] = counts.get(line, 0) + 1
+    return counts
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="determinism lint over the GSI execution path")
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories (default: %s)" %
+                        " ".join(DEFAULT_ROOTS))
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="regenerate the baseline from current findings")
+    parser.add_argument("--list", action="store_true",
+                        help="print every finding, ignoring the baseline")
+    parser.add_argument("--engine", choices=["auto", "regex", "clang"],
+                        default="auto")
+    args = parser.parse_args(argv)
+
+    engine = args.engine
+    index = None
+    if engine in ("auto", "clang"):
+        try:
+            from clang import cindex
+            index = cindex.Index.create()
+            engine = "clang"
+        except Exception:  # bindings or libclang.so missing
+            if args.engine == "clang":
+                print("determinism_lint: --engine=clang requested but "
+                      "libclang is unavailable", file=sys.stderr)
+                return 2
+            engine = "regex"
+
+    files = gather_sources(args.paths or DEFAULT_ROOTS)
+    findings = []
+    for path in files:
+        rel = os.path.relpath(path, REPO_ROOT).replace(os.sep, "/")
+        with open(path, encoding="utf-8", errors="replace") as f:
+            raw = f.read()
+        if engine == "clang":
+            findings.extend(scan_file_clang(path, rel, raw, index))
+        else:
+            findings.extend(scan_file_regex(path, rel, raw))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+
+    if args.write_baseline:
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            f.write("# determinism_lint baseline — grandfathered findings.\n"
+                    "# One fingerprint (path|rule|normalized line) per "
+                    "occurrence;\n"
+                    "# regenerate with tools/determinism_lint.py "
+                    "--write-baseline.\n")
+            for finding in findings:
+                f.write(finding.fingerprint() + "\n")
+        print("determinism_lint: wrote %d finding(s) to %s" %
+              (len(findings), os.path.relpath(args.baseline, REPO_ROOT)))
+        return 0
+
+    if args.list:
+        for f in findings:
+            print(f.render())
+        print("determinism_lint: %d finding(s) (baseline ignored)" %
+              len(findings))
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    fresh = []
+    for f in findings:
+        fp = f.fingerprint()
+        if baseline.get(fp, 0) > 0:
+            baseline[fp] -= 1
+        else:
+            fresh.append(f)
+    if fresh:
+        for f in fresh:
+            print(f.render())
+        print("\ndeterminism_lint: %d new finding(s) (%d baselined). "
+              "Fix them, add a justified NOLINT(determinism), or — for an "
+              "audited exception — regenerate the baseline." %
+              (len(fresh), sum(load_baseline(args.baseline).values())))
+        return 1
+    print("determinism_lint: clean (%d finding(s), all baselined; "
+          "engine=%s, %d file(s))" % (len(findings), engine, len(files)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
