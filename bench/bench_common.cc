@@ -81,12 +81,24 @@ Aggregate AggregateBatch(const BatchResult& batch) {
 Aggregate RunGsi(const std::string& dataset_name, const GsiOptions& options,
                  const std::vector<Graph>& queries) {
   GsiMatcher matcher(GetDataset(dataset_name).graph, options);
+  if (!queries.empty()) {
+    // The extra traced run is invisible to the measurement: QueryResult
+    // stats are per-query deltas, so only this capture carries the tracer.
+    MaybeTraceQuery("gsi", [&](const obs::TraceContext& ctx) {
+      (void)matcher.Find(queries.front(), ctx);
+    });
+  }
   return RunQueries(matcher, queries);
 }
 
 Aggregate RunGsiBatch(const Graph& g, const GsiOptions& options,
                       const std::vector<Graph>& queries) {
   QueryEngine engine(g, options);
+  if (!queries.empty()) {
+    MaybeTraceQuery("gsi_batch", [&](const obs::TraceContext& ctx) {
+      (void)engine.Run(queries.front(), ctx);
+    });
+  }
   BatchOptions bo;
   bo.num_threads = static_cast<int>(Env().threads);
   return AggregateBatch(engine.RunBatch(queries, bo));
@@ -155,15 +167,61 @@ void WriteJsonReport(const std::string& path) {
                records.size(), path.c_str());
 }
 
+std::string& TracePathSlot() {
+  static auto& path = *new std::string();
+  return path;
+}
+
 }  // namespace
 
 void RecordJson(JsonRecord record) {
   JsonRecords().push_back(std::move(record));
 }
 
+bool TraceWanted() { return !TracePathSlot().empty(); }
+
+namespace {
+
+void WriteTraceFile(const std::string& label, const obs::Tracer& tracer) {
+  const std::string path = TracePathSlot();
+  TracePathSlot().clear();  // First capture wins.
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot open --trace-out path %s\n",
+                 path.c_str());
+    return;
+  }
+  const std::string json = tracer.ToChromeJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "[bench] wrote %s trace (%zu spans) to %s\n",
+               label.c_str(), tracer.Snapshot().size(), path.c_str());
+}
+
+}  // namespace
+
+void MaybeTraceQuery(
+    const std::string& label,
+    const std::function<void(const obs::TraceContext&)>& fn) {
+  if (!TraceWanted()) return;
+  obs::Tracer tracer;
+  fn(obs::TraceContext{&tracer, /*parent=*/-1, obs::kHostDevice});
+  WriteTraceFile(label, tracer);
+}
+
+void MaybeTraceQuery(
+    const std::string& label,
+    const std::function<std::shared_ptr<const obs::Tracer>()>& fn) {
+  if (!TraceWanted()) return;
+  std::shared_ptr<const obs::Tracer> tracer = fn();
+  if (tracer == nullptr) return;
+  WriteTraceFile(label, *tracer);
+}
+
 int BenchMain(int argc, char** argv,
               const std::vector<TableCollector*>& tables) {
-  // Peel off --json before google-benchmark sees (and rejects) it.
+  // Peel off --json/--trace-out before google-benchmark sees (and rejects)
+  // them.
   std::string json_path;
   std::vector<char*> args;
   args.reserve(argc);
@@ -173,6 +231,10 @@ int BenchMain(int argc, char** argv,
       json_path = argv[++i];
     } else if (a.rfind("--json=", 0) == 0) {
       json_path = a.substr(7);
+    } else if (a == "--trace-out" && i + 1 < argc) {
+      TracePathSlot() = argv[++i];
+    } else if (a.rfind("--trace-out=", 0) == 0) {
+      TracePathSlot() = a.substr(12);
     } else {
       args.push_back(argv[i]);
     }

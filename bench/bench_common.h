@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -12,6 +14,7 @@
 #include "graph/query_generator.h"
 #include "gsi/matcher.h"
 #include "gsi/query_engine.h"
+#include "obs/trace.h"
 #include "util/table_printer.h"
 
 namespace gsi::bench {
@@ -128,6 +131,27 @@ struct JsonRecord {
 /// Queues a record for the JSON report. Safe to call whether or not --json
 /// was given (records are simply dropped at exit without it).
 void RecordJson(JsonRecord record);
+
+/// True when the binary was invoked with `--trace-out <path>` (or
+/// `--trace-out=<path>`) and no trace has been captured yet. Guards trace
+/// setup work in benches; without the flag it is always false.
+bool TraceWanted();
+
+/// Captures one query's span tree: when TraceWanted(), runs `fn` with a
+/// live TraceContext rooted at a fresh Tracer and writes the Chrome
+/// trace_event JSON to the --trace-out path. First capture wins — later
+/// calls return without running `fn` — so each bench's first configuration
+/// produces the trace and the measured iterations stay untouched. `label`
+/// names the capture in the log line.
+void MaybeTraceQuery(const std::string& label,
+                     const std::function<void(const obs::TraceContext&)>& fn);
+
+/// Variant for engines that own their tracer (QueryService with
+/// SubmitOptions::trace): `fn` runs the query and returns the finished
+/// tracer (nullptr to skip). Same first-capture-wins rule.
+void MaybeTraceQuery(
+    const std::string& label,
+    const std::function<std::shared_ptr<const obs::Tracer>()>& fn);
 
 /// Collects rows during google-benchmark execution and prints the
 /// paper-style table afterwards. One collector per bench binary.

@@ -128,6 +128,10 @@ void BM_Partition(benchmark::State& state, size_t num_partitions) {
       devs, GetDataset("enron").graph, Engine().options(), Partitioner());
   GSI_CHECK_MSG(pg.ok(), pg.status().ToString().c_str());
 
+  MaybeTraceQuery("partitioned", [&](const obs::TraceContext& ctx) {
+    (void)Engine().RunPartitioned(HeavyQuery(), *pg, ctx);
+  });
+
   QueryStats stats;
   for (auto _ : state) {
     Result<QueryResult> part = Engine().RunPartitioned(HeavyQuery(), *pg);

@@ -136,6 +136,9 @@ void BM_Replication(benchmark::State& state, size_t replicas) {
   GSI_CHECK(single.ok());
 
   const ReplicaSelection packed = CompactSelection(*rg);
+  MaybeTraceQuery("replicated", [&](const obs::TraceContext& ctx) {
+    (void)Engine().RunPartitioned(HeavyQuery(), *rg, packed, ctx);
+  });
   size_t lane_width = 0;
   {
     std::vector<uint8_t> used(k, 0);

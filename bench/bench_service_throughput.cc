@@ -95,6 +95,15 @@ Outcome RunViaService(bool enable_cache) {
   so.enable_filter_cache = enable_cache;
   QueryService service(Data(), GsiOptOptions(), so);
 
+  MaybeTraceQuery("service", [&]() -> std::shared_ptr<const obs::Tracer> {
+    SubmitOptions submit;
+    submit.trace = true;
+    Result<QueryTicket> t = service.Submit(Stream().front(), submit);
+    if (!t.ok()) return nullptr;
+    (void)service.Wait(*t);
+    return service.GetTrace(*t);
+  });
+
   Outcome o;
   WallTimer wall;
   std::vector<QueryTicket> tickets;

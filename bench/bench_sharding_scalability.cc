@@ -91,6 +91,10 @@ void BM_Sharding(benchmark::State& state, size_t num_devices) {
     std::vector<gpusim::Device*> devs;
     for (DevicePool::Lease& l : leases) devs.push_back(l.get());
 
+    MaybeTraceQuery("sharded", [&](const obs::TraceContext& ctx) {
+      (void)Engine().RunSharded(HeavyQuery(), devs, ShardOptions(), ctx);
+    });
+
     Result<QueryResult> sharded = Engine().RunSharded(HeavyQuery(), devs);
     GSI_CHECK(sharded.ok());
     stats = sharded->stats;

@@ -25,6 +25,7 @@ ALL_SMOKES=(
   example-sharded
   example-partitioned
   example-replicated
+  example-trace
   bench-service
   bench-sharding
   bench-partition
@@ -73,6 +74,23 @@ run_smoke() {
     example-replicated)
       GSI_REPL_EXAMPLE_SCALE=1 GSI_REPL_EXAMPLE_REPLICAS=2 \
         "$BUILD_DIR/examples/replicated_query"
+      ;;
+    # End-to-end tracing: the example submits a traced query through the
+    # replicated service path and writes Chrome trace JSON; validate that
+    # the export parses and carries the load-bearing span names.
+    example-trace)
+      "$BUILD_DIR/examples/trace_query" "$ARTIFACTS_DIR/trace_query.json"
+      python3 - "$ARTIFACTS_DIR/trace_query.json" <<'PYEOF'
+import json, sys
+events = json.load(open(sys.argv[1]))["traceEvents"]
+names = {e.get("name") for e in events if e.get("ph") == "X"}
+missing = {"queue_wait", "query", "filter", "result_merge"} - names
+assert not missing, "trace missing spans: %s (got %s)" % (missing, names)
+assert any(n in names for n in ("lane", "partition_join", "join_step")), \
+    "trace has no per-lane join spans: %s" % names
+print("trace JSON ok: %d events, %d distinct spans" % (len(events),
+                                                       len(names)))
+PYEOF
       ;;
     bench-service)
       run_bench bench_service_throughput bench_service.json \

@@ -24,6 +24,13 @@ class Device {
 
   const DeviceConfig& config() const { return config_; }
 
+  /// Stable identity of this device within its pool (DevicePool assigns
+  /// pool indices at construction; standalone devices keep 0). Trace spans
+  /// and per-device metrics label work with this ordinal so that exported
+  /// telemetry matches the pool's numbering.
+  int ordinal() const { return ordinal_; }
+  void set_ordinal(int ordinal) { ordinal_ = ordinal; }
+
   /// Allocates a zero-initialized buffer of n elements at a fresh,
   /// 128B-aligned virtual address.
   template <typename T>
@@ -83,6 +90,7 @@ class Device {
   DeviceConfig config_;
   MemStats stats_;
   uint64_t next_addr_;
+  int ordinal_ = 0;
 };
 
 }  // namespace gsi::gpusim

@@ -292,15 +292,21 @@ Result<MatchTable> JoinEngine::RunSteps(
     MatchTable m, size_t first_step, size_t last_step) {
   last_step = std::min(last_step, plan.steps.size());
   stats_.peak_rows = std::max(stats_.peak_rows, m.rows());
+  const obs::DeviceCycleClock clock(*dev_);
   for (size_t s = first_step; s < last_step; ++s) {
     const JoinStep& step = plan.steps[s];
     GSI_CHECK_MSG(!step.links.empty(), "join step without linking edges");
+    obs::ScopedSpan span(trace_, "join_step", clock);
+    span.AddAttr("step", static_cast<uint64_t>(s));
+    span.AddAttr("query_vertex", static_cast<uint64_t>(step.u));
+    span.AddAttr("rows_in", static_cast<uint64_t>(m.rows()));
     Result<MatchTable> next =
         options_.output_scheme == OutputScheme::kPreallocCombine
             ? StepPrealloc(m, step, candidates[step.u])
             : StepTwoStep(m, step, candidates[step.u]);
     if (!next.ok()) return next.status();
     m = std::move(next.value());
+    span.AddAttr("rows_out", static_cast<uint64_t>(m.rows()));
     ++stats_.iterations;
     stats_.peak_rows = std::max(stats_.peak_rows, m.rows());
     if (m.rows() == 0) {

@@ -9,6 +9,7 @@
 #include "gsi/load_balance.h"
 #include "gsi/match_table.h"
 #include "gsi/plan.h"
+#include "obs/trace.h"
 #include "storage/neighbor_store.h"
 #include "util/status.h"
 
@@ -102,6 +103,12 @@ class JoinEngine {
 
   const JoinStats& stats() const { return stats_; }
 
+  /// Attaches a trace context: RunSteps then opens one span per join step
+  /// (timed by this engine's device cycle clock, attributed to the
+  /// context's device). Lives outside JoinOptions so option equality (the
+  /// FilterCache key, config comparisons) never depends on telemetry.
+  void set_trace(const obs::TraceContext& trace) { trace_ = trace; }
+
  private:
   Result<MatchTable> StepPrealloc(const MatchTable& m, const JoinStep& step,
                                   const CandidateSet& cand);
@@ -120,6 +127,7 @@ class JoinEngine {
   const NeighborStore* store_;
   JoinOptions options_;
   JoinStats stats_;
+  obs::TraceContext trace_;
 };
 
 }  // namespace gsi

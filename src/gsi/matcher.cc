@@ -116,9 +116,20 @@ std::unique_ptr<NeighborStore> BuildStore(gpusim::Device& dev,
   return nullptr;
 }
 
+namespace {
+
+/// Device attribution of single-device spans: a caller that set a device
+/// on the context wins; a default context means "the one device", 0.
+int32_t SpanDevice(const obs::TraceContext& trace) {
+  return trace.device >= 0 ? trace.device : 0;
+}
+
+}  // namespace
+
 Result<FilterResult> RunFilterStage(gpusim::Device& dev,
                                     const FilterContext& filter,
-                                    const Graph& query, QueryStats& stats) {
+                                    const Graph& query, QueryStats& stats,
+                                    const obs::TraceContext& trace) {
   if (query.num_vertices() == 0) {
     return Status::InvalidArgument("empty query");
   }
@@ -126,18 +137,25 @@ Result<FilterResult> RunFilterStage(gpusim::Device& dev,
     return Status::InvalidArgument(
         "query must be connected (run components separately)");
   }
+  const obs::DeviceCycleClock clock(dev);
+  obs::ScopedSpan span(trace, "filter", clock, SpanDevice(trace));
   gpusim::MemStats before = dev.stats();
   Result<FilterResult> filtered = filter.Filter(dev, query);
   if (!filtered.ok()) return filtered;
   stats.filter = dev.stats() - before;
   stats.min_candidate_size = filtered->min_candidate_size;
+  span.AddAttr("min_candidate_size",
+               static_cast<uint64_t>(filtered->min_candidate_size));
   return filtered;
 }
 
 Result<QueryResult> RunJoinStage(gpusim::Device& dev, const Graph& data,
                                  const NeighborStore& store,
                                  const GsiOptions& options, const Graph& query,
-                                 FilterResult filtered, QueryStats stats) {
+                                 FilterResult filtered, QueryStats stats,
+                                 const obs::TraceContext& trace) {
+  const obs::DeviceCycleClock clock(dev);
+  obs::ScopedSpan span(trace, "join", clock, SpanDevice(trace));
   QueryResult out;
   out.stats = stats;
 
@@ -157,6 +175,7 @@ Result<QueryResult> RunJoinStage(gpusim::Device& dev, const Graph& data,
     JoinPlan plan = MakeJoinPlan(query, data, filtered.candidates);
     gpusim::MemStats before = dev.stats();
     JoinEngine join(&dev, &store, options.join);
+    join.set_trace(span.context());
     Result<MatchTable> table = join.Run(plan, filtered.candidates);
     if (!table.ok()) return table.status();
     out.stats.join = dev.stats() - before;
@@ -169,6 +188,7 @@ Result<QueryResult> RunJoinStage(gpusim::Device& dev, const Graph& data,
   out.stats.join_ms = out.stats.join.SimulatedMs(dev.config());
   out.stats.total_ms = out.stats.filter_ms + out.stats.join_ms;
   out.stats.num_matches = out.table.rows();
+  span.AddAttr("matches", static_cast<uint64_t>(out.stats.num_matches));
   return out;
 }
 
@@ -176,13 +196,18 @@ Result<QueryResult> ExecuteQuery(gpusim::Device& dev, const Graph& data,
                                  const NeighborStore& store,
                                  const FilterContext& filter,
                                  const GsiOptions& options,
-                                 const Graph& query) {
+                                 const Graph& query,
+                                 const obs::TraceContext& trace) {
   WallTimer wall;
+  const obs::DeviceCycleClock clock(dev);
+  obs::ScopedSpan span(trace, "execute", clock, SpanDevice(trace));
   QueryStats stats;
-  Result<FilterResult> filtered = RunFilterStage(dev, filter, query, stats);
+  Result<FilterResult> filtered =
+      RunFilterStage(dev, filter, query, stats, span.context());
   if (!filtered.ok()) return filtered.status();
-  Result<QueryResult> out = RunJoinStage(dev, data, store, options, query,
-                                         std::move(filtered.value()), stats);
+  Result<QueryResult> out =
+      RunJoinStage(dev, data, store, options, query,
+                   std::move(filtered.value()), stats, span.context());
   if (out.ok()) out->stats.wall_ms = wall.ElapsedMs();
   return out;
 }
@@ -197,8 +222,14 @@ GsiMatcher::GsiMatcher(const Graph& data, GsiOptions options)
 }
 
 Result<QueryResult> GsiMatcher::Find(const Graph& query) {
+  return Find(query, obs::TraceContext{});
+}
+
+Result<QueryResult> GsiMatcher::Find(const Graph& query,
+                                     const obs::TraceContext& trace) {
   if (!init_status_.ok()) return init_status_;
-  return ExecuteQuery(*dev_, *data_, *store_, *filter_, options_, query);
+  return ExecuteQuery(*dev_, *data_, *store_, *filter_, options_, query,
+                      trace);
 }
 
 }  // namespace gsi

@@ -10,6 +10,7 @@
 #include "gsi/join.h"
 #include "gsi/match_table.h"
 #include "gsi/plan.h"
+#include "obs/trace.h"
 #include "storage/neighbor_store.h"
 #include "util/status.h"
 
@@ -104,9 +105,15 @@ struct QueryResult {
 /// and the min-candidate metric into `stats`. Exposed separately so a
 /// serving layer can satisfy this stage from a cache of candidate sets and
 /// still run RunJoinStage below (QueryService does exactly that).
+///
+/// `trace` (here and on every execution function below) is the optional
+/// span-tree collector (obs/trace.h): default-constructed means tracing is
+/// off and costs one null check per phase. Execution-path spans are timed
+/// by the device's cycle clock, so traced runs stay deterministic.
 Result<FilterResult> RunFilterStage(gpusim::Device& dev,
                                     const FilterContext& filter,
-                                    const Graph& query, QueryStats& stats);
+                                    const Graph& query, QueryStats& stats,
+                                    const obs::TraceContext& trace = {});
 
 /// Stage 2: joining phase over candidate sets produced by RunFilterStage
 /// (or rematerialized from a FilterCache). Consumes `filtered`; `stats`
@@ -116,7 +123,8 @@ Result<FilterResult> RunFilterStage(gpusim::Device& dev,
 Result<QueryResult> RunJoinStage(gpusim::Device& dev, const Graph& data,
                                  const NeighborStore& store,
                                  const GsiOptions& options, const Graph& query,
-                                 FilterResult filtered, QueryStats stats);
+                                 FilterResult filtered, QueryStats stats,
+                                 const obs::TraceContext& trace = {});
 
 /// Runs one query against prebuilt shared structures, charging every device
 /// allocation and memory transaction to `dev` (filter + join contexts are
@@ -128,7 +136,8 @@ Result<QueryResult> ExecuteQuery(gpusim::Device& dev, const Graph& data,
                                  const NeighborStore& store,
                                  const FilterContext& filter,
                                  const GsiOptions& options,
-                                 const Graph& query);
+                                 const Graph& query,
+                                 const obs::TraceContext& trace = {});
 
 /// GSI: GPU-friendly subgraph isomorphism (the paper's system).
 ///
@@ -148,8 +157,11 @@ class GsiMatcher {
 
   /// Enumerates all matches of `query` (connected, >= 1 vertex). Returns
   /// InvalidArgument without running if the matcher was constructed with
-  /// invalid tuning options (see ValidateGsiOptions).
+  /// invalid tuning options (see ValidateGsiOptions). The overload with a
+  /// trace context records the query's span tree into it.
   Result<QueryResult> Find(const Graph& query);
+  Result<QueryResult> Find(const Graph& query,
+                           const obs::TraceContext& trace);
 
   /// Not Ok when the constructor rejected the options; Find reports it too.
   const Status& init_status() const { return init_status_; }

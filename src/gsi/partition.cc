@@ -303,7 +303,8 @@ Result<PartitionedGraph> PartitionedGraph::Build(
 Result<FilterResult> RunFilterStagePartitioned(const PartitionedGraph& pg,
                                                const Graph& query,
                                                QueryStats& stats,
-                                               double* parallel_ms) {
+                                               double* parallel_ms,
+                                               const obs::TraceContext& trace) {
   if (query.num_vertices() == 0) {
     return Status::InvalidArgument("empty query");
   }
@@ -324,6 +325,8 @@ Result<FilterResult> RunFilterStagePartitioned(const PartitionedGraph& pg,
 
   // --- Scan phase: partition p scans its owned vertices on its device (one
   // fused kernel per partition). A barrier, like the sharded filter's scan.
+  const obs::DeviceCycleClock primary_clock(pg.device(0));
+  obs::ScopedSpan filter_span(trace, "filter", primary_clock, 0);
   std::vector<std::vector<std::vector<VertexId>>> partial(k);  // [p][u]
   std::vector<gpusim::MemStats> scan_mem(k);
   {
@@ -331,6 +334,10 @@ Result<FilterResult> RunFilterStagePartitioned(const PartitionedGraph& pg,
     for (PartitionId p = 0; p < k; ++p) {
       pool.Submit([&, p] {
         gpusim::Device& dev = pg.device(p);
+        const obs::DeviceCycleClock clock(dev);
+        obs::ScopedSpan span(filter_span.context(), "partition_scan", clock,
+                             static_cast<int32_t>(p));
+        span.AddAttr("vertices", static_cast<uint64_t>(pg.owned(p).size()));
         const gpusim::MemStats before = dev.stats();
         partial[p] =
             internal::ScanOwnedSignatures(dev, pg.signatures(p),
@@ -353,18 +360,23 @@ Result<FilterResult> RunFilterStagePartitioned(const PartitionedGraph& pg,
   FilterResult result;
   result.candidates.resize(nu);
   std::vector<size_t> sizes(nu, 0);
-  for (VertexId u = 0; u < nu; ++u) {
-    std::vector<const std::vector<VertexId>*> lists(k);
-    for (PartitionId p = 0; p < k; ++p) {
-      lists[p] = &partial[p][u];
-      if (p != 0) halo += partial[p][u].size() * sizeof(VertexId);
+  {
+    obs::ScopedSpan gather_span(filter_span.context(), "candidate_gather",
+                                primary_clock);
+    for (VertexId u = 0; u < nu; ++u) {
+      std::vector<const std::vector<VertexId>*> lists(k);
+      for (PartitionId p = 0; p < k; ++p) {
+        lists[p] = &partial[p][u];
+        if (p != 0) halo += partial[p][u].size() * sizeof(VertexId);
+      }
+      std::vector<VertexId> merged = internal::MergeAscendingDisjoint(lists);
+      sizes[u] = merged.size();
+      result.candidates[u] = CandidateSet::Create(
+          primary, u, std::move(merged), n, pg.options().filter.build_bitmaps);
     }
-    std::vector<VertexId> merged = internal::MergeAscendingDisjoint(lists);
-    sizes[u] = merged.size();
-    result.candidates[u] = CandidateSet::Create(
-        primary, u, std::move(merged), n, pg.options().filter.build_bitmaps);
+    primary.ChargeRemoteTransfer(halo);
+    gather_span.AddAttr("halo_bytes", halo);
   }
-  primary.ChargeRemoteTransfer(halo);
   const gpusim::MemStats gather_mem = primary.stats() - before_gather;
 
   result.min_candidate_size = SIZE_MAX;
@@ -395,11 +407,14 @@ Result<FilterResult> RunFilterStagePartitioned(const PartitionedGraph& pg,
 Result<QueryResult> RunJoinStagePartitioned(const PartitionedGraph& pg,
                                             const Graph& query,
                                             FilterResult filtered,
-                                            QueryStats stats) {
+                                            QueryStats stats,
+                                            const obs::TraceContext& trace) {
   const Graph& data = pg.data();
   const GsiOptions& options = pg.options();
   const size_t k = pg.num_partitions();
   gpusim::Device& primary = pg.device(0);
+  const obs::DeviceCycleClock primary_clock(primary);
+  obs::ScopedSpan join_span(trace, "join", primary_clock, 0);
 
   QueryResult out;
   out.stats = stats;
@@ -439,6 +454,11 @@ Result<QueryResult> RunJoinStagePartitioned(const PartitionedGraph& pg,
       for (PartitionId p = 0; p < k; ++p) {
         pool.Submit([&, p] {
           gpusim::Device& dev = pg.device(p);
+          const obs::DeviceCycleClock clock(dev);
+          obs::ScopedSpan part_span(join_span.context(), "partition_join",
+                                    clock, static_cast<int32_t>(p));
+          part_span.AddAttr("seed_rows",
+                            static_cast<uint64_t>(seed_cols[p].size()));
           const gpusim::MemStats before = dev.stats();
           if (seed_cols[p].empty()) {
             parts[p] = MatchTable::Alloc(dev, 0, plan.order.size());
@@ -453,10 +473,24 @@ Result<QueryResult> RunJoinStagePartitioned(const PartitionedGraph& pg,
             internal::RoutedStoreView view(pg.owners(), std::move(serving),
                                            std::move(local), p);
             JoinEngine join(&dev, &view, options.join);
+            join.set_trace(part_span.context());
+            const uint64_t probes_start = clock.NowNanos();
             parts[p] = join.RunSteps(plan, filtered.candidates, std::move(m),
                                      0, plan.steps.size());
             part_join[p] = join.stats();
             remotes[p] = view.traffic();
+            // The partition's remote probes as one batch span covering the
+            // join steps they were served during.
+            const obs::TraceContext part_ctx = part_span.context();
+            if (part_ctx.tracer != nullptr && remotes[p].remote_probes > 0) {
+              const int32_t idx = part_ctx.tracer->RecordSpan(
+                  "remote_probes", static_cast<int32_t>(p), probes_start,
+                  clock.NowNanos(), part_ctx.parent);
+              part_ctx.tracer->AddAttr(
+                  idx, "probes", std::to_string(remotes[p].remote_probes));
+              part_ctx.tracer->AddAttr(
+                  idx, "lines", std::to_string(remotes[p].remote_lines));
+            }
           }
           deltas[p] = dev.stats() - before;
         });
@@ -498,6 +532,8 @@ Result<QueryResult> RunJoinStagePartitioned(const PartitionedGraph& pg,
     // smallest column-0 head reconstructs the replicated table row for
     // row. Non-primary rows cross the interconnect (halo traffic).
     const gpusim::MemStats before_merge = primary.stats();
+    obs::ScopedSpan merge_span(join_span.context(), "result_merge",
+                               primary_clock);
     const size_t cols_out = plan.order.size();
     std::vector<const MatchTable*> tabs(k);
     for (PartitionId p = 0; p < k; ++p) tabs[p] = &parts[p]->value();
@@ -509,6 +545,8 @@ Result<QueryResult> RunJoinStagePartitioned(const PartitionedGraph& pg,
     const uint64_t merge_bytes = remote_rows * cols_out * sizeof(VertexId);
     primary.ChargeRemoteTransfer(merge_bytes);
     out.stats.halo_bytes += merge_bytes;
+    merge_span.AddAttr("rows", static_cast<uint64_t>(merged.rows()));
+    merge_span.AddAttr("halo_bytes", merge_bytes);
     const gpusim::MemStats merge_mem = primary.stats() - before_merge;
     join_counters += merge_mem;
 
@@ -537,15 +575,19 @@ Result<QueryResult> RunJoinStagePartitioned(const PartitionedGraph& pg,
 }
 
 Result<QueryResult> ExecuteQueryPartitioned(const PartitionedGraph& pg,
-                                            const Graph& query) {
+                                            const Graph& query,
+                                            const obs::TraceContext& trace) {
   WallTimer wall;
+  const obs::DeviceCycleClock primary_clock(pg.device(0));
+  obs::ScopedSpan span(trace, "execute_partitioned", primary_clock, 0);
+  span.AddAttr("partitions", static_cast<uint64_t>(pg.num_partitions()));
   QueryStats stats;
   double filter_parallel_ms = 0;
-  Result<FilterResult> filtered =
-      RunFilterStagePartitioned(pg, query, stats, &filter_parallel_ms);
+  Result<FilterResult> filtered = RunFilterStagePartitioned(
+      pg, query, stats, &filter_parallel_ms, span.context());
   if (!filtered.ok()) return filtered.status();
   Result<QueryResult> out = RunJoinStagePartitioned(
-      pg, query, std::move(filtered.value()), stats);
+      pg, query, std::move(filtered.value()), stats, span.context());
   if (out.ok()) {
     // The join stage derives filter_ms from the summed counters; restore
     // the fanned-out filter's makespan so total_ms reflects wall-parallel

@@ -155,7 +155,9 @@ class PartitionedGraph {
 Result<FilterResult> RunFilterStagePartitioned(const PartitionedGraph& pg,
                                                const Graph& query,
                                                QueryStats& stats,
-                                               double* parallel_ms);
+                                               double* parallel_ms,
+                                               const obs::TraceContext& trace =
+                                                   {});
 
 /// Joining phase over the partitioned data graph. The seed list C(order[0])
 /// is split by ownership: partition p seeds from its owned candidates and
@@ -184,14 +186,18 @@ Result<FilterResult> RunFilterStagePartitioned(const PartitionedGraph& pg,
 Result<QueryResult> RunJoinStagePartitioned(const PartitionedGraph& pg,
                                             const Graph& query,
                                             FilterResult filtered,
-                                            QueryStats stats);
+                                            QueryStats stats,
+                                            const obs::TraceContext& trace =
+                                                {});
 
 /// Full partitioned execution: RunFilterStagePartitioned then
 /// RunJoinStagePartitioned. With one partition this degenerates to
 /// replicated single-device execution (no remote traffic). The returned
 /// match table is bit-identical to GsiMatcher::Find whenever both succeed.
 Result<QueryResult> ExecuteQueryPartitioned(const PartitionedGraph& pg,
-                                            const Graph& query);
+                                            const Graph& query,
+                                            const obs::TraceContext& trace =
+                                                {});
 
 }  // namespace gsi
 

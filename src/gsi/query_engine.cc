@@ -22,25 +22,27 @@ QueryEngine::QueryEngine(const Graph& data, GsiOptions options)
   filter_ = std::make_unique<FilterContext>(*build_dev_, data, options.filter);
 }
 
-Result<QueryResult> QueryEngine::Run(const Graph& query) const {
+Result<QueryResult> QueryEngine::Run(const Graph& query,
+                                     const obs::TraceContext& trace) const {
   if (!init_status_.ok()) return init_status_;
   gpusim::Device dev(options_.device);
-  return ExecuteQuery(dev, *data_, *store_, *filter_, options_, query);
+  return ExecuteQuery(dev, *data_, *store_, *filter_, options_, query, trace);
 }
 
 Result<QueryResult> QueryEngine::RunSharded(
     const Graph& query, std::span<gpusim::Device* const> devs,
-    const ShardOptions& shard_options) const {
+    const ShardOptions& shard_options, const obs::TraceContext& trace) const {
   if (!init_status_.ok()) return init_status_;
   if (devs.empty()) {
     return Status::InvalidArgument("RunSharded needs at least one device");
   }
   return ExecuteQuerySharded(devs, *data_, *store_, *filter_, options_,
-                             shard_options, query);
+                             shard_options, query, trace);
 }
 
 Result<QueryResult> QueryEngine::RunPartitioned(
-    const Graph& query, const PartitionedGraph& pg) const {
+    const Graph& query, const PartitionedGraph& pg,
+    const obs::TraceContext& trace) const {
   if (!init_status_.ok()) return init_status_;
   if (&pg.data() != data_) {
     return Status::InvalidArgument(
@@ -54,12 +56,12 @@ Result<QueryResult> QueryEngine::RunPartitioned(
         "PartitionedGraph was built with different GsiOptions than this "
         "engine");
   }
-  return ExecuteQueryPartitioned(pg, query);
+  return ExecuteQueryPartitioned(pg, query, trace);
 }
 
 Result<QueryResult> QueryEngine::RunPartitioned(
     const Graph& query, const ReplicatedGraph& rg,
-    const ReplicaSelection& sel) const {
+    const ReplicaSelection& sel, const obs::TraceContext& trace) const {
   if (!init_status_.ok()) return init_status_;
   if (&rg.data() != data_) {
     return Status::InvalidArgument(
@@ -73,7 +75,7 @@ Result<QueryResult> QueryEngine::RunPartitioned(
         "ReplicatedGraph was built with different GsiOptions than this "
         "engine");
   }
-  return ExecuteQueryReplicated(rg, sel, query);
+  return ExecuteQueryReplicated(rg, sel, query, trace);
 }
 
 BatchResult QueryEngine::RunBatch(std::span<const Graph> queries,

@@ -79,8 +79,10 @@ class QueryEngine {
   explicit QueryEngine(const Graph& data,
                        GsiOptions options = DefaultGsiOptions());
 
-  /// Runs one query on a fresh private device (thread-safe).
-  Result<QueryResult> Run(const Graph& query) const;
+  /// Runs one query on a fresh private device (thread-safe). `trace`
+  /// (optional, obs/trace.h) collects the execution's span tree.
+  Result<QueryResult> Run(const Graph& query,
+                          const obs::TraceContext& trace = {}) const;
 
   /// Runs one query sharded across the caller's devices (thread-safe as
   /// long as each device belongs to one call at a time — lease them from a
@@ -88,7 +90,8 @@ class QueryEngine {
   /// sharded_engine.h for the partition/merge scheme and stats roll-up.
   Result<QueryResult> RunSharded(
       const Graph& query, std::span<gpusim::Device* const> devs,
-      const ShardOptions& shard_options = ShardOptions()) const;
+      const ShardOptions& shard_options = ShardOptions(),
+      const obs::TraceContext& trace = {}) const;
 
   /// Runs one query against a *partitioned* data graph (each device holds
   /// 1/K of the PCSR + signature table instead of this engine's replica;
@@ -97,7 +100,9 @@ class QueryEngine {
   /// Run / GsiMatcher::Find. Thread-safe as long as only one query executes
   /// against `pg` (and its devices) at a time.
   Result<QueryResult> RunPartitioned(const Graph& query,
-                                     const PartitionedGraph& pg) const;
+                                     const PartitionedGraph& pg,
+                                     const obs::TraceContext& trace = {})
+      const;
 
   /// Runs one query against an R-way *replicated* partitioned data graph
   /// (see gsi/replication.h), serving each partition from the replica `sel`
@@ -108,7 +113,9 @@ class QueryEngine {
   /// DevicePool::AcquireOneOfEach).
   Result<QueryResult> RunPartitioned(const Graph& query,
                                      const ReplicatedGraph& rg,
-                                     const ReplicaSelection& sel) const;
+                                     const ReplicaSelection& sel,
+                                     const obs::TraceContext& trace = {})
+      const;
 
   /// Runs every query, spreading them over options.num_threads workers.
   /// Always returns one entry per query, in input order.

@@ -266,7 +266,8 @@ Result<FilterResult> RunFilterStageReplicated(const ReplicatedGraph& rg,
                                               const ReplicaSelection& sel,
                                               const Graph& query,
                                               QueryStats& stats,
-                                              double* parallel_ms) {
+                                              double* parallel_ms,
+                                              const obs::TraceContext& trace) {
   if (query.num_vertices() == 0) {
     return Status::InvalidArgument("empty query");
   }
@@ -292,6 +293,10 @@ Result<FilterResult> RunFilterStageReplicated(const ReplicatedGraph& rg,
   // partitions back-to-back (one fused kernel per partition — a lane's
   // partitions serialize on its device, lanes run concurrently).
   const Lanes lanes = LanesOf(rg, sel);
+  gpusim::Device& primary = rg.device(lanes.devices[0]);
+  const obs::DeviceCycleClock primary_clock(primary);
+  obs::ScopedSpan filter_span(trace, "filter", primary_clock,
+                              static_cast<int32_t>(lanes.devices[0]));
   std::vector<std::vector<std::vector<VertexId>>> partial(k);  // [p][u]
   std::vector<double> lane_scan_ms(lanes.devices.size(), 0);
   std::vector<gpusim::MemStats> scan_mem(k);
@@ -300,7 +305,15 @@ Result<FilterResult> RunFilterStageReplicated(const ReplicatedGraph& rg,
     for (size_t lane = 0; lane < lanes.devices.size(); ++lane) {
       pool.Submit([&, lane] {
         gpusim::Device& dev = rg.device(lanes.devices[lane]);
+        const obs::DeviceCycleClock clock(dev);
+        obs::ScopedSpan lane_span(filter_span.context(), "lane_scan", clock,
+                                  static_cast<int32_t>(lanes.devices[lane]));
+        lane_span.AddAttr("partitions",
+                          static_cast<uint64_t>(lanes.parts[lane].size()));
         for (PartitionId p : lanes.parts[lane]) {
+          obs::ScopedSpan span(lane_span.context(), "partition_scan", clock);
+          span.AddAttr("partition", static_cast<uint64_t>(p));
+          span.AddAttr("vertices", static_cast<uint64_t>(rg.owned(p).size()));
           const gpusim::MemStats before = dev.stats();
           partial[p] = internal::ScanOwnedSignatures(
               dev, rg.signatures(p, sel.choice[p]), rg.owned(p), qsigs);
@@ -318,8 +331,9 @@ Result<FilterResult> RunFilterStageReplicated(const ReplicatedGraph& rg,
   // merge reproduces the replicated scan's candidate lists exactly (see
   // MergeAscendingDisjoint), so every selection materializes identical
   // candidate sets.
-  gpusim::Device& primary = rg.device(lanes.devices[0]);
   const gpusim::MemStats before_gather = primary.stats();
+  obs::ScopedSpan gather_span(filter_span.context(), "candidate_gather",
+                              primary_clock);
   uint64_t halo = 0;
   FilterResult result;
   result.candidates.resize(nu);
@@ -338,6 +352,7 @@ Result<FilterResult> RunFilterStageReplicated(const ReplicatedGraph& rg,
         primary, u, std::move(merged), n, rg.options().filter.build_bitmaps);
   }
   primary.ChargeRemoteTransfer(halo);
+  gather_span.AddAttr("halo_bytes", halo);
   const gpusim::MemStats gather_mem = primary.stats() - before_gather;
 
   result.min_candidate_size = SIZE_MAX;
@@ -366,7 +381,8 @@ Result<QueryResult> RunJoinStageReplicated(const ReplicatedGraph& rg,
                                            const ReplicaSelection& sel,
                                            const Graph& query,
                                            FilterResult filtered,
-                                           QueryStats stats) {
+                                           QueryStats stats,
+                                           const obs::TraceContext& trace) {
   Status valid = ValidateSelection(rg, sel);
   if (!valid.ok()) return valid;
   const Graph& data = rg.data();
@@ -374,6 +390,9 @@ Result<QueryResult> RunJoinStageReplicated(const ReplicatedGraph& rg,
   const size_t k = rg.num_partitions();
   const Lanes lanes = LanesOf(rg, sel);
   gpusim::Device& primary = rg.device(lanes.devices[0]);
+  const obs::DeviceCycleClock primary_clock(primary);
+  obs::ScopedSpan join_span(trace, "join", primary_clock,
+                            static_cast<int32_t>(lanes.devices[0]));
 
   QueryResult out;
   out.stats = stats;
@@ -416,10 +435,22 @@ Result<QueryResult> RunJoinStageReplicated(const ReplicatedGraph& rg,
         pool.Submit([&, lane] {
           const size_t d = lanes.devices[lane];
           gpusim::Device& dev = rg.device(d);
+          const obs::DeviceCycleClock clock(dev);
+          // The replica lane: this device's partitions join back-to-back
+          // while the other lanes run concurrently.
+          obs::ScopedSpan lane_span(join_span.context(), "lane", clock,
+                                    static_cast<int32_t>(d));
+          lane_span.AddAttr("partitions",
+                            static_cast<uint64_t>(lanes.parts[lane].size()));
           std::vector<const PcsrStore*> serving;
           std::vector<uint8_t> local;
           RouteForDevice(rg, sel, d, serving, local);
           for (PartitionId p : lanes.parts[lane]) {
+            obs::ScopedSpan part_span(lane_span.context(), "partition_join",
+                                      clock);
+            part_span.AddAttr("partition", static_cast<uint64_t>(p));
+            part_span.AddAttr("seed_rows",
+                              static_cast<uint64_t>(seed_cols[p].size()));
             const gpusim::MemStats before = dev.stats();
             if (seed_cols[p].empty()) {
               parts[p] = MatchTable::Alloc(dev, 0, plan.order.size());
@@ -427,10 +458,27 @@ Result<QueryResult> RunJoinStageReplicated(const ReplicatedGraph& rg,
               MatchTable m = internal::SeedOwned(dev, seed_cols[p]);
               internal::RoutedStoreView view(rg.owners(), serving, local, p);
               JoinEngine join(&dev, &view, options.join);
+              join.set_trace(part_span.context());
+              const uint64_t probes_start = clock.NowNanos();
               parts[p] = join.RunSteps(plan, filtered.candidates,
                                        std::move(m), 0, plan.steps.size());
               part_join[p] = join.stats();
               traffic[p] = view.traffic();
+              // One batch span covering the remote probes this partition's
+              // join steps sent across the interconnect.
+              const obs::TraceContext part_ctx = part_span.context();
+              if (part_ctx.tracer != nullptr && traffic[p].remote_probes > 0) {
+                const int32_t idx = part_ctx.tracer->RecordSpan(
+                    "remote_probes", static_cast<int32_t>(d), probes_start,
+                    clock.NowNanos(), part_ctx.parent);
+                part_ctx.tracer->AddAttr(
+                    idx, "probes", std::to_string(traffic[p].remote_probes));
+                part_ctx.tracer->AddAttr(
+                    idx, "lines", std::to_string(traffic[p].remote_lines));
+                part_ctx.tracer->AddAttr(
+                    idx, "co_located",
+                    std::to_string(traffic[p].co_located_probes));
+              }
             }
             deltas[p] = dev.stats() - before;
           }
@@ -478,6 +526,8 @@ Result<QueryResult> RunJoinStageReplicated(const ReplicatedGraph& rg,
     // for why this reconstructs the replicated table row for row). Rows
     // from partitions not resident on the primary cross the interconnect.
     const gpusim::MemStats before_merge = primary.stats();
+    obs::ScopedSpan merge_span(join_span.context(), "result_merge",
+                               primary_clock);
     const size_t cols_out = plan.order.size();
     std::vector<const MatchTable*> tabs(k);
     for (PartitionId p = 0; p < k; ++p) tabs[p] = &parts[p]->value();
@@ -493,6 +543,8 @@ Result<QueryResult> RunJoinStageReplicated(const ReplicatedGraph& rg,
     const uint64_t merge_bytes = remote_rows * cols_out * sizeof(VertexId);
     primary.ChargeRemoteTransfer(merge_bytes);
     out.stats.halo_bytes += merge_bytes;
+    merge_span.AddAttr("rows", static_cast<uint64_t>(merged.rows()));
+    merge_span.AddAttr("halo_bytes", merge_bytes);
     const gpusim::MemStats merge_mem = primary.stats() - before_merge;
     join_counters += merge_mem;
 
@@ -521,15 +573,24 @@ Result<QueryResult> RunJoinStageReplicated(const ReplicatedGraph& rg,
 
 Result<QueryResult> ExecuteQueryReplicated(const ReplicatedGraph& rg,
                                            const ReplicaSelection& sel,
-                                           const Graph& query) {
+                                           const Graph& query,
+                                           const obs::TraceContext& trace) {
   WallTimer wall;
+  Status valid = ValidateSelection(rg, sel);
+  if (!valid.ok()) return valid;
+  const Lanes lanes = LanesOf(rg, sel);
+  const obs::DeviceCycleClock primary_clock(rg.device(lanes.devices[0]));
+  obs::ScopedSpan span(trace, "execute_replicated", primary_clock,
+                       static_cast<int32_t>(lanes.devices[0]));
+  span.AddAttr("partitions", static_cast<uint64_t>(rg.num_partitions()));
+  span.AddAttr("lanes", static_cast<uint64_t>(lanes.devices.size()));
   QueryStats stats;
   double filter_parallel_ms = 0;
-  Result<FilterResult> filtered =
-      RunFilterStageReplicated(rg, sel, query, stats, &filter_parallel_ms);
+  Result<FilterResult> filtered = RunFilterStageReplicated(
+      rg, sel, query, stats, &filter_parallel_ms, span.context());
   if (!filtered.ok()) return filtered.status();
   Result<QueryResult> out = RunJoinStageReplicated(
-      rg, sel, query, std::move(filtered.value()), stats);
+      rg, sel, query, std::move(filtered.value()), stats, span.context());
   if (out.ok()) {
     // The join stage derives filter_ms from the summed counters; restore
     // the fanned-out filter's makespan so total_ms reflects wall-parallel

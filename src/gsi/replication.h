@@ -183,7 +183,9 @@ Result<FilterResult> RunFilterStageReplicated(const ReplicatedGraph& rg,
                                               const ReplicaSelection& sel,
                                               const Graph& query,
                                               QueryStats& stats,
-                                              double* parallel_ms);
+                                              double* parallel_ms,
+                                              const obs::TraceContext& trace =
+                                                  {});
 
 /// Joining phase over the selected replicas. The seed list C(order[0]) is
 /// split by ownership; each selected device joins its partitions'
@@ -200,7 +202,9 @@ Result<QueryResult> RunJoinStageReplicated(const ReplicatedGraph& rg,
                                            const ReplicaSelection& sel,
                                            const Graph& query,
                                            FilterResult filtered,
-                                           QueryStats stats);
+                                           QueryStats stats,
+                                           const obs::TraceContext& trace =
+                                               {});
 
 /// Full execution against one replica selection: RunFilterStageReplicated
 /// then RunJoinStageReplicated. With replicas == 1 and one partition per
@@ -209,7 +213,9 @@ Result<QueryResult> RunJoinStageReplicated(const ReplicatedGraph& rg,
 /// regardless of the selection.
 Result<QueryResult> ExecuteQueryReplicated(const ReplicatedGraph& rg,
                                            const ReplicaSelection& sel,
-                                           const Graph& query);
+                                           const Graph& query,
+                                           const obs::TraceContext& trace =
+                                               {});
 
 }  // namespace gsi
 

@@ -37,11 +37,13 @@ std::vector<double> ListSchedule(std::span<const double> slice_ms,
 
 Result<FilterResult> RunFilterStageSharded(
     std::span<gpusim::Device* const> devs, const FilterContext& filter,
-    const Graph& query, QueryStats& stats, double* parallel_ms) {
+    const Graph& query, QueryStats& stats, double* parallel_ms,
+    const obs::TraceContext& trace) {
   GSI_CHECK_MSG(!devs.empty(), "sharded filter needs at least one device");
   gpusim::Device& primary = *devs[0];
   if (devs.size() == 1) {
-    Result<FilterResult> out = RunFilterStage(primary, filter, query, stats);
+    Result<FilterResult> out =
+        RunFilterStage(primary, filter, query, stats, trace);
     if (out.ok() && parallel_ms != nullptr) {
       *parallel_ms = stats.filter.SimulatedMs(primary.config());
     }
@@ -66,6 +68,8 @@ Result<FilterResult> RunFilterStageSharded(
   const size_t n = filter.num_data_vertices();
   const size_t chunk =
       ((n + num_devs - 1) / num_devs + kWarpSize - 1) / kWarpSize * kWarpSize;
+  const obs::DeviceCycleClock primary_clock(primary);
+  obs::ScopedSpan filter_span(trace, "filter", primary_clock, 0);
   std::vector<std::vector<std::vector<VertexId>>> partial(num_devs);
   std::vector<gpusim::MemStats> scan_mem(num_devs);
   std::vector<gpusim::MemStats> create_mem(num_devs);
@@ -74,6 +78,9 @@ Result<FilterResult> RunFilterStageSharded(
     for (size_t d = 0; d < num_devs; ++d) {
       pool.Submit([&, d] {
         gpusim::Device& dev = *devs[d];
+        const obs::DeviceCycleClock clock(dev);
+        obs::ScopedSpan span(filter_span.context(), "shard_scan", clock,
+                             static_cast<int32_t>(d));
         const gpusim::MemStats before = dev.stats();
         const size_t begin = std::min(n, d * chunk);
         const size_t end = std::min(n, begin + chunk);
@@ -101,6 +108,9 @@ Result<FilterResult> RunFilterStageSharded(
     for (size_t d = 0; d < std::min(num_devs, nu); ++d) {
       pool.Submit([&, d] {
         gpusim::Device& dev = *devs[d];
+        const obs::DeviceCycleClock clock(dev);
+        obs::ScopedSpan span(filter_span.context(), "shard_create", clock,
+                             static_cast<int32_t>(d));
         const gpusim::MemStats before = dev.stats();
         for (VertexId u = static_cast<VertexId>(d); u < nu;
              u += static_cast<VertexId>(std::min(num_devs, nu))) {
@@ -155,7 +165,8 @@ Result<QueryResult> RunJoinStageSharded(std::span<gpusim::Device* const> devs,
                                         const ShardOptions& shard_options,
                                         const Graph& query,
                                         FilterResult filtered,
-                                        QueryStats stats) {
+                                        QueryStats stats,
+                                        const obs::TraceContext& trace) {
   GSI_CHECK_MSG(!devs.empty(), "sharded join needs at least one device");
   const size_t min_work = std::max<size_t>(1, shard_options.min_rows_per_shard);
   const size_t oversubscribe =
@@ -165,10 +176,12 @@ Result<QueryResult> RunJoinStageSharded(std::span<gpusim::Device* const> devs,
   // the plan, which is deterministic.
   if (devs.size() < 2 || query.num_vertices() < 2 || filtered.AnyEmpty()) {
     return RunJoinStage(*devs[0], data, store, options, query,
-                        std::move(filtered), stats);
+                        std::move(filtered), stats, trace);
   }
 
   gpusim::Device& primary = *devs[0];
+  const obs::DeviceCycleClock primary_clock(primary);
+  obs::ScopedSpan join_span(trace, "join", primary_clock, 0);
   const JoinPlan plan = MakeJoinPlan(query, data, filtered.candidates);
   // A step distributes only when its predicted volume fills every slice.
   const uint64_t volume_floor =
@@ -184,6 +197,7 @@ Result<QueryResult> RunJoinStageSharded(std::span<gpusim::Device* const> devs,
   // input-row order), so the loop invariant — `m` equals the single-device
   // intermediate table — holds at every boundary.
   JoinEngine serial_engine(&primary, &store, options.join);
+  serial_engine.set_trace(join_span.context());
   gpusim::MemStats serial_total;    // seed and serial steps (primary only)
   gpusim::MemStats join_counters;   // everything, summed across devices
   JoinStats detail;
@@ -296,6 +310,13 @@ Result<QueryResult> RunJoinStageSharded(std::span<gpusim::Device* const> devs,
     // perturb results; the modeled schedule below is deterministic.
     const size_t workers = std::min(devs.size(), slices.size());
     shards_used = std::max(shards_used, workers);
+    // Which device pulls which slice is wall-clock scheduling, so the
+    // slice spans' device attribution is NOT deterministic on this path
+    // (unlike the partitioned/replicated paths, where work is pinned).
+    obs::ScopedSpan step_span(join_span.context(), "join_step_distributed",
+                              primary_clock);
+    step_span.AddAttr("step", static_cast<uint64_t>(k));
+    step_span.AddAttr("slices", static_cast<uint64_t>(slices.size()));
     std::vector<std::optional<Result<MatchTable>>> tables(slices.size());
     std::vector<gpusim::MemStats> slice_mem(slices.size());
     std::vector<JoinStats> slice_join(slices.size());
@@ -304,8 +325,15 @@ Result<QueryResult> RunJoinStageSharded(std::span<gpusim::Device* const> devs,
       for (size_t d = 0; d < workers; ++d) {
         pool.Submit([&, d] {
           gpusim::Device& dev = *devs[d];
+          const obs::DeviceCycleClock clock(dev);
           for (size_t i = next_slice.fetch_add(1); i < slices.size();
                i = next_slice.fetch_add(1)) {
+            obs::ScopedSpan slice_span(step_span.context(), "shard_slice",
+                                       clock, static_cast<int32_t>(d));
+            slice_span.AddAttr("slice", static_cast<uint64_t>(i));
+            slice_span.AddAttr(
+                "rows_in",
+                static_cast<uint64_t>(slices[i].end - slices[i].begin));
             const gpusim::MemStats before = dev.stats();
             // Scatter in (host-mediated, uncharged like any upload), one
             // step on this device, partial table back via the gather
@@ -424,17 +452,21 @@ Result<QueryResult> ExecuteQuerySharded(std::span<gpusim::Device* const> devs,
                                         const FilterContext& filter,
                                         const GsiOptions& options,
                                         const ShardOptions& shard_options,
-                                        const Graph& query) {
+                                        const Graph& query,
+                                        const obs::TraceContext& trace) {
   GSI_CHECK_MSG(!devs.empty(), "sharded execution needs at least one device");
   WallTimer wall;
+  const obs::DeviceCycleClock primary_clock(*devs[0]);
+  obs::ScopedSpan span(trace, "execute_sharded", primary_clock, 0);
+  span.AddAttr("devices", static_cast<uint64_t>(devs.size()));
   QueryStats stats;
   double filter_parallel_ms = 0;
   Result<FilterResult> filtered = RunFilterStageSharded(
-      devs, filter, query, stats, &filter_parallel_ms);
+      devs, filter, query, stats, &filter_parallel_ms, span.context());
   if (!filtered.ok()) return filtered.status();
   Result<QueryResult> out =
       RunJoinStageSharded(devs, data, store, options, shard_options, query,
-                          std::move(filtered.value()), stats);
+                          std::move(filtered.value()), stats, span.context());
   if (out.ok()) {
     // The join stage derives filter_ms from the summed counters; restore
     // the fanned-out filter's makespan so total_ms reflects wall-parallel

@@ -40,7 +40,8 @@ struct ShardOptions {
 /// (when non-null) receives the phase makespan (the slowest device).
 Result<FilterResult> RunFilterStageSharded(
     std::span<gpusim::Device* const> devs, const FilterContext& filter,
-    const Graph& query, QueryStats& stats, double* parallel_ms);
+    const Graph& query, QueryStats& stats, double* parallel_ms,
+    const obs::TraceContext& trace = {});
 
 /// Joining phase fanned out over `devs` (Section VIII): the query's
 /// candidate space — the intermediate match table, starting from the seed
@@ -82,7 +83,8 @@ Result<QueryResult> RunJoinStageSharded(std::span<gpusim::Device* const> devs,
                                         const ShardOptions& shard_options,
                                         const Graph& query,
                                         FilterResult filtered,
-                                        QueryStats stats);
+                                        QueryStats stats,
+                                        const obs::TraceContext& trace = {});
 
 /// Full sharded execution: RunFilterStageSharded then RunJoinStageSharded
 /// across the same devices. With devs.size() == 1 this is exactly
@@ -97,7 +99,8 @@ Result<QueryResult> ExecuteQuerySharded(std::span<gpusim::Device* const> devs,
                                         const FilterContext& filter,
                                         const GsiOptions& options,
                                         const ShardOptions& shard_options,
-                                        const Graph& query);
+                                        const Graph& query,
+                                        const obs::TraceContext& trace = {});
 
 }  // namespace gsi
 

@@ -1,0 +1,77 @@
+#ifndef GSI_OBS_CLOCK_H_
+#define GSI_OBS_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "gpusim/device.h"
+
+namespace gsi::obs {
+
+/// Injectable time source for trace spans (docs/OBSERVABILITY.md).
+///
+/// Everything on the *execution* path times itself against the simulated
+/// device (DeviceCycleClock below), so span timestamps are a pure function
+/// of the work performed and traces are bit-stable across runs — the same
+/// determinism contract the bit-identical result checks make, extended to
+/// telemetry. Only the serving layer, which measures real queueing, uses
+/// host time (SteadyClockSource).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Monotonic nanoseconds since an arbitrary per-clock epoch.
+  virtual uint64_t NowNanos() const = 0;
+};
+
+/// Reads the simulated-cycle counter of one device and converts it to
+/// nanoseconds under the device's configured clock rate (1 cycle = 1 ns at
+/// the default 1 GHz). Deterministic: the counter only advances when the
+/// simulation charges work. The device must outlive the clock.
+class DeviceCycleClock final : public Clock {
+ public:
+  explicit DeviceCycleClock(const gpusim::Device& dev) : dev_(&dev) {}
+
+  uint64_t NowNanos() const override {
+    return static_cast<uint64_t>(
+        static_cast<double>(dev_->stats().simulated_cycles) /
+        dev_->config().clock_ghz);
+  }
+
+ private:
+  const gpusim::Device* dev_;
+};
+
+/// Host wall clock, zeroed at construction. Used by QueryService for the
+/// spans that measure real elapsed time (admission/queue wait); traces
+/// containing these spans are NOT bit-stable, by design.
+class SteadyClockSource final : public Clock {
+ public:
+  SteadyClockSource() : epoch_(std::chrono::steady_clock::now()) {}
+
+  uint64_t NowNanos() const override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Hand-advanced clock for tests.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(uint64_t now_ns = 0) : now_ns_(now_ns) {}
+
+  uint64_t NowNanos() const override { return now_ns_; }
+  void Advance(uint64_t delta_ns) { now_ns_ += delta_ns; }
+  void Set(uint64_t now_ns) { now_ns_ = now_ns; }
+
+ private:
+  uint64_t now_ns_;
+};
+
+}  // namespace gsi::obs
+
+#endif  // GSI_OBS_CLOCK_H_

@@ -1,0 +1,146 @@
+#ifndef GSI_OBS_TRACE_H_
+#define GSI_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/clock.h"
+#include "util/annotations.h"
+#include "util/sync.h"
+
+namespace gsi::obs {
+
+/// Track id used for spans that run on the host (service threads) rather
+/// than on a simulated device.
+inline constexpr int32_t kHostDevice = -1;
+
+/// One timed region of a query's execution. `device` is the simulated
+/// device (lane) the work ran on, kHostDevice for service-side spans.
+/// Timestamps come from whatever Clock opened the span: device-cycle
+/// clocks on the execution path (deterministic), the service steady clock
+/// for queue wait. `seq` is the span's open order within its device track,
+/// assigned by the tracer — per-device execution is sequential, so it is
+/// deterministic even when lanes append to the tracer concurrently.
+struct TraceSpan {
+  std::string name;
+  int32_t device = kHostDevice;
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+  int32_t parent = -1;  ///< index into the tracer's span list; -1 = root
+  uint64_t seq = 0;     ///< open order within this span's device track
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+class Tracer;
+
+/// The propagation handle threaded through the execution stages. Copyable,
+/// two words; `tracer == nullptr` means tracing is off and every ScopedSpan
+/// built from the context is a branch-on-null no-op — the disabled-tracer
+/// overhead the bench gate checks (<2%).
+struct TraceContext {
+  Tracer* tracer = nullptr;
+  int32_t parent = -1;
+  int32_t device = kHostDevice;
+
+  bool enabled() const { return tracer != nullptr; }
+
+  /// Same tracer and parent, spans attributed to `device` (a partition,
+  /// shard or replica-lane ordinal).
+  TraceContext OnDevice(int32_t dev) const { return {tracer, parent, dev}; }
+};
+
+/// Collects the span tree of one query. Thread-safe: replica lanes and
+/// partition workers append concurrently. Arrival order in the internal
+/// vector is nondeterministic under concurrency, so both exporters sort by
+/// (device, start_ns, seq) — per-device open order — before emitting,
+/// which makes the output byte-identical across runs when every span used
+/// a cycle clock (tests/trace_test.cc asserts exactly that).
+///
+/// Device cycle counters accumulate across queries in a long-lived
+/// service, so exporters re-zero each device track at its earliest span.
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Opens a span; returns its index (stable for the tracer's lifetime).
+  int32_t OpenSpan(std::string name, int32_t device, uint64_t start_ns,
+                   int32_t parent) GSI_EXCLUDES(mu_);
+  void CloseSpan(int32_t index, uint64_t end_ns) GSI_EXCLUDES(mu_);
+  void AddAttr(int32_t index, std::string key, std::string value)
+      GSI_EXCLUDES(mu_);
+
+  /// Records an already-closed span (e.g. queue wait, whose start was
+  /// stamped at submission before any tracer-side span existed).
+  int32_t RecordSpan(std::string name, int32_t device, uint64_t start_ns,
+                     uint64_t end_ns, int32_t parent) GSI_EXCLUDES(mu_);
+
+  std::vector<TraceSpan> Snapshot() const GSI_EXCLUDES(mu_);
+
+  /// Chrome trace_event JSON ("traceEvents" of complete events, ts/dur in
+  /// microseconds; pid 0, tid = device + 1 with named thread tracks).
+  /// Loadable in chrome://tracing and Perfetto. See docs/OBSERVABILITY.md
+  /// for the exact schema.
+  std::string ToChromeJson() const GSI_EXCLUDES(mu_);
+
+  /// Human-readable indented tree (the bench `--trace` dump).
+  std::string ToTreeString() const GSI_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  std::vector<TraceSpan> spans_ GSI_GUARDED_BY(mu_);
+  /// Next `seq` per device track, keyed by device + 1 (host track at 0).
+  std::vector<uint64_t> next_seq_ GSI_GUARDED_BY(mu_);
+};
+
+/// RAII span: opens on construction with `clock.NowNanos()`, closes on
+/// destruction. When the context's tracer is null every method is an
+/// immediate return — keep call sites unconditional, the branch is the
+/// whole cost. The clock must outlive the span.
+class ScopedSpan {
+ public:
+  ScopedSpan(const TraceContext& ctx, std::string_view name,
+             const Clock& clock)
+      : ScopedSpan(ctx, name, clock, ctx.device) {}
+
+  ScopedSpan(const TraceContext& ctx, std::string_view name,
+             const Clock& clock, int32_t device) {
+    if (ctx.tracer == nullptr) return;
+    tracer_ = ctx.tracer;
+    clock_ = &clock;
+    device_ = device;
+    index_ = tracer_->OpenSpan(std::string(name), device, clock.NowNanos(),
+                               ctx.parent);
+  }
+
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) tracer_->CloseSpan(index_, clock_->NowNanos());
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Context for child spans (same device attribution).
+  TraceContext context() const { return {tracer_, index_, device_}; }
+
+  void AddAttr(std::string_view key, std::string_view value) {
+    if (tracer_ != nullptr)
+      tracer_->AddAttr(index_, std::string(key), std::string(value));
+  }
+  void AddAttr(std::string_view key, uint64_t value);
+  void AddAttr(std::string_view key, double value);
+
+ private:
+  Tracer* tracer_ = nullptr;
+  const Clock* clock_ = nullptr;
+  int32_t device_ = kHostDevice;
+  int32_t index_ = -1;
+};
+
+}  // namespace gsi::obs
+
+#endif  // GSI_OBS_TRACE_H_

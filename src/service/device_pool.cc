@@ -38,10 +38,12 @@ DevicePool::DevicePool(size_t num_devices, gpusim::DeviceConfig config) {
   free_.reserve(num_devices);
   for (size_t i = 0; i < num_devices; ++i) {
     devices_.push_back(std::make_unique<gpusim::Device>(config));
+    devices_.back()->set_ordinal(static_cast<int>(i));
     free_.push_back(num_devices - 1 - i);  // lease low indices first
   }
   is_free_.assign(num_devices, 1);
   replica_picks_.assign(num_devices, 0);
+  released_stats_.resize(num_devices);
 }
 
 size_t DevicePool::idle() const {
@@ -188,6 +190,60 @@ DevicePool::Stats DevicePool::stats() const {
   return out;
 }
 
+void DevicePool::RegisterMetrics(obs::MetricsRegistry& registry) {
+  registry.RegisterCollector([this](obs::MetricsSink& sink) {
+    Stats s;
+    std::vector<gpusim::MemStats> mem;
+    {
+      MutexLock lock(mu_);
+      s = stats_;
+      s.in_use = devices_.size() - free_.size();
+      s.replica_picks = replica_picks_;
+      mem = released_stats_;
+    }
+    sink.AddCounter("gsi_pool_leases_total",
+                    "Device leases handed out by the pool",
+                    static_cast<double>(s.acquired));
+    sink.AddCounter("gsi_pool_try_failed_total",
+                    "TryAcquire calls that found no idle device",
+                    static_cast<double>(s.try_failed));
+    sink.AddCounter("gsi_pool_blocked_total",
+                    "Acquire/AcquireAll calls that had to wait",
+                    static_cast<double>(s.blocked));
+    sink.AddCounter("gsi_pool_group_acquires_total",
+                    "AcquireOneOfEach calls completed",
+                    static_cast<double>(s.group_acquires));
+    sink.AddGauge("gsi_pool_devices", "Devices in the pool",
+                  static_cast<double>(devices_.size()));
+    sink.AddGauge("gsi_pool_in_use", "Currently leased devices",
+                  static_cast<double>(s.in_use));
+    sink.AddGauge("gsi_pool_peak_in_use", "High-water mark of leased devices",
+                  static_cast<double>(s.peak_in_use));
+    for (size_t d = 0; d < mem.size(); ++d) {
+      const std::string label = "device=\"" + std::to_string(d) + "\"";
+      sink.AddCounter("gsi_device_simulated_cycles_total",
+                      "Simulated cycles charged to the device (as of its "
+                      "last lease release)",
+                      static_cast<double>(mem[d].simulated_cycles), label);
+      sink.AddCounter("gsi_device_global_load_transactions_total",
+                      "Global-memory load transactions",
+                      static_cast<double>(mem[d].gld), label);
+      sink.AddCounter("gsi_device_global_store_transactions_total",
+                      "Global-memory store transactions",
+                      static_cast<double>(mem[d].gst), label);
+      sink.AddCounter("gsi_device_remote_transactions_total",
+                      "Interconnect lines moved to/from the device",
+                      static_cast<double>(mem[d].remote_transactions), label);
+      sink.AddCounter("gsi_device_kernel_launches_total",
+                      "Kernels launched on the device",
+                      static_cast<double>(mem[d].kernel_launches), label);
+      sink.AddCounter("gsi_pool_replica_picks_total",
+                      "Times the device was picked to serve a replica group",
+                      static_cast<double>(s.replica_picks[d]), label);
+    }
+  });
+}
+
 void DevicePool::Release(size_t index) {
   {
     MutexLock lock(mu_);
@@ -196,6 +252,9 @@ void DevicePool::Release(size_t index) {
                   "double release of a pooled device");
     free_.push_back(index);
     is_free_[index] = 1;
+    // The holder is done charging this device, so reading its counters here
+    // cannot race; metrics scrapes read this snapshot instead of the device.
+    released_stats_[index] = devices_[index]->stats();
     stats_.in_use = devices_.size() - free_.size();
   }
   // NotifyAll, not NotifyOne: AcquireAll waiters need *specific* indices,

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "gpusim/device.h"
+#include "obs/metrics.h"
 #include "util/annotations.h"
 #include "util/sync.h"
 
@@ -144,6 +145,14 @@ class DevicePool {
 
   Stats stats() const GSI_EXCLUDES(mu_);
 
+  /// Registers a pull collector exporting the pool counters plus per-device
+  /// simulated-hardware counters labeled `device="k"` (k = pool ordinal).
+  /// Per-device counters are snapshotted at lease release — never read from
+  /// a device another thread is charging — so a scrape observes each
+  /// device's state as of its last completed lease. The pool must outlive
+  /// the registry's exports.
+  void RegisterMetrics(obs::MetricsRegistry& registry);
+
  private:
   /// Returns the leased device to the pool and wakes waiters; called by
   /// Lease, which must not hold the pool lock (self-deadlock otherwise).
@@ -168,6 +177,9 @@ class DevicePool {
   std::vector<uint8_t> is_free_ GSI_GUARDED_BY(mu_);
   /// Per-device AcquireOneOfEach picks.
   std::vector<uint64_t> replica_picks_ GSI_GUARDED_BY(mu_);
+  /// [i] = devices_[i]->stats() as of its most recent Release (metrics
+  /// snapshot that never races a lease holder's charging).
+  std::vector<gpusim::MemStats> released_stats_ GSI_GUARDED_BY(mu_);
   Stats stats_ GSI_GUARDED_BY(mu_);
 };
 

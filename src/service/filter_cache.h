@@ -11,6 +11,7 @@
 #include "gpusim/device.h"
 #include "graph/graph.h"
 #include "gsi/filter.h"
+#include "obs/metrics.h"
 #include "util/annotations.h"
 #include "util/common.h"
 #include "util/sync.h"
@@ -102,6 +103,10 @@ class FilterCache {
 
   Stats stats() const GSI_EXCLUDES(mu_);
   void Clear() GSI_EXCLUDES(mu_);
+
+  /// Registers a pull collector exporting Stats as gsi_filter_cache_*
+  /// families. The cache must outlive the registry's exports.
+  void RegisterMetrics(obs::MetricsRegistry& registry);
 
  private:
   struct Slot {

@@ -28,10 +28,12 @@ QueryService::QueryService(const Graph& data, GsiOptions gsi_options,
         "ServiceOptions.max_queue_depth must be >= 1");
   }
   if (!init_status_.ok()) return;  // Submit reports the error.
+  RegisterServiceMetrics();
   if (options_.enable_filter_cache) {
     FilterCache::Options co;
     co.max_bytes = options_.filter_cache_bytes;
     cache_ = std::make_unique<FilterCache>(co);
+    cache_->RegisterMetrics(metrics_);
   }
   const size_t workers =
       options_.num_workers < 1 ? 1 : static_cast<size_t>(options_.num_workers);
@@ -78,6 +80,7 @@ QueryService::QueryService(const Graph& data, GsiOptions gsi_options,
     return;
   }
   devices_ = std::make_unique<DevicePool>(num_devices, gsi_options.device);
+  devices_->RegisterMetrics(metrics_);
   if (options_.partition_data_graph) {
     // Workers have not started, so the pool is idle: take every device (in
     // index order) and build its share(s) on it. The leases drop at scope
@@ -159,6 +162,10 @@ Result<QueryTicket> QueryService::Submit(Graph query,
     ticket = std::make_shared<TicketState>();
     ticket->id = next_id_++;
     ticket->query = std::move(query);
+    if (options.trace) {
+      ticket->tracer = std::make_shared<obs::Tracer>();
+      ticket->submit_ns = service_clock_.NowNanos();
+    }
     const double deadline_ms = options.deadline_ms > 0
                                    ? options.deadline_ms
                                    : options_.default_deadline_ms;
@@ -224,6 +231,94 @@ void QueryService::Drain() {
   while (!queue_.empty() || in_flight_ != 0) done_cv_.Wait(mu_);
 }
 
+std::shared_ptr<const obs::Tracer> QueryService::GetTrace(
+    const QueryTicket& ticket) const {
+  if (!ticket.valid()) return nullptr;
+  MutexLock lock(mu_);
+  return ticket.state_->tracer;
+}
+
+std::string QueryService::ExportMetrics() const {
+  return metrics_.ExportPrometheus();
+}
+
+std::string QueryService::MetricsDebugString() const {
+  return metrics_.DebugString();
+}
+
+void QueryService::RegisterServiceMetrics() {
+  latency_hist_ = metrics_.GetHistogram(
+      "gsi_query_simulated_ms",
+      "Simulated end-to-end latency of completed-ok queries (ms)",
+      {0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250,
+       500, 1000});
+  // Pull collector over the guarded counters: one coherent ServiceStats
+  // snapshot per scrape instead of duplicated per-field instruments.
+  metrics_.RegisterCollector([this](obs::MetricsSink& sink) {
+    ServiceStats s;
+    {
+      MutexLock lock(mu_);
+      s = stats_;
+      s.queue_depth = queue_.size();
+      s.in_flight = in_flight_;
+    }
+    sink.AddCounter("gsi_service_submitted_total", "Submit calls",
+                    static_cast<double>(s.submitted));
+    sink.AddCounter("gsi_service_admitted_total", "Tickets admitted",
+                    static_cast<double>(s.admitted));
+    sink.AddCounter("gsi_service_rejected_total",
+                    "Submissions shed by admission control",
+                    static_cast<double>(s.rejected));
+    sink.AddCounter("gsi_service_cancelled_total",
+                    "Tickets cancelled before execution",
+                    static_cast<double>(s.cancelled));
+    sink.AddCounter("gsi_service_expired_total",
+                    "Tickets queued past their deadline",
+                    static_cast<double>(s.expired));
+    sink.AddCounter("gsi_service_completed_total",
+                    "Queries executed to a result",
+                    static_cast<double>(s.completed_ok), "status=\"ok\"");
+    sink.AddCounter("gsi_service_completed_total",
+                    "Queries executed to a result",
+                    static_cast<double>(s.failed), "status=\"error\"");
+    sink.AddGauge("gsi_service_queue_depth",
+                  "Admitted tickets waiting for a worker",
+                  static_cast<double>(s.queue_depth));
+    sink.AddGauge("gsi_service_in_flight", "Currently executing queries",
+                  static_cast<double>(s.in_flight));
+    sink.AddCounter("gsi_service_sharded_queries_total",
+                    "Completed-ok queries whose join fanned out",
+                    static_cast<double>(s.sharded_queries));
+    sink.AddCounter("gsi_service_shards_executed_total",
+                    "Join shards across sharded queries",
+                    static_cast<double>(s.shards_executed));
+    sink.AddCounter("gsi_service_partitioned_queries_total",
+                    "Completed-ok queries on the partitioned data graph",
+                    static_cast<double>(s.partitioned_queries));
+    sink.AddCounter("gsi_service_replicated_queries_total",
+                    "Completed-ok queries via a replica selection",
+                    static_cast<double>(s.replicated_queries));
+    sink.AddCounter("gsi_service_replica_lanes_total",
+                    "Distinct devices held, summed over replicated queries",
+                    static_cast<double>(s.replica_lanes_total));
+    sink.AddCounter("gsi_service_remote_probes_total",
+                    "Cross-partition neighbor probes",
+                    static_cast<double>(s.remote_probes));
+    sink.AddCounter("gsi_service_co_located_probes_total",
+                    "Probes a co-resident replica served locally",
+                    static_cast<double>(s.co_located_probes));
+    sink.AddCounter("gsi_service_halo_bytes_total",
+                    "Interconnect bytes moved (filter gathers + join merges)",
+                    static_cast<double>(s.halo_bytes));
+    sink.AddGauge("gsi_service_max_shard_skew",
+                  "Worst max/mean per-shard time observed",
+                  s.max_shard_skew);
+    sink.AddGauge("gsi_service_max_partition_skew",
+                  "Worst max/mean per-partition time observed",
+                  s.max_partition_skew);
+  });
+}
+
 ServiceStats QueryService::stats() const {
   ServiceStats out;
   std::vector<double> latencies;
@@ -272,6 +367,9 @@ void QueryService::FinishLocked(const TicketPtr& ticket,
       stats_.replica_lanes_total += result->stats.replica_lanes;
       stats_.co_located_probes += result->stats.co_located_probes;
     }
+    if (latency_hist_ != nullptr) {
+      latency_hist_->Observe(result->stats.total_ms);
+    }
     if (latencies_ms_.size() < kLatencyWindow) {
       latencies_ms_.push_back(result->stats.total_ms);
     } else {
@@ -314,7 +412,20 @@ void QueryService::WorkerLoop() {
       ticket->phase = Phase::kRunning;
       ++in_flight_;
     }
-    Result<QueryResult> result = RunOne(ticket->query);
+    Result<QueryResult> result = [&] {
+      if (!ticket->tracer) return RunOne(ticket->query, obs::TraceContext{});
+      // Traced ticket: close the queue-wait span (opened conceptually at
+      // admission) and parent the execution under a host-track root. Both
+      // use the service steady clock — wall time; the device spans below
+      // them use cycle clocks and stay byte-stable.
+      obs::Tracer& tracer = *ticket->tracer;
+      tracer.RecordSpan("queue_wait", obs::kHostDevice, ticket->submit_ns,
+                        service_clock_.NowNanos(), /*parent=*/-1);
+      obs::TraceContext root_ctx{&tracer, -1, obs::kHostDevice};
+      obs::ScopedSpan root(root_ctx, "query", service_clock_);
+      root.AddAttr("ticket", ticket->id);
+      return RunOne(ticket->query, root.context());
+    }();
     {
       MutexLock lock(mu_);
       --in_flight_;
@@ -325,19 +436,28 @@ void QueryService::WorkerLoop() {
 
 Result<FilterResult> QueryService::FilterViaCache(
     const Graph& query, gpusim::Device& materialize_dev, QueryStats& stats,
-    bool* hit, const std::function<Result<FilterResult>()>& fresh_filter) {
+    bool* hit, const obs::TraceContext& trace,
+    const std::function<Result<FilterResult>()>& fresh_filter) {
   if (hit != nullptr) *hit = false;
   if (!cache_) return fresh_filter();
   const std::string key = FilterCache::KeyOf(query);
   if (std::shared_ptr<const FilterCache::Entry> entry = cache_->Lookup(key)) {
     // Hit: skip the scan kernels, re-upload the memoized candidate lists
-    // (and bitset kernel) onto `materialize_dev`.
+    // (and bitset kernel) onto `materialize_dev`. The fresh path's stage
+    // opens its own "filter" span, so only the hit opens one here.
+    const obs::DeviceCycleClock clock(materialize_dev);
+    obs::ScopedSpan span(trace, "filter", clock,
+                         trace.device >= 0 ? trace.device
+                                           : materialize_dev.ordinal());
+    span.AddAttr("cache", "hit");
     const gpusim::MemStats before = materialize_dev.stats();
     FilterResult filtered = FilterCache::Materialize(
         materialize_dev, *entry, data_->num_vertices(),
         engine_.options().filter.build_bitmaps);
     stats.filter = materialize_dev.stats() - before;
     stats.min_candidate_size = entry->min_candidate_size;
+    span.AddAttr("min_candidate_size",
+                 static_cast<uint64_t>(entry->min_candidate_size));
     if (hit != nullptr) *hit = true;
     return filtered;
   }
@@ -348,6 +468,7 @@ Result<FilterResult> QueryService::FilterViaCache(
 
 Result<QueryResult> QueryService::RunPartitionedFlow(
     const Graph& query, gpusim::Device& primary,
+    const obs::TraceContext& trace,
     const std::function<Result<FilterResult>(QueryStats&, double*)>&
         fresh_filter,
     const std::function<Result<QueryResult>(FilterResult, QueryStats)>&
@@ -357,7 +478,7 @@ Result<QueryResult> QueryService::RunPartitionedFlow(
   double filter_parallel_ms = 0;
   bool cache_hit = false;
   Result<FilterResult> filtered =
-      FilterViaCache(query, primary, stats, &cache_hit, [&] {
+      FilterViaCache(query, primary, stats, &cache_hit, trace, [&] {
         return fresh_filter(stats, &filter_parallel_ms);
       });
   if (!filtered.ok()) return filtered.status();
@@ -378,7 +499,8 @@ Result<QueryResult> QueryService::RunPartitionedFlow(
   return out;
 }
 
-Result<QueryResult> QueryService::RunOne(const Graph& query) {
+Result<QueryResult> QueryService::RunOne(const Graph& query,
+                                         const obs::TraceContext& trace) {
   const GsiOptions& go = engine_.options();
   if (replicated_) {
     // R-way replicated partitions: lease one replica of each (packed onto
@@ -393,14 +515,14 @@ Result<QueryResult> QueryService::RunOne(const Graph& query) {
         SelectionFromDevices(rg, leases.device_of_group);
     if (!sel.ok()) return sel.status();
     return RunPartitionedFlow(
-        query, *leases.leases.front().get(),
+        query, *leases.leases.front().get(), trace,
         [&](QueryStats& stats, double* parallel_ms) {
           return RunFilterStageReplicated(rg, *sel, query, stats,
-                                          parallel_ms);
+                                          parallel_ms, trace);
         },
         [&](FilterResult filtered, QueryStats stats) {
           return RunJoinStageReplicated(rg, *sel, query, std::move(filtered),
-                                        stats);
+                                        stats, trace);
         });
   }
   if (partitioned_) {
@@ -409,23 +531,28 @@ Result<QueryResult> QueryService::RunOne(const Graph& query) {
     const PartitionedGraph& pg = *partitioned_;
     std::vector<DevicePool::Lease> all = devices_->AcquireAll();
     return RunPartitionedFlow(
-        query, pg.device(0),
+        query, pg.device(0), trace,
         [&](QueryStats& stats, double* parallel_ms) {
-          return RunFilterStagePartitioned(pg, query, stats, parallel_ms);
+          return RunFilterStagePartitioned(pg, query, stats, parallel_ms,
+                                           trace);
         },
         [&](FilterResult filtered, QueryStats stats) {
           return RunJoinStagePartitioned(pg, query, std::move(filtered),
-                                         stats);
+                                         stats, trace);
         });
   }
   DevicePool::Lease primary = devices_->Acquire();
   gpusim::Device& dev = *primary;
+  // Attribute single-device spans to the leased device's pool ordinal so
+  // the trace track matches the pool's (and the metrics') numbering.
+  const obs::TraceContext dev_trace = trace.OnDevice(dev.ordinal());
 
   WallTimer wall;
   QueryStats stats;
   Result<FilterResult> filtered_or =
-      FilterViaCache(query, dev, stats, nullptr, [&] {
-        return RunFilterStage(dev, engine_.filter(), query, stats);
+      FilterViaCache(query, dev, stats, nullptr, dev_trace, [&] {
+        return RunFilterStage(dev, engine_.filter(), query, stats,
+                              dev_trace);
       });
   if (!filtered_or.ok()) return filtered_or.status();
   FilterResult filtered = std::move(filtered_or.value());
@@ -447,7 +574,7 @@ Result<QueryResult> QueryService::RunOne(const Graph& query) {
   }
   Result<QueryResult> out =
       RunJoinStageSharded(devs, *data_, engine_.store(), go, options_.shard,
-                          query, std::move(filtered), stats);
+                          query, std::move(filtered), stats, dev_trace);
   if (out.ok()) out->stats.wall_ms = wall.ElapsedMs();
   return out;
 }

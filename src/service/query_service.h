@@ -15,6 +15,9 @@
 #include "gsi/query_engine.h"
 #include "gsi/replication.h"
 #include "gsi/sharded_engine.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/device_pool.h"
 #include "service/filter_cache.h"
 #include "util/annotations.h"
@@ -101,6 +104,11 @@ struct ServiceOptions {
 struct SubmitOptions {
   /// Queueing deadline for this ticket (0 = ServiceOptions default).
   double deadline_ms = 0;
+  /// Collect a per-query trace (obs/trace.h): queue wait plus every
+  /// execution phase, retrievable via QueryService::GetTrace once the
+  /// ticket finishes. Off by default — untraced queries pay one null check
+  /// per would-be span.
+  bool trace = false;
 };
 
 /// Point-in-time snapshot of service health (stats()).
@@ -160,6 +168,11 @@ struct TicketState {
   /// Poll/Wait that observes it.
   std::optional<Result<QueryResult>> result;
   bool taken = false;
+  /// Present iff SubmitOptions.trace was set; shared so GetTrace stays
+  /// valid after the ticket's result is taken.
+  std::shared_ptr<obs::Tracer> tracer;
+  /// Service steady-clock stamp at admission (queue-wait span start).
+  uint64_t submit_ns = 0;
 };
 }  // namespace internal
 
@@ -257,6 +270,23 @@ class QueryService {
 
   ServiceStats stats() const GSI_EXCLUDES(mu_);
 
+  /// The per-query trace collected for a ticket submitted with
+  /// SubmitOptions.trace, or null (not traced / invalid ticket). Safe to
+  /// export (ToChromeJson/ToTreeString) once the ticket finished; spans are
+  /// still being appended while it runs.
+  std::shared_ptr<const obs::Tracer> GetTrace(const QueryTicket& ticket) const
+      GSI_EXCLUDES(mu_);
+
+  /// Prometheus text exposition of every registered metric: service
+  /// admission/completion counters, the simulated-latency histogram, and
+  /// the DevicePool / FilterCache collectors (docs/OBSERVABILITY.md).
+  std::string ExportMetrics() const;
+  /// Human-readable `name{labels} = value` snapshot of the same metrics.
+  std::string MetricsDebugString() const;
+  /// The registry backing ExportMetrics — for embedding callers that
+  /// register their own instruments or collectors alongside the service's.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
   /// Not Ok when the GsiOptions or ServiceOptions were rejected (e.g.
   /// max_queue_depth = 0, which would deadlock kBlock submitters); Submit
   /// reports it per call.
@@ -267,20 +297,26 @@ class QueryService {
   using TicketPtr = std::shared_ptr<internal::TicketState>;
 
   void WorkerLoop() GSI_EXCLUDES(mu_);
+  /// Registers the service's own collector and latency histogram with
+  /// metrics_ (constructor-time; DevicePool/FilterCache register theirs).
+  void RegisterServiceMetrics();
   /// Executes one query: leases a primary device from the pool, satisfies
   /// the filter phase (through the cache when enabled), and — when the
   /// query is heavy and devices are idle — fans the join out across up to
   /// max_shards_per_query devices. In partition_data_graph mode it instead
   /// takes the whole pool (partition_replicas == 1) or one replica of each
   /// partition (AcquireOneOfEach) and runs the partitioned/replicated
-  /// filter/join.
-  Result<QueryResult> RunOne(const Graph& query);
+  /// filter/join. `trace` (null tracer when untraced) parents the
+  /// execution-phase spans.
+  Result<QueryResult> RunOne(const Graph& query,
+                             const obs::TraceContext& trace);
   /// The orchestration both partitioned-data paths share: cache-aware
   /// filter on `primary` (falling back to `fresh_filter`, which reports
   /// the phase's parallel makespan), then `join`, then the filter-makespan
   /// and wall-time fixups. Devices must already be leased by the caller.
   Result<QueryResult> RunPartitionedFlow(
       const Graph& query, gpusim::Device& primary,
+      const obs::TraceContext& trace,
       const std::function<Result<FilterResult>(QueryStats&, double*)>&
           fresh_filter,
       const std::function<Result<QueryResult>(FilterResult, QueryStats)>&
@@ -293,7 +329,8 @@ class QueryService {
   /// global either way. `hit` (when non-null) reports which path ran.
   Result<FilterResult> FilterViaCache(
       const Graph& query, gpusim::Device& materialize_dev, QueryStats& stats,
-      bool* hit, const std::function<Result<FilterResult>()>& fresh_filter);
+      bool* hit, const obs::TraceContext& trace,
+      const std::function<Result<FilterResult>()>& fresh_filter);
   void FinishLocked(const TicketPtr& ticket, Result<QueryResult> result)
       GSI_REQUIRES(mu_);
 
@@ -304,6 +341,13 @@ class QueryService {
   ServiceOptions options_;
   QueryEngine engine_;  // shared immutable PCSR + signature structures
   Status init_status_;
+  /// Host-side trace clock (queue wait, query root span): wall time, not
+  /// byte-stable across runs by design — the execution spans under it use
+  /// device cycle clocks and are.
+  obs::SteadyClockSource service_clock_;
+  obs::MetricsRegistry metrics_;
+  /// Owned by metrics_; observed per completed-ok query in FinishLocked.
+  obs::Histogram* latency_hist_ = nullptr;
   std::unique_ptr<FilterCache> cache_;  // null when disabled
   std::unique_ptr<DevicePool> devices_;  // null when init failed
   /// The 1/K-per-device data graph (partition_data_graph mode with

@@ -8,10 +8,15 @@
 namespace gsi {
 
 /// Nearest-rank percentile (ceil(p*N)-1) of an ascending sequence; 0 when
-/// empty. Rounds up so small samples report the tail, not hide it. Shared
-/// by BatchStats (query_engine.cc) and ServiceStats (query_service.cc).
+/// empty. Rounds up so small samples report the tail, not hide it. `p` is
+/// clamped to [0, 1] — out-of-range and NaN inputs pick the min / max
+/// element instead of indexing out of bounds (casting a negative ceil to
+/// size_t is undefined behavior). Shared by BatchStats (query_engine.cc)
+/// and ServiceStats (query_service.cc).
 inline double PercentileOfSorted(std::span<const double> sorted, double p) {
   if (sorted.empty()) return 0;
+  if (std::isnan(p)) return sorted.back();
+  p = std::clamp(p, 0.0, 1.0);
   size_t rank =
       static_cast<size_t>(std::ceil(p * static_cast<double>(sorted.size())));
   return sorted[std::min(rank == 0 ? 0 : rank - 1, sorted.size() - 1)];

@@ -57,13 +57,19 @@ def fixture_line(name, anchor):
 def main():
     v = "tests/lint_fixtures/violations.cc"
     s = "tests/lint_fixtures/suppressed.cc"
+    rc = "tests/lint_fixtures/raw_clock/violations.cc"
 
     # --- exact findings over the fixtures (order: path, line, rule).
     code, out = run_lint("--list", "tests/lint_fixtures")
     check(code == 0, "--list exits 0")
     findings = parse_findings(out)
     vl = lambda anchor: fixture_line("violations.cc", anchor)
+    rcl = lambda anchor: fixture_line("raw_clock/violations.cc", anchor)
     expected = [
+        # raw-clock is scoped: it fires in raw_clock/ but NOT on the
+        # <chrono> includes of the sibling fixtures below.
+        (rc, rcl("#include <chrono>"), "raw-clock"),
+        (rc, rcl("std::chrono::nanoseconds g_budget"), "raw-clock"),
         (s, fixture_line("suppressed.cc", "for (int id : ids) n += id;"),
          "unordered-iteration"),  # wrong-rule NOLINT must not suppress
         (v, vl("std::set<Node*> g_dirty;"), "pointer-keyed-container"),
@@ -120,9 +126,13 @@ def main():
         check(code == 1, "a new violation fails against the baseline")
         check("1 new finding(s)" in out, "only the new violation is new")
 
-    # --- the real execution path is clean under the checked-in baseline.
+    # --- the real execution path is clean under the checked-in baseline
+    # (raw-clock included: src/gsi and src/gpusim route timestamps through
+    # obs::Clock; src/obs itself is outside the lint roots).
     code, out = run_lint()
-    check(code == 0, "src/gsi + src/service are clean (checked-in baseline)")
+    check(code == 0,
+          "src/gsi + src/gpusim + src/service are clean (checked-in "
+          "baseline)")
 
     if failures:
         print("\n%d check(s) failed" % len(failures))

@@ -1,0 +1,15 @@
+// Fixture for tests/determinism_lint_test.py: the raw-clock rule, which
+// only fires inside its scoped roots (src/gsi, src/gpusim, and this
+// directory — see RULE_SCOPES in tools/determinism_lint.py). The sibling
+// fixtures one level up are OUTSIDE the scope, so their <chrono> includes
+// must stay raw-clock-silent. Never compiled (tests/ only globs *_test.cc).
+#include <chrono>  // raw-clock: the include itself is flagged
+
+// raw-clock: duration arithmetic — no clock read yet, still flagged.
+std::chrono::nanoseconds g_budget{1000};
+
+long BudgetNs() {
+  // The rule-specific escape silences the line below.
+  // NOLINTNEXTLINE(determinism:raw-clock)
+  return std::chrono::nanoseconds{500}.count();
+}

@@ -6,12 +6,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "gsi/matcher.h"
+#include "obs/trace.h"
 #include "service/query_service.h"
 #include "test_util.h"
 
@@ -462,6 +466,165 @@ TEST(QueryService, ConcurrentSubmitAndDrainStayCoherent) {
             static_cast<uint64_t>(kThreads * kPerThread));
   EXPECT_EQ(s.queue_depth, 0u);
   EXPECT_EQ(s.in_flight, 0u);
+}
+
+size_t CountNamedSpans(const obs::Tracer& tracer, const std::string& name) {
+  size_t n = 0;
+  for (const obs::TraceSpan& s : tracer.Snapshot()) n += (s.name == name);
+  return n;
+}
+
+TEST(QueryService, TracedTicketExposesTheSpanTree) {
+  Graph data = SmallData(311);
+  ServiceOptions so;
+  so.num_workers = 2;
+  QueryService service(data, GsiOptOptions(), so);
+  ASSERT_TRUE(service.init_status().ok());
+
+  Graph query = testing::RandomQuery(data, 5, 3111);
+  SubmitOptions traced;
+  traced.trace = true;
+  Result<QueryTicket> on = service.Submit(query, traced);
+  Result<QueryTicket> off = service.Submit(query);
+  ASSERT_TRUE(on.ok());
+  ASSERT_TRUE(off.ok());
+  ASSERT_TRUE(service.Wait(*on).ok());
+  ASSERT_TRUE(service.Wait(*off).ok());
+
+  // Untraced tickets carry no tracer — tracing is strictly opt-in.
+  EXPECT_EQ(service.GetTrace(*off), nullptr);
+  EXPECT_EQ(service.GetTrace(QueryTicket{}), nullptr);
+
+  std::shared_ptr<const obs::Tracer> trace = service.GetTrace(*on);
+  ASSERT_NE(trace, nullptr);
+  EXPECT_EQ(CountNamedSpans(*trace, "queue_wait"), 1u);
+  EXPECT_EQ(CountNamedSpans(*trace, "query"), 1u);
+  EXPECT_GE(CountNamedSpans(*trace, "filter"), 1u);
+  EXPECT_GE(CountNamedSpans(*trace, "join_step"), 1u);
+  // The service phases sit on the host track; execution spans on device 0.
+  for (const obs::TraceSpan& s : trace->Snapshot()) {
+    if (s.name == "queue_wait" || s.name == "query") {
+      EXPECT_EQ(s.device, obs::kHostDevice) << s.name;
+    }
+    if (s.name == "join_step") EXPECT_EQ(s.device, 0) << s.name;
+  }
+  // Both exporters render the retained trace.
+  EXPECT_NE(trace->ToChromeJson().find("\"queue_wait\""), std::string::npos);
+  EXPECT_NE(trace->ToTreeString().find("query"), std::string::npos);
+}
+
+/// Parses Prometheus text exposition into `name{labels}` -> value, failing
+/// the test on any malformed line.
+std::map<std::string, double> ParsePrometheus(const std::string& text) {
+  std::map<std::string, double> samples;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const size_t space = line.rfind(' ');
+    EXPECT_NE(space, std::string::npos) << "malformed: " << line;
+    if (space == std::string::npos) continue;
+    size_t parsed = 0;
+    const double value = std::stod(line.substr(space + 1), &parsed);
+    EXPECT_EQ(space + 1 + parsed, line.size()) << "bad value: " << line;
+    samples[line.substr(0, space)] = value;
+  }
+  return samples;
+}
+
+TEST(QueryService, ExportMetricsMatchesTheStatsSnapshot) {
+  Graph data = SmallData(313);
+  ServiceOptions so;
+  so.num_workers = 2;
+  so.enable_filter_cache = true;
+  QueryService service(data, GsiOptOptions(), so);
+  ASSERT_TRUE(service.init_status().ok());
+
+  for (uint64_t q = 0; q < 6; ++q) {
+    ASSERT_TRUE(service.Submit(testing::RandomQuery(data, 5, 3130 + q)).ok());
+  }
+  service.Drain();
+
+  const std::string text = service.ExportMetrics();
+  std::map<std::string, double> samples = ParsePrometheus(text);
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(samples.at("gsi_service_submitted_total"),
+            static_cast<double>(stats.submitted));
+  EXPECT_EQ(samples.at("gsi_service_completed_total{status=\"ok\"}"),
+            static_cast<double>(stats.completed_ok));
+  EXPECT_EQ(samples.at("gsi_service_completed_total{status=\"error\"}"),
+            static_cast<double>(stats.failed));
+  EXPECT_EQ(samples.at("gsi_service_queue_depth"), 0.0);
+  EXPECT_EQ(samples.at("gsi_service_in_flight"), 0.0);
+  // The latency histogram observed exactly the completed-ok queries, and
+  // its +Inf bucket agrees with its _count (cumulative rendering).
+  EXPECT_EQ(samples.at("gsi_query_simulated_ms_count"),
+            static_cast<double>(stats.completed_ok));
+  EXPECT_EQ(samples.at("gsi_query_simulated_ms_bucket{le=\"+Inf\"}"),
+            samples.at("gsi_query_simulated_ms_count"));
+  // The filter-cache collector feeds the same registry.
+  EXPECT_NE(text.find("gsi_filter_cache_"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE gsi_service_submitted_total counter"),
+            std::string::npos);
+  // The human snapshot renders the same families.
+  EXPECT_NE(service.MetricsDebugString().find("gsi_service_submitted_total"),
+            std::string::npos);
+}
+
+// Traced and untraced queries race through the service while metrics are
+// scraped: every scrape must parse, and the settled registry must agree
+// with the settled ServiceStats.
+TEST(QueryService, ConcurrentTracedQueriesKeepTheRegistryCoherent) {
+  Graph data = SmallData(317);
+  ServiceOptions so;
+  so.num_workers = 4;
+  so.max_queue_depth = 64;
+  QueryService service(data, GsiOptOptions(), so);
+  ASSERT_TRUE(service.init_status().ok());
+
+  constexpr int kThreads = 3;
+  constexpr int kPerThread = 5;
+  std::mutex tickets_mu;
+  std::vector<QueryTicket> traced_tickets;
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        SubmitOptions submit;
+        submit.trace = (i % 2 == 0);
+        Graph q = testing::RandomQuery(data, 4, 31700 + t * 100 + i);
+        Result<QueryTicket> ticket = service.Submit(q, submit);
+        ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+        if (submit.trace) {
+          std::lock_guard<std::mutex> lock(tickets_mu);
+          traced_tickets.push_back(*ticket);
+        }
+      }
+    });
+  }
+  // Scrapes race the workers; each one must still parse cleanly.
+  for (int i = 0; i < 20; ++i) ParsePrometheus(service.ExportMetrics());
+  for (std::thread& t : submitters) t.join();
+  service.Drain();
+
+  for (const QueryTicket& ticket : traced_tickets) {
+    std::shared_ptr<const obs::Tracer> trace = service.GetTrace(ticket);
+    ASSERT_NE(trace, nullptr);
+    EXPECT_EQ(CountNamedSpans(*trace, "query"), 1u);
+    EXPECT_EQ(CountNamedSpans(*trace, "queue_wait"), 1u);
+  }
+  std::map<std::string, double> samples =
+      ParsePrometheus(service.ExportMetrics());
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(samples.at("gsi_service_completed_total{status=\"ok\"}") +
+                samples.at("gsi_service_completed_total{status=\"error\"}"),
+            static_cast<double>(stats.completed_ok + stats.failed));
+  EXPECT_EQ(samples.at("gsi_service_admitted_total"),
+            static_cast<double>(stats.admitted));
 }
 
 TEST(QueryService, DestructorCancelsQueuedWorkWithoutHanging) {

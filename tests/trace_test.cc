@@ -1,0 +1,280 @@
+// obs::Tracer / obs::Clock: span-tree mechanics (nesting, attribution,
+// seq assignment, branch-on-null when disabled), the Chrome trace_event
+// export's structure, and the headline determinism contract — traces
+// captured on the partitioned and replicated execution paths are
+// byte-identical across runs because every execution-path span is timed
+// by the simulated cycle clock.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gsi/partition.h"
+#include "gsi/query_engine.h"
+#include "gsi/replication.h"
+#include "obs/clock.h"
+#include "obs/trace.h"
+#include "test_util.h"
+
+namespace gsi {
+namespace {
+
+using obs::kHostDevice;
+using obs::ManualClock;
+using obs::ScopedSpan;
+using obs::TraceContext;
+using obs::Tracer;
+using obs::TraceSpan;
+
+const TraceSpan* FindSpan(const std::vector<TraceSpan>& spans,
+                          const std::string& name) {
+  for (const TraceSpan& s : spans) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+size_t CountSpans(const std::vector<TraceSpan>& spans,
+                  const std::string& name) {
+  size_t n = 0;
+  for (const TraceSpan& s : spans) n += (s.name == name);
+  return n;
+}
+
+// ------------------------------------------------------------ mechanics ---
+
+TEST(Tracer, ScopedSpansNestAndStampTheInjectedClock) {
+  Tracer tracer;
+  ManualClock clock(100);
+  {
+    ScopedSpan root(TraceContext{&tracer, -1, kHostDevice}, "root", clock);
+    clock.Advance(50);
+    {
+      ScopedSpan child(root.context(), "child", clock, /*device=*/2);
+      child.AddAttr("rows", uint64_t{7});
+      clock.Advance(25);
+    }
+    clock.Advance(10);
+  }
+  std::vector<TraceSpan> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  const TraceSpan* root = FindSpan(spans, "root");
+  const TraceSpan* child = FindSpan(spans, "child");
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(root->device, kHostDevice);
+  EXPECT_EQ(root->start_ns, 100u);
+  EXPECT_EQ(root->end_ns, 185u);
+  EXPECT_EQ(root->parent, -1);
+  EXPECT_EQ(child->device, 2);
+  EXPECT_EQ(child->start_ns, 150u);
+  EXPECT_EQ(child->end_ns, 175u);
+  ASSERT_EQ(child->attrs.size(), 1u);
+  EXPECT_EQ(child->attrs[0].first, "rows");
+  EXPECT_EQ(child->attrs[0].second, "7");
+  // The child span opened on the "root" span's index.
+  EXPECT_EQ(&spans[static_cast<size_t>(child->parent)], root);
+}
+
+TEST(Tracer, ThreeArgScopedSpanInheritsTheContextDevice) {
+  Tracer tracer;
+  ManualClock clock;
+  TraceContext ctx{&tracer, -1, kHostDevice};
+  { ScopedSpan span(ctx.OnDevice(3), "work", clock); }
+  std::vector<TraceSpan> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].device, 3);
+}
+
+TEST(Tracer, NullTracerIsANoOpEverywhere) {
+  TraceContext off;  // default: tracer == nullptr
+  EXPECT_FALSE(off.enabled());
+  ManualClock clock;
+  ScopedSpan span(off, "ignored", clock);
+  span.AddAttr("k", "v");
+  span.AddAttr("n", uint64_t{1});
+  // context() of a disabled span stays disabled — the whole subtree is
+  // branch-on-null.
+  EXPECT_FALSE(span.context().enabled());
+  ScopedSpan child(span.context(), "also-ignored", clock);
+}
+
+TEST(Tracer, SeqCountsPerDeviceTrack) {
+  Tracer tracer;
+  // Interleave opens across two device tracks and the host track.
+  tracer.RecordSpan("a", 0, 0, 1, -1);
+  tracer.RecordSpan("b", 1, 0, 1, -1);
+  tracer.RecordSpan("c", 0, 2, 3, -1);
+  tracer.RecordSpan("d", kHostDevice, 0, 1, -1);
+  tracer.RecordSpan("e", 1, 2, 3, -1);
+  std::vector<TraceSpan> spans = tracer.Snapshot();
+  EXPECT_EQ(FindSpan(spans, "a")->seq, 0u);
+  EXPECT_EQ(FindSpan(spans, "c")->seq, 1u);
+  EXPECT_EQ(FindSpan(spans, "b")->seq, 0u);
+  EXPECT_EQ(FindSpan(spans, "e")->seq, 1u);
+  EXPECT_EQ(FindSpan(spans, "d")->seq, 0u);
+}
+
+TEST(Tracer, ChromeJsonStructure) {
+  Tracer tracer;
+  int32_t root = tracer.RecordSpan("outer", 0, 1000, 3000, -1);
+  tracer.AddAttr(root, "rows", "42");
+  tracer.RecordSpan("inner", 0, 1500, 2500, root);
+  const std::string json = tracer.ToChromeJson();
+  // Structural checks; full schema validation (every event parses, the
+  // required spans exist) runs in tests/trace_example_test.py against the
+  // example binary's output.
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows\":\"42\""), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+
+  const std::string tree = tracer.ToTreeString();
+  EXPECT_NE(tree.find("outer"), std::string::npos);
+  EXPECT_NE(tree.find("inner"), std::string::npos);
+}
+
+TEST(Clock, DeviceCycleClockFollowsSimulatedCycles) {
+  gpusim::Device dev;
+  obs::DeviceCycleClock clock(dev);
+  const uint64_t before = clock.NowNanos();
+  dev.ChargeKernelLaunch();
+  EXPECT_GT(clock.NowNanos(), before);
+}
+
+// ---------------------------------------------------- execution tracing ---
+
+struct Fixture {
+  Graph data;
+  Graph query;
+  Fixture()
+      : data(testing::RandomGraph(400, 3, 4, 3, 99)),
+        query(testing::RandomQuery(data, 5, 7)) {}
+};
+
+/// One traced partitioned execution over fresh devices; returns the
+/// exported JSON.
+std::string TracePartitionedRun(const Fixture& f, size_t partitions) {
+  QueryEngine engine(f.data, GsiOptOptions());
+  std::vector<std::unique_ptr<gpusim::Device>> owned;
+  std::vector<gpusim::Device*> devs;
+  for (size_t i = 0; i < partitions; ++i) {
+    owned.push_back(
+        std::make_unique<gpusim::Device>(engine.options().device));
+    devs.push_back(owned.back().get());
+  }
+  Result<PartitionedGraph> pg = PartitionedGraph::Build(
+      devs, f.data, engine.options(), HashVertexPartitioner());
+  GSI_CHECK(pg.ok());
+  Tracer tracer;
+  Result<QueryResult> r = engine.RunPartitioned(
+      f.query, *pg, TraceContext{&tracer, -1, kHostDevice});
+  GSI_CHECK(r.ok());
+  return tracer.ToChromeJson();
+}
+
+/// One traced replicated execution over fresh devices; returns the
+/// exported JSON.
+std::string TraceReplicatedRun(const Fixture& f, size_t partitions,
+                               size_t replicas) {
+  QueryEngine engine(f.data, GsiOptOptions());
+  std::vector<std::unique_ptr<gpusim::Device>> owned;
+  std::vector<gpusim::Device*> devs;
+  for (size_t i = 0; i < partitions; ++i) {
+    owned.push_back(
+        std::make_unique<gpusim::Device>(engine.options().device));
+    devs.push_back(owned.back().get());
+  }
+  Result<ReplicatedGraph> rg =
+      ReplicatedGraph::Build(devs, f.data, engine.options(),
+                             HashVertexPartitioner(), partitions, replicas);
+  GSI_CHECK(rg.ok());
+  Tracer tracer;
+  Result<QueryResult> r = engine.RunPartitioned(
+      f.query, *rg, CompactSelection(*rg),
+      TraceContext{&tracer, -1, kHostDevice});
+  GSI_CHECK(r.ok());
+  return tracer.ToChromeJson();
+}
+
+TEST(TraceDeterminism, PartitionedTraceIsByteIdenticalAcrossRuns) {
+  Fixture f;
+  const std::string first = TracePartitionedRun(f, 4);
+  const std::string second = TracePartitionedRun(f, 4);
+  // Every span on this path is timed by a device cycle clock, and the
+  // exporters sort by (device, start_ns, seq) before emitting — so the
+  // whole export is a pure function of the work, even though partition
+  // workers append to the tracer concurrently.
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("execute_partitioned"), std::string::npos);
+  EXPECT_NE(first.find("partition_join"), std::string::npos);
+  EXPECT_NE(first.find("result_merge"), std::string::npos);
+}
+
+TEST(TraceDeterminism, ReplicatedTraceIsByteIdenticalAcrossRuns) {
+  Fixture f;
+  const std::string first = TraceReplicatedRun(f, 4, 2);
+  const std::string second = TraceReplicatedRun(f, 4, 2);
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("execute_replicated"), std::string::npos);
+  // The acceptance-criterion spans: one lane per distinct device of the
+  // selection, lane_scan on the filter side.
+  EXPECT_NE(first.find("\"lane\""), std::string::npos);
+  EXPECT_NE(first.find("lane_scan"), std::string::npos);
+}
+
+TEST(TraceDeterminism, PartitionedTraceCoversEveryPartitionAndJoinStep) {
+  Fixture f;
+  QueryEngine engine(f.data, GsiOptOptions());
+  std::vector<std::unique_ptr<gpusim::Device>> owned;
+  std::vector<gpusim::Device*> devs;
+  for (size_t i = 0; i < 4; ++i) {
+    owned.push_back(
+        std::make_unique<gpusim::Device>(engine.options().device));
+    devs.push_back(owned.back().get());
+  }
+  Result<PartitionedGraph> pg = PartitionedGraph::Build(
+      devs, f.data, engine.options(), HashVertexPartitioner());
+  ASSERT_TRUE(pg.ok());
+  Tracer tracer;
+  Result<QueryResult> r = engine.RunPartitioned(
+      f.query, *pg, TraceContext{&tracer, -1, kHostDevice});
+  ASSERT_TRUE(r.ok());
+  std::vector<TraceSpan> spans = tracer.Snapshot();
+  // One partition_join per partition, each carrying at least one join_step
+  // child (the query has >= 2 vertices, so the join iterates).
+  EXPECT_EQ(CountSpans(spans, "partition_join"), 4u);
+  EXPECT_GE(CountSpans(spans, "join_step"), 4u);
+  EXPECT_EQ(CountSpans(spans, "result_merge"), 1u);
+  // Partition spans are attributed to their partition's device track.
+  std::vector<bool> seen(4, false);
+  for (const TraceSpan& s : spans) {
+    if (s.name == "partition_join") {
+      ASSERT_GE(s.device, 0);
+      ASSERT_LT(s.device, 4);
+      seen[static_cast<size_t>(s.device)] = true;
+    }
+  }
+  for (size_t p = 0; p < 4; ++p) EXPECT_TRUE(seen[p]) << "partition " << p;
+}
+
+TEST(TraceDeterminism, DisabledTracerLeavesResultsUntouched) {
+  Fixture f;
+  QueryEngine engine(f.data, GsiOptOptions());
+  Tracer tracer;
+  Result<QueryResult> traced =
+      engine.Run(f.query, TraceContext{&tracer, -1, kHostDevice});
+  Result<QueryResult> plain = engine.Run(f.query);
+  ASSERT_TRUE(traced.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(traced->TableEquals(*plain));
+  EXPECT_EQ(traced->stats.total_ms, plain->stats.total_ms);
+  EXPECT_FALSE(tracer.Snapshot().empty());
+}
+
+}  // namespace
+}  // namespace gsi

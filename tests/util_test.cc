@@ -5,6 +5,7 @@
 #include <set>
 #include <vector>
 
+#include "util/percentile.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/table_printer.h"
@@ -93,6 +94,50 @@ TEST(ZipfTest, AlphaZeroIsUniform) {
     EXPECT_GT(c, 1400);
     EXPECT_LT(c, 2600);
   }
+}
+
+TEST(PercentileTest, EmptyReturnsZero) {
+  EXPECT_EQ(PercentileOfSorted({}, 0.5), 0.0);
+  EXPECT_EQ(PercentileOfSorted({}, 0.0), 0.0);
+  EXPECT_EQ(PercentileOfSorted({}, 1.0), 0.0);
+}
+
+TEST(PercentileTest, SingleSampleAtEveryP) {
+  const std::vector<double> one{7.5};
+  for (double p : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(PercentileOfSorted(one, p), 7.5) << "p=" << p;
+  }
+}
+
+TEST(PercentileTest, NearestRankSemantics) {
+  const std::vector<double> v{1, 2, 3, 4};
+  // ceil(p*4)-1: p in (0, .25] -> v[0], (.25, .5] -> v[1], ...
+  EXPECT_EQ(PercentileOfSorted(v, 0.0), 1.0);
+  EXPECT_EQ(PercentileOfSorted(v, 0.25), 1.0);
+  EXPECT_EQ(PercentileOfSorted(v, 0.26), 2.0);
+  EXPECT_EQ(PercentileOfSorted(v, 0.5), 2.0);
+  EXPECT_EQ(PercentileOfSorted(v, 0.75), 3.0);
+  EXPECT_EQ(PercentileOfSorted(v, 0.99), 4.0);
+  EXPECT_EQ(PercentileOfSorted(v, 1.0), 4.0);
+}
+
+TEST(PercentileTest, DuplicateHeavySamples) {
+  // 9 duplicates and one outlier: the tail rank must surface the outlier,
+  // the median must not.
+  const std::vector<double> v{5, 5, 5, 5, 5, 5, 5, 5, 5, 100};
+  EXPECT_EQ(PercentileOfSorted(v, 0.5), 5.0);
+  EXPECT_EQ(PercentileOfSorted(v, 0.9), 5.0);
+  EXPECT_EQ(PercentileOfSorted(v, 0.91), 100.0);
+  EXPECT_EQ(PercentileOfSorted(v, 0.99), 100.0);
+}
+
+TEST(PercentileTest, OutOfRangeAndNanClamp) {
+  const std::vector<double> v{1, 2, 3};
+  // Clamped instead of indexing out of bounds (negative ceil cast to
+  // size_t was UB before the clamp).
+  EXPECT_EQ(PercentileOfSorted(v, -0.5), 1.0);
+  EXPECT_EQ(PercentileOfSorted(v, 1.5), 3.0);
+  EXPECT_EQ(PercentileOfSorted(v, std::nan("")), 3.0);
 }
 
 TEST(TablePrinterTest, AlignsColumns) {

@@ -27,6 +27,14 @@ Rules (category `determinism`):
                            an unordered container: FP addition is not
                            associative, so a hash-order reduction changes
                            the result bit pattern.
+  raw-clock                any direct std::chrono use (scoped to src/gsi
+                           and src/gpusim): execution-path timestamps must
+                           go through obs::Clock (obs/clock.h), whose
+                           cycle-clock implementation keeps exported
+                           traces bit-stable. Broader than
+                           nondeterministic-seed — it also catches
+                           duration arithmetic that invites a later
+                           ::now() call.
 
 Escapes: append `// NOLINT(determinism)` (or
 `// NOLINT(determinism:<rule>)`) to the offending line, or put
@@ -58,7 +66,13 @@ import re
 import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-DEFAULT_ROOTS = ["src/gsi", "src/service"]
+DEFAULT_ROOTS = ["src/gsi", "src/gpusim", "src/service"]
+# Per-rule path scoping: a rule listed here only fires on files whose
+# repo-relative path starts with one of the prefixes. The lint_fixtures
+# prefix keeps the rule testable by the self-test.
+RULE_SCOPES = {
+    "raw-clock": ("src/gsi/", "src/gpusim/", "tests/lint_fixtures/raw_clock/"),
+}
 DEFAULT_BASELINE = os.path.join(REPO_ROOT, "tools",
                                 "determinism_baseline.txt")
 SOURCE_EXTENSIONS = (".cc", ".h", ".cpp", ".hpp", ".cu", ".cuh")
@@ -69,6 +83,7 @@ SEED_TOKEN_RE = re.compile(
     r"std::random_device|\brandom_device\b|\bsrand\s*\(|[^\w.]rand\s*\(|"
     r"\btime\s*\(\s*(?:0|NULL|nullptr)\s*\)|\bsteady_clock\b|"
     r"\bsystem_clock\b|\bhigh_resolution_clock\b|[^\w.]clock\s*\(\s*\)")
+RAW_CLOCK_RE = re.compile(r"#\s*include\s*<chrono>|\bstd::chrono\b")
 POINTER_KEY_RE = re.compile(
     r"\b(?:std::)?(?:unordered_)?(?:multi)?(?:map|set)\s*<\s*"
     r"(?:const\s+)?[\w:]+(?:\s*<[^<>]*>)?\s*\*")
@@ -212,6 +227,14 @@ def scan_file_regex(path, rel, raw):
         add(line_of(code, m.start()), "nondeterministic-seed",
             "per-run value (clock / random seed) on the execution path; "
             "results derived from it cannot be reproduced")
+
+    # --- raw-clock: direct std::chrono in the kernel-path directories.
+    if rel.startswith(RULE_SCOPES["raw-clock"]):
+        for m in RAW_CLOCK_RE.finditer(code):
+            add(line_of(code, m.start()), "raw-clock",
+                "direct std::chrono use on the execution path; take "
+                "timestamps through obs::Clock (obs/clock.h) so traces "
+                "stay bit-stable")
 
     # --- unordered-iteration (+ float-accumulation inside such loops).
     for m in RANGE_FOR_RE.finditer(code):
