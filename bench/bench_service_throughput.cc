@@ -5,10 +5,14 @@
 // stream, so ok-counts and match work line up; only the serving layer and
 // the cache differ.
 
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "gpusim/device.h"
 #include "service/query_service.h"
 #include "util/check.h"
 #include "util/timer.h"
@@ -19,6 +23,13 @@ namespace {
 /// Each query shape appears this many times in the stream — the repeats
 /// are what the filter cache can serve.
 constexpr size_t kRepeats = 4;
+
+/// `--fault-rate <r>`: injected device faults per query (0 = mode off).
+/// Parsed in main before google-benchmark sees the flag.
+double& FaultRateSlot() {
+  static double rate = 0;
+  return rate;
+}
 
 TableCollector& Table() {
   static auto& t = *new TableCollector(
@@ -131,6 +142,90 @@ Outcome RunViaService(bool enable_cache) {
   return o;
 }
 
+/// Same stream as RunViaService, but with one deterministic fail_on_lease
+/// fault injected every 1/rate queries (retry budget 3, one spare device).
+/// Quarantined devices are repaired between waves, so the run measures the
+/// steady-state cost of surviving faults: availability (ok / submitted) and
+/// the retry overhead the backoff model adds to simulated latency.
+Outcome RunViaFaultedService(double fault_rate) {
+  const size_t period =
+      std::max<size_t>(1, static_cast<size_t>(std::llround(1.0 / fault_rate)));
+  ServiceOptions so;
+  so.num_workers = static_cast<int>(Env().threads);
+  // One spare device: with at most one quarantined device per wave, every
+  // worker still finds healthy hardware and the retry always lands.
+  so.num_devices = static_cast<int>(Env().threads) + 1;
+  so.overload = OverloadPolicy::kBlock;
+  so.max_queue_depth = 512;
+  so.enable_filter_cache = false;
+  so.default_max_attempts = 3;
+  QueryService service(Data(), GsiOptOptions(), so);
+  GSI_CHECK(service.init_status().ok());
+
+  Outcome o;
+  size_t submitted = 0;
+  size_t injected = 0;
+  double retry_overhead_ms = 0;
+  WallTimer wall;
+  const std::vector<Graph>& stream = Stream();
+  for (size_t base = 0; base < stream.size(); base += period) {
+    // One fault per wave, always on device 0: the pool leases low indices
+    // first, so the wave's first query is guaranteed to trip the plan (a
+    // plan armed on a device the wave never leases would silently carry
+    // over and stack with later faults). The pool is idle between waves,
+    // so the plan arms immediately rather than deferring.
+    gpusim::FaultPlan plan;
+    plan.fail_on_lease = true;
+    plan.reason = "bench-injected fault";
+    if (service.InjectDeviceFault(0, plan).ok()) ++injected;
+    const size_t end = std::min(base + period, stream.size());
+    std::vector<QueryTicket> tickets;
+    tickets.reserve(end - base);
+    for (size_t i = base; i < end; ++i) {
+      Result<QueryTicket> t = service.Submit(stream[i]);
+      GSI_CHECK(t.ok());
+      tickets.push_back(*t);
+      ++submitted;
+    }
+    for (const QueryTicket& t : tickets) {
+      Result<QueryResult> r = service.Wait(t);
+      if (r.ok()) {
+        ++o.ok;
+        o.sum_filter_ms += r->stats.filter_ms;
+        retry_overhead_ms += r->stats.backoff_ms;
+      }
+    }
+    for (int d = 0; d < so.num_devices; ++d) (void)service.RepairDevice(d);
+  }
+  o.wall_ms = wall.ElapsedMs();
+  if (o.wall_ms > 0) {
+    o.qps = static_cast<double>(o.ok) / (o.wall_ms / 1000.0);
+  }
+  ServiceStats stats = service.stats();
+  o.p50_ms = stats.p50_simulated_ms;
+  o.p99_ms = stats.p99_simulated_ms;
+
+  const double availability =
+      submitted > 0 ? static_cast<double>(o.ok) / static_cast<double>(submitted)
+                    : 0;
+  std::printf("[bench] fault-rate %.3f: %zu faults injected, availability "
+              "%.4f, %llu retries (%llu failovers), %.2f ms simulated retry "
+              "overhead\n",
+              fault_rate, injected, availability,
+              static_cast<unsigned long long>(stats.retries),
+              static_cast<unsigned long long>(stats.failovers),
+              retry_overhead_ms);
+  RecordJson({"service_throughput", "faulted", o.qps, o.p50_ms, o.p99_ms,
+              {{"fault_rate", fault_rate},
+               {"availability", availability},
+               {"injected_faults", static_cast<double>(injected)},
+               {"retries", static_cast<double>(stats.retries)},
+               {"failovers", static_cast<double>(stats.failovers)},
+               {"device_failures", static_cast<double>(stats.device_failures)},
+               {"retry_overhead_ms", retry_overhead_ms}}});
+  return o;
+}
+
 void BM_RunBatch(benchmark::State& state) {
   Outcome o;
   for (auto _ : state) {
@@ -162,6 +257,22 @@ void BM_ServiceCached(benchmark::State& state) {
   Record(state, "Service (cache on)", warm);
 }
 
+void BM_ServiceFaulted(benchmark::State& state) {
+  Outcome o;
+  for (auto _ : state) {
+    o = RunViaFaultedService(FaultRateSlot());
+    state.SetIterationTime(std::max(1e-9, o.wall_ms / 1000.0));
+  }
+  // RunViaFaultedService records its own JSON entry (with the availability
+  // and retry-overhead extras); only the table row is added here.
+  state.counters["qps"] = o.qps;
+  Table().AddRow({"Service (faults)", TablePrinter::FormatMs(o.wall_ms),
+                  TablePrinter::FormatCount(static_cast<uint64_t>(o.qps)),
+                  std::to_string(o.ok), TablePrinter::FormatMs(o.sum_filter_ms),
+                  TablePrinter::FormatMs(o.p50_ms),
+                  TablePrinter::FormatMs(o.p99_ms), "-"});
+}
+
 void RegisterAll() {
   for (auto [name, fn] :
        {std::pair{"service_throughput/run_batch", &BM_RunBatch},
@@ -172,12 +283,36 @@ void RegisterAll() {
         ->Iterations(1)
         ->Unit(benchmark::kMillisecond);
   }
+  if (FaultRateSlot() > 0) {
+    benchmark::RegisterBenchmark("service_throughput/service_faulted",
+                                 &BM_ServiceFaulted)
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
 }
 
 }  // namespace
 }  // namespace gsi::bench
 
 int main(int argc, char** argv) {
+  // Peel off --fault-rate before google-benchmark (via BenchMain) sees it.
+  std::vector<char*> args;
+  args.reserve(static_cast<size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--fault-rate" && i + 1 < argc) {
+      gsi::bench::FaultRateSlot() = std::atof(argv[++i]);
+    } else if (a.rfind("--fault-rate=", 0) == 0) {
+      gsi::bench::FaultRateSlot() = std::atof(a.substr(13).c_str());
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  GSI_CHECK_MSG(
+      gsi::bench::FaultRateSlot() >= 0 && gsi::bench::FaultRateSlot() <= 1,
+      "--fault-rate must be in [0, 1]");
   gsi::bench::RegisterAll();
-  return gsi::bench::BenchMain(argc, argv, {&gsi::bench::Table()});
+  return gsi::bench::BenchMain(static_cast<int>(args.size()), args.data(),
+                               {&gsi::bench::Table()});
 }

@@ -87,7 +87,8 @@ void BM_Sharding(benchmark::State& state, size_t num_devices) {
   QueryStats stats;
   for (auto _ : state) {
     DevicePool pool(num_devices, Engine().options().device);
-    std::vector<DevicePool::Lease> leases = pool.AcquireUpTo(num_devices);
+    std::vector<DevicePool::Lease> leases =
+        pool.AcquireUpTo(num_devices).value();
     std::vector<gpusim::Device*> devs;
     for (DevicePool::Lease& l : leases) devs.push_back(l.get());
 

@@ -25,18 +25,27 @@ ALL_SMOKES=(
   example-sharded
   example-partitioned
   example-replicated
+  example-replicated-chaos
   example-trace
   bench-service
+  bench-service-faults
   bench-sharding
   bench-partition
   bench-replication
 )
 
+# The sanitizer subset now carries every bench smoke (ROADMAP: bench smokes
+# under the TSan leg) plus the chaos smoke — fault injection, quarantine and
+# retry wakeups are exactly the cross-thread traffic TSan should watch.
 SANITIZER_SMOKES=(
   example-query-service
   example-sharded
   example-replicated
+  example-replicated-chaos
   bench-service
+  bench-service-faults
+  bench-sharding
+  bench-partition
   bench-replication
 )
 
@@ -75,6 +84,13 @@ run_smoke() {
       GSI_REPL_EXAMPLE_SCALE=1 GSI_REPL_EXAMPLE_REPLICAS=2 \
         "$BUILD_DIR/examples/replicated_query"
       ;;
+    # Chaos smoke: kill a pool device mid-burst; the burst must finish with
+    # every result bit-identical (the example asserts quarantine, failover
+    # and zero lost queries itself).
+    example-replicated-chaos)
+      GSI_REPL_EXAMPLE_SCALE=1 GSI_REPL_EXAMPLE_REPLICAS=2 \
+        "$BUILD_DIR/examples/replicated_query" --kill-device
+      ;;
     # End-to-end tracing: the example submits a traced query through the
     # replicated service path and writes Chrome trace JSON; validate that
     # the export parses and carries the load-bearing span names.
@@ -95,6 +111,29 @@ PYEOF
     bench-service)
       run_bench bench_service_throughput bench_service.json \
         GSI_BENCH_QUERIES=5
+      ;;
+    # Fault sweep: one injected device failure per four queries; the JSON
+    # record carries availability and the simulated retry overhead.
+    bench-service-faults)
+      echo "::group::bench bench_service_throughput --fault-rate"
+      env GSI_BENCH_SCALE=1 GSI_BENCH_QUERIES=3 \
+        "$BUILD_DIR/bench/bench_service_throughput" \
+        --fault-rate 0.25 --benchmark_filter=faulted \
+        --json "$ARTIFACTS_DIR/bench_service_faults.json"
+      cat "$ARTIFACTS_DIR/bench_service_faults.json"
+      echo
+      python3 - "$ARTIFACTS_DIR/bench_service_faults.json" <<'PYEOF'
+import json, sys
+recs = [r for r in json.load(open(sys.argv[1])) if r["config"] == "faulted"]
+assert recs, "no faulted record in --json output"
+r = recs[0]
+assert r["availability"] == 1.0, "queries lost under injected faults: %s" % r
+assert r["retries"] >= r["injected_faults"] > 0, "faults did not trip: %s" % r
+assert r["retry_overhead_ms"] > 0, "retry backoff missing: %s" % r
+print("fault smoke ok: availability %.3f over %d faults, %.2f ms overhead"
+      % (r["availability"], int(r["injected_faults"]), r["retry_overhead_ms"]))
+PYEOF
+      echo "::endgroup::"
       ;;
     # 2-device fan-out exercises the device-pool path end-to-end.
     bench-sharding)

@@ -7,7 +7,14 @@
 // least-loaded replica picks). Match tables stay bit-identical to the
 // single-device run at every R and for every replica selection.
 //
-//   ./build/examples/replicated_query
+//   ./build/examples/replicated_query [--kill-device[=N]]
+//
+// --kill-device[=N] injects a deterministic fail_on_lease fault into pool
+// device N (default 0) before the service burst: the first query to lease
+// it fails mid-run, the pool quarantines the device, and the retry layer
+// re-solves replica coverage onto the survivors — every result still
+// bit-identical. Requires R >= 2 (with one replica the dead partition is
+// simply gone).
 //
 // Env knobs: GSI_REPL_EXAMPLE_SCALE (dataset scale, default 2),
 // GSI_REPL_EXAMPLE_REPLICAS (max replication factor, default 4),
@@ -16,8 +23,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "gpusim/device.h"
 #include "graph/datasets.h"
 #include "graph/query_generator.h"
 #include "gsi/query_engine.h"
@@ -40,7 +49,23 @@ constexpr size_t kPartitions = 4;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool kill_device = false;
+  size_t victim = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--kill-device") {
+      kill_device = true;
+    } else if (a.rfind("--kill-device=", 0) == 0) {
+      kill_device = true;
+      victim = static_cast<size_t>(std::atoi(a.substr(14).c_str()));
+    } else {
+      std::fprintf(stderr, "usage: %s [--kill-device[=N]]\n", argv[0]);
+      return 2;
+    }
+  }
+  GSI_CHECK_MSG(victim < kPartitions, "--kill-device index out of range");
+
   const double scale = EnvDouble("GSI_REPL_EXAMPLE_SCALE", 2.0);
   const size_t max_replicas = std::min<size_t>(
       kPartitions,
@@ -120,6 +145,12 @@ int main() {
   // --- Concurrent burst through the serving layer: R=2 means two queries
   // hold disjoint lanes at once (watch peak_in_use and the pick skew).
   const size_t service_replicas = std::min<size_t>(2, max_replicas);
+  if (kill_device && service_replicas < 2) {
+    std::printf("--kill-device ignored: R=%zu leaves no surviving replica "
+                "of the dead device's partitions\n",
+                service_replicas);
+    kill_device = false;
+  }
   ServiceOptions so;
   so.num_workers = static_cast<int>(kPartitions);
   so.num_devices = static_cast<int>(kPartitions);
@@ -127,9 +158,22 @@ int main() {
   so.partition_replicas = static_cast<int>(service_replicas);
   so.overload = OverloadPolicy::kBlock;
   so.max_queue_depth = 2 * burst;
+  // One retry is enough: the rerun re-solves coverage without the
+  // quarantined device, and every other query never even sees it.
+  if (kill_device) so.default_max_attempts = 2;
   QueryService service(g, GsiOptOptions(), so);
   GSI_CHECK_MSG(service.init_status().ok(),
                 service.init_status().ToString().c_str());
+
+  if (kill_device) {
+    gpusim::FaultPlan plan;
+    plan.fail_on_lease = true;
+    plan.reason = "example --kill-device";
+    GSI_CHECK(service.InjectDeviceFault(victim, plan).ok());
+    std::printf("fault armed: device %zu dies on its next lease "
+                "(fail-stop; the burst below must survive it)\n\n",
+                victim);
+  }
 
   std::vector<QueryTicket> tickets;
   for (size_t i = 0; i < burst; ++i) {
@@ -157,6 +201,26 @@ int main() {
               stats.replica_pick_skew);
   std::printf("  pool peak in use:   %zu of %zu devices\n",
               stats.pool.peak_in_use, kPartitions);
+  if (kill_device) {
+    GSI_CHECK_MSG(stats.device_failures >= 1,
+                  "armed fault never tripped during the burst");
+    GSI_CHECK_MSG(stats.quarantined_devices == 1,
+                  "dead device was not quarantined");
+    std::printf("  fault tolerance:    device %zu died mid-burst; %llu "
+                "failed attempt(s), %llu retr%s (%llu failover%s), "
+                "%zu device quarantined — 0 queries lost\n",
+                victim,
+                static_cast<unsigned long long>(stats.device_failures),
+                static_cast<unsigned long long>(stats.retries),
+                stats.retries == 1 ? "y" : "ies",
+                static_cast<unsigned long long>(stats.failovers),
+                stats.failovers == 1 ? "" : "s",
+                stats.quarantined_devices);
+    GSI_CHECK(service.RepairDevice(victim));
+    std::printf("  repair:             device %zu re-admitted (%zu "
+                "quarantined now)\n",
+                victim, service.stats().quarantined_devices);
+  }
   std::printf("\nEvery result above is bit-identical to the single-device "
               "match table,\nwhichever replica served each partition.\n");
   return 0;

@@ -72,7 +72,8 @@ int main() {
   for (size_t num_devices = 1; num_devices <= max_devices;
        num_devices *= 2) {
     DevicePool pool(num_devices, engine.options().device);
-    std::vector<DevicePool::Lease> leases = pool.AcquireUpTo(num_devices);
+    std::vector<DevicePool::Lease> leases =
+        pool.AcquireUpTo(num_devices).value();
     std::vector<gpusim::Device*> devs;
     for (DevicePool::Lease& l : leases) devs.push_back(l.get());
 

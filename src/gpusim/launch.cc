@@ -59,6 +59,9 @@ void FinishKernel(Device& dev, std::span<const uint64_t> block_costs) {
   dev.stats().kernel_launches += 1;
   dev.stats().simulated_cycles +=
       sched.makespan_cycles + dev.config().kernel_launch_cycles;
+  // Kernel completion is a fault-trigger point: an armed FaultPlan trips
+  // here deterministically (the counters are a pure function of the work).
+  dev.CheckFaultTriggers();
 }
 
 }  // namespace

@@ -1,0 +1,15 @@
+#include "gsi/fault.h"
+
+#include <string>
+
+namespace gsi {
+
+Status CheckDeviceHealthy(const gpusim::Device& dev, const char* phase) {
+  if (dev.healthy()) return Status::Ok();
+  return Status::Unavailable(
+      "device " + std::to_string(dev.ordinal()) + " failed during " + phase +
+      ": " + dev.fault_message() +
+      " (partial results discarded; retry on a healthy selection)");
+}
+
+}  // namespace gsi

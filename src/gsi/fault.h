@@ -1,0 +1,19 @@
+#ifndef GSI_GSI_FAULT_H_
+#define GSI_GSI_FAULT_H_
+
+#include "gpusim/device.h"
+#include "util/status.h"
+
+namespace gsi {
+
+/// The boundary check of the fail-stop fault model (gpusim::FaultPlan): Ok
+/// while `dev` is healthy, otherwise kUnavailable naming the device, the
+/// execution phase that observed the failure and the fault's reason — the
+/// actionable message the serving layer surfaces and retries on. Execution
+/// paths call this after every phase (and the join after every step) so a
+/// tripped device's partial results are discarded at the first boundary.
+Status CheckDeviceHealthy(const gpusim::Device& dev, const char* phase);
+
+}  // namespace gsi
+
+#endif  // GSI_GSI_FAULT_H_

@@ -5,6 +5,7 @@
 #include "gpusim/launch.h"
 #include "gpusim/scan.h"
 #include "gsi/dup_removal.h"
+#include "gsi/fault.h"
 #include "gsi/set_ops.h"
 #include "util/check.h"
 
@@ -292,6 +293,9 @@ Result<MatchTable> JoinEngine::RunSteps(
     MatchTable m, size_t first_step, size_t last_step) {
   last_step = std::min(last_step, plan.steps.size());
   stats_.peak_rows = std::max(stats_.peak_rows, m.rows());
+  // Fail fast on a device that already tripped (e.g. during seeding or an
+  // earlier stage) — the table built so far is considered lost.
+  if (Status h = CheckDeviceHealthy(*dev_, "join"); !h.ok()) return h;
   const obs::DeviceCycleClock clock(*dev_);
   for (size_t s = first_step; s < last_step; ++s) {
     const JoinStep& step = plan.steps[s];
@@ -305,6 +309,9 @@ Result<MatchTable> JoinEngine::RunSteps(
             ? StepPrealloc(m, step, candidates[step.u])
             : StepTwoStep(m, step, candidates[step.u]);
     if (!next.ok()) return next.status();
+    // Step boundary: a fault that tripped inside this step's kernels is
+    // detected here and the partial table discarded (fail-stop model).
+    if (Status h = CheckDeviceHealthy(*dev_, "join_step"); !h.ok()) return h;
     m = std::move(next.value());
     span.AddAttr("rows_out", static_cast<uint64_t>(m.rows()));
     ++stats_.iterations;

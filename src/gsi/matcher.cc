@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "gsi/fault.h"
 #include "storage/basic_rep.h"
 #include "storage/compressed_rep.h"
 #include "storage/csr.h"
@@ -137,11 +138,15 @@ Result<FilterResult> RunFilterStage(gpusim::Device& dev,
     return Status::InvalidArgument(
         "query must be connected (run components separately)");
   }
+  if (Status h = CheckDeviceHealthy(dev, "filter"); !h.ok()) return h;
   const obs::DeviceCycleClock clock(dev);
   obs::ScopedSpan span(trace, "filter", clock, SpanDevice(trace));
   gpusim::MemStats before = dev.stats();
   Result<FilterResult> filtered = filter.Filter(dev, query);
   if (!filtered.ok()) return filtered;
+  // Phase boundary of the fail-stop fault model: candidate sets built on a
+  // device that tripped mid-scan are discarded here.
+  if (Status h = CheckDeviceHealthy(dev, "filter"); !h.ok()) return h;
   stats.filter = dev.stats() - before;
   stats.min_candidate_size = filtered->min_candidate_size;
   span.AddAttr("min_candidate_size",
@@ -184,6 +189,9 @@ Result<QueryResult> RunJoinStage(gpusim::Device& dev, const Graph& data,
     out.column_to_query = plan.order;
   }
 
+  // The degenerate paths above run materialization kernels the join engine
+  // never sees — cover them with a final boundary check.
+  if (Status h = CheckDeviceHealthy(dev, "join"); !h.ok()) return h;
   out.stats.filter_ms = out.stats.filter.SimulatedMs(dev.config());
   out.stats.join_ms = out.stats.join.SimulatedMs(dev.config());
   out.stats.total_ms = out.stats.filter_ms + out.stats.join_ms;

@@ -78,6 +78,14 @@ struct QueryStats {
   /// device — work that replication converted from interconnect traffic
   /// into local reads (not counted in remote_probes).
   uint64_t co_located_probes = 0;
+
+  // --- Fault tolerance (service retry layer; see service/query_service.h).
+  // Single-attempt paths keep the defaults.
+  size_t attempts = 1;    ///< execution attempts (1 = succeeded first try)
+  /// Simulated retry backoff (already included in total_ms): capped
+  /// exponential, a deterministic model of the wait a real client would
+  /// insert between attempts — no wall clock is read.
+  double backoff_ms = 0;
 };
 
 /// Result of one subgraph-isomorphism query.

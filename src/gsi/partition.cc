@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "gpusim/launch.h"
+#include "gsi/fault.h"
 #include "gsi/join.h"
 #include "gsi/partition_internal.h"
 #include "gsi/plan.h"
@@ -347,6 +348,14 @@ Result<FilterResult> RunFilterStagePartitioned(const PartitionedGraph& pg,
     }
     pool.Wait();
   }
+  // Phase barrier: a partition device that tripped mid-scan invalidates its
+  // survivor lists; the query fails over before any gather.
+  for (PartitionId p = 0; p < k; ++p) {
+    if (Status h = CheckDeviceHealthy(pg.device(p), "partition_scan");
+        !h.ok()) {
+      return h;
+    }
+  }
 
   // --- Gather phase: the per-partition survivor lists all-gather to the
   // primary (halo traffic: every non-primary byte crosses the
@@ -376,6 +385,9 @@ Result<FilterResult> RunFilterStagePartitioned(const PartitionedGraph& pg,
     }
     primary.ChargeRemoteTransfer(halo);
     gather_span.AddAttr("halo_bytes", halo);
+  }
+  if (Status h = CheckDeviceHealthy(primary, "candidate_gather"); !h.ok()) {
+    return h;
   }
   const gpusim::MemStats gather_mem = primary.stats() - before_gather;
 
@@ -547,6 +559,9 @@ Result<QueryResult> RunJoinStagePartitioned(const PartitionedGraph& pg,
     out.stats.halo_bytes += merge_bytes;
     merge_span.AddAttr("rows", static_cast<uint64_t>(merged.rows()));
     merge_span.AddAttr("halo_bytes", merge_bytes);
+    if (Status h = CheckDeviceHealthy(primary, "result_merge"); !h.ok()) {
+      return h;
+    }
     const gpusim::MemStats merge_mem = primary.stats() - before_merge;
     join_counters += merge_mem;
 
@@ -565,6 +580,9 @@ Result<QueryResult> RunJoinStagePartitioned(const PartitionedGraph& pg,
         max_ms + merge_mem.SimulatedMs(primary.config());
   }
 
+  // Covers the degenerate paths (single-vertex / empty-candidate), which
+  // materialize on the primary without entering the join engine.
+  if (Status h = CheckDeviceHealthy(primary, "join"); !h.ok()) return h;
   out.stats.filter_ms = out.stats.filter.SimulatedMs(primary.config());
   if (out.stats.join_ms == 0) {
     out.stats.join_ms = out.stats.join.SimulatedMs(primary.config());

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "gpusim/launch.h"
+#include "gsi/fault.h"
 #include "gsi/join.h"
 #include "gsi/partition_internal.h"
 #include "gsi/plan.h"
@@ -324,6 +325,16 @@ Result<FilterResult> RunFilterStageReplicated(const ReplicatedGraph& rg,
     }
     pool.Wait();
   }
+  // Phase barrier: a lane device that tripped mid-scan invalidates the
+  // survivor lists of every partition it scanned; fail over before the
+  // gather touches them.
+  for (size_t lane = 0; lane < lanes.devices.size(); ++lane) {
+    if (Status h = CheckDeviceHealthy(rg.device(lanes.devices[lane]),
+                                      "lane_scan");
+        !h.ok()) {
+      return h;
+    }
+  }
 
   // --- Gather phase: survivor lists all-gather to the primary (the first
   // lane's device). Lists of partitions co-resident with the primary stay
@@ -353,6 +364,9 @@ Result<FilterResult> RunFilterStageReplicated(const ReplicatedGraph& rg,
   }
   primary.ChargeRemoteTransfer(halo);
   gather_span.AddAttr("halo_bytes", halo);
+  if (Status h = CheckDeviceHealthy(primary, "candidate_gather"); !h.ok()) {
+    return h;
+  }
   const gpusim::MemStats gather_mem = primary.stats() - before_gather;
 
   result.min_candidate_size = SIZE_MAX;
@@ -545,6 +559,9 @@ Result<QueryResult> RunJoinStageReplicated(const ReplicatedGraph& rg,
     out.stats.halo_bytes += merge_bytes;
     merge_span.AddAttr("rows", static_cast<uint64_t>(merged.rows()));
     merge_span.AddAttr("halo_bytes", merge_bytes);
+    if (Status h = CheckDeviceHealthy(primary, "result_merge"); !h.ok()) {
+      return h;
+    }
     const gpusim::MemStats merge_mem = primary.stats() - before_merge;
     join_counters += merge_mem;
 
@@ -562,6 +579,9 @@ Result<QueryResult> RunJoinStageReplicated(const ReplicatedGraph& rg,
     out.stats.join_ms = max_lane_ms + merge_mem.SimulatedMs(primary.config());
   }
 
+  // Covers the degenerate paths (single-vertex / empty-candidate), which
+  // materialize on the primary without entering the join engine.
+  if (Status h = CheckDeviceHealthy(primary, "join"); !h.ok()) return h;
   out.stats.filter_ms = out.stats.filter.SimulatedMs(primary.config());
   if (out.stats.join_ms == 0) {
     out.stats.join_ms = out.stats.join.SimulatedMs(primary.config());

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "gpusim/launch.h"
+#include "gsi/fault.h"
 #include "gsi/join.h"
 #include "gsi/plan.h"
 #include "util/check.h"
@@ -96,6 +97,13 @@ Result<FilterResult> RunFilterStageSharded(
     }
     pool.Wait();
   }
+  // Phase barrier: a shard device that tripped mid-scan invalidates its
+  // slice of every candidate list, so the whole phase fails over.
+  for (size_t d = 0; d < num_devs; ++d) {
+    if (Status h = CheckDeviceHealthy(*devs[d], "shard_scan"); !h.ok()) {
+      return h;
+    }
+  }
 
   // --- Create phase: per-vertex candidate buffers (upload + bitset
   // kernel) from the range-concatenated lists (ascending ranges of
@@ -127,6 +135,11 @@ Result<FilterResult> RunFilterStageSharded(
       });
     }
     pool.Wait();
+  }
+  for (size_t d = 0; d < std::min(num_devs, nu); ++d) {
+    if (Status h = CheckDeviceHealthy(*devs[d], "shard_create"); !h.ok()) {
+      return h;
+    }
   }
 
   // Min-candidate bookkeeping in Filter's vertex order, so the tie-break
@@ -277,6 +290,13 @@ Result<QueryResult> RunJoinStageSharded(std::span<gpusim::Device* const> devs,
     std::vector<ShardRange> slices;
     if (m.rows() >= 2) {
       std::vector<uint64_t> weights = parallel_bounds(m, k);
+      // The sizing kernels fanned out over the devices; a trip there must
+      // surface even when the step then runs serially on the primary.
+      for (gpusim::Device* d : devs) {
+        if (Status h = CheckDeviceHealthy(*d, "shard_sizing"); !h.ok()) {
+          return h;
+        }
+      }
       uint64_t predicted = 0;
       for (uint64_t b : weights) predicted += b;
       // Distribute when the step's predicted volume fills every slice AND
@@ -392,6 +412,11 @@ Result<QueryResult> RunJoinStageSharded(std::span<gpusim::Device* const> devs,
     mark = primary.stats();
   }
   serial_total += primary.stats() - mark;
+  // Final boundary: the gather/concat ran on the primary after the last
+  // per-slice check.
+  if (Status h = CheckDeviceHealthy(primary, "join_gather"); !h.ok()) {
+    return h;
+  }
 
   if (m.rows() == 0 && m.cols() != plan.order.size()) {
     // A distributed step emptied the table mid-join: the final answer is

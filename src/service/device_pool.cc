@@ -1,6 +1,7 @@
 #include "service/device_pool.h"
 
 #include <algorithm>
+#include <string>
 #include <tuple>
 #include <utility>
 
@@ -42,6 +43,8 @@ DevicePool::DevicePool(size_t num_devices, gpusim::DeviceConfig config) {
     free_.push_back(num_devices - 1 - i);  // lease low indices first
   }
   is_free_.assign(num_devices, 1);
+  is_quarantined_.assign(num_devices, 0);
+  pending_fault_.resize(num_devices);
   replica_picks_.assign(num_devices, 0);
   released_stats_.resize(num_devices);
 }
@@ -51,18 +54,42 @@ size_t DevicePool::idle() const {
   return free_.size();
 }
 
+size_t DevicePool::LiveLocked() const {
+  size_t live = 0;
+  for (uint8_t q : is_quarantined_) live += q == 0 ? 1 : 0;
+  return live;
+}
+
 void DevicePool::TakeDeviceLocked(size_t index) {
   free_.erase(std::find(free_.begin(), free_.end(), index));
   is_free_[index] = 0;
   ++stats_.acquired;
-  stats_.in_use = devices_.size() - free_.size();
+  // in_use counts leased devices only; quarantined ones are out of service.
+  stats_.in_use = devices_.size() - free_.size() - stats_.quarantined_now;
   stats_.peak_in_use = std::max(stats_.peak_in_use, stats_.in_use);
+  // Lease-acquisition fault trigger (safe here: the device is idle and the
+  // new holder's first access is ordered after this critical section).
+  devices_[index]->OnLeaseAcquired();
 }
 
-DevicePool::Lease DevicePool::Acquire() {
+Result<DevicePool::Lease> DevicePool::Acquire() {
   MutexLock lock(mu_);
+  if (LiveLocked() == 0) {
+    return Status::Unavailable(
+        "all " + std::to_string(devices_.size()) +
+        " pool devices are quarantined; repair one before acquiring");
+  }
   if (free_.empty()) ++stats_.blocked;
-  while (free_.empty()) idle_cv_.Wait(mu_);
+  while (free_.empty()) {
+    idle_cv_.Wait(mu_);
+    if (free_.empty() && LiveLocked() == 0) {
+      // The wait was satisfiable when it started; poisoned releases then
+      // quarantined the last live device underneath it.
+      return Status::Aborted(
+          "pool drained while waiting: every device was quarantined by a "
+          "poisoned lease; repair one before acquiring");
+    }
+  }
   const size_t index = free_.back();
   TakeDeviceLocked(index);
   return Lease(this, index);
@@ -79,27 +106,46 @@ std::optional<DevicePool::Lease> DevicePool::TryAcquire() {
   return Lease(this, index);
 }
 
-std::vector<DevicePool::Lease> DevicePool::AcquireAll() {
+Result<std::vector<DevicePool::Lease>> DevicePool::AcquireAll() {
   std::vector<Lease> leases;
   leases.reserve(devices_.size());
   bool counted_blocked = false;  // blocked counts calls, not busy indices
   for (size_t i = 0; i < devices_.size(); ++i) {
     MutexLock lock(mu_);
+    // AcquireAll needs this exact device; quarantine makes that impossible
+    // until a repair. Partial leases release via their destructors.
+    if (is_quarantined_[i] != 0) {
+      const std::string msg =
+          "AcquireAll needs device " + std::to_string(i) +
+          ", which is quarantined (" + devices_[i]->fault_message() +
+          "); repair it to run partitioned queries";
+      return counted_blocked ? Status::Aborted(msg) : Status::Unavailable(msg);
+    }
     if (is_free_[i] == 0 && !counted_blocked) {
       ++stats_.blocked;
       counted_blocked = true;
     }
-    while (is_free_[i] == 0) idle_cv_.Wait(mu_);
+    while (is_free_[i] == 0 && is_quarantined_[i] == 0) idle_cv_.Wait(mu_);
+    if (is_quarantined_[i] != 0) {
+      return Status::Aborted(
+          "device " + std::to_string(i) +
+          " was quarantined while AcquireAll waited for it (" +
+          devices_[i]->fault_message() +
+          "); repair it to run partitioned queries");
+    }
     TakeDeviceLocked(i);
     leases.push_back(Lease(this, i));
   }
   return leases;
 }
 
-std::vector<DevicePool::Lease> DevicePool::AcquireUpTo(size_t max_devices) {
+Result<std::vector<DevicePool::Lease>> DevicePool::AcquireUpTo(
+    size_t max_devices) {
   max_devices = std::max<size_t>(1, max_devices);
   std::vector<Lease> leases;
-  leases.push_back(Acquire());
+  Result<Lease> first = Acquire();
+  if (!first.ok()) return first.status();
+  leases.push_back(std::move(first.value()));
   while (leases.size() < max_devices) {
     std::optional<Lease> extra = TryAcquire();
     if (!extra) break;
@@ -108,7 +154,20 @@ std::vector<DevicePool::Lease> DevicePool::AcquireUpTo(size_t max_devices) {
   return leases;
 }
 
-DevicePool::GroupLeases DevicePool::AcquireOneOfEach(
+namespace {
+
+std::string GroupMembers(const std::vector<size_t>& group) {
+  std::string out;
+  for (size_t d : group) {
+    if (!out.empty()) out += ", ";
+    out += std::to_string(d);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<DevicePool::GroupLeases> DevicePool::AcquireOneOfEach(
     std::span<const std::vector<size_t>> groups) {
   for (const std::vector<size_t>& group : groups) {
     GSI_CHECK_MSG(!group.empty(), "AcquireOneOfEach given an empty group");
@@ -125,8 +184,24 @@ DevicePool::GroupLeases DevicePool::AcquireOneOfEach(
   }
 
   MutexLock lock(mu_);
+  if (size_t dead = DeadGroupLocked(groups); dead < groups.size()) {
+    return Status::Unavailable(
+        "replica group " + std::to_string(dead) + " has no live device (all "
+        "of {" + GroupMembers(groups[dead]) + "} are quarantined); repair "
+        "one of them to restore coverage of partition " +
+        std::to_string(dead));
+  }
   if (!EveryGroupHasIdleLocked(groups)) ++stats_.group_blocked;
-  while (!EveryGroupHasIdleLocked(groups)) idle_cv_.Wait(mu_);
+  while (!EveryGroupHasIdleLocked(groups)) {
+    idle_cv_.Wait(mu_);
+    if (size_t dead = DeadGroupLocked(groups); dead < groups.size()) {
+      return Status::Aborted(
+          "replica group " + std::to_string(dead) + " lost its last live "
+          "device while this acquisition waited (all of {" +
+          GroupMembers(groups[dead]) + "} are quarantined); repair one of "
+          "them to restore coverage of partition " + std::to_string(dead));
+    }
+  }
 
   // Pick one free device per group, packing onto devices already picked
   // for earlier groups (see the header for why packing wins), then by
@@ -182,10 +257,66 @@ bool DevicePool::EveryGroupHasIdleLocked(
   return true;
 }
 
+size_t DevicePool::DeadGroupLocked(
+    std::span<const std::vector<size_t>> groups) const {
+  for (size_t g = 0; g < groups.size(); ++g) {
+    bool live = false;
+    for (size_t d : groups[g]) live = live || is_quarantined_[d] == 0;
+    if (!live) return g;
+  }
+  return groups.size();
+}
+
+Status DevicePool::InjectFault(size_t index, gpusim::FaultPlan plan) {
+  MutexLock lock(mu_);
+  if (index >= devices_.size()) {
+    return Status::InvalidArgument(
+        "InjectFault: device index " + std::to_string(index) +
+        " out of range (pool has " + std::to_string(devices_.size()) +
+        " devices)");
+  }
+  if (is_quarantined_[index] != 0) {
+    return Status::InvalidArgument(
+        "InjectFault: device " + std::to_string(index) +
+        " is already quarantined; Repair it before arming a new fault");
+  }
+  if (is_free_[index] != 0) {
+    // Idle: the pool owns the device exclusively, arm it right now.
+    devices_[index]->InjectFault(std::move(plan));
+  } else {
+    // Leased: its holder is charging it on another thread — defer arming
+    // until Release, when the pool owns the device again.
+    pending_fault_[index] = std::move(plan);
+  }
+  return Status::Ok();
+}
+
+bool DevicePool::Repair(size_t index) {
+  {
+    MutexLock lock(mu_);
+    if (index >= devices_.size() || is_quarantined_[index] == 0) return false;
+    devices_[index]->Repair();
+    is_quarantined_[index] = 0;
+    is_free_[index] = 1;
+    free_.push_back(index);
+    ++stats_.repaired;
+    --stats_.quarantined_now;
+    stats_.in_use = devices_.size() - free_.size() - stats_.quarantined_now;
+  }
+  idle_cv_.NotifyAll();
+  return true;
+}
+
+bool DevicePool::quarantined(size_t index) const {
+  MutexLock lock(mu_);
+  GSI_CHECK(index < devices_.size());
+  return is_quarantined_[index] != 0;
+}
+
 DevicePool::Stats DevicePool::stats() const {
   MutexLock lock(mu_);
   Stats out = stats_;
-  out.in_use = devices_.size() - free_.size();
+  out.in_use = devices_.size() - free_.size() - stats_.quarantined_now;
   out.replica_picks = replica_picks_;
   return out;
 }
@@ -197,7 +328,7 @@ void DevicePool::RegisterMetrics(obs::MetricsRegistry& registry) {
     {
       MutexLock lock(mu_);
       s = stats_;
-      s.in_use = devices_.size() - free_.size();
+      s.in_use = devices_.size() - free_.size() - stats_.quarantined_now;
       s.replica_picks = replica_picks_;
       mem = released_stats_;
     }
@@ -219,6 +350,15 @@ void DevicePool::RegisterMetrics(obs::MetricsRegistry& registry) {
                   static_cast<double>(s.in_use));
     sink.AddGauge("gsi_pool_peak_in_use", "High-water mark of leased devices",
                   static_cast<double>(s.peak_in_use));
+    sink.AddGauge("gsi_pool_quarantined_devices",
+                  "Currently quarantined devices",
+                  static_cast<double>(s.quarantined_now));
+    sink.AddCounter("gsi_pool_quarantined_total",
+                    "Poisoned leases that quarantined a device",
+                    static_cast<double>(s.quarantined));
+    sink.AddCounter("gsi_pool_repaired_total",
+                    "Repair calls that re-admitted a quarantined device",
+                    static_cast<double>(s.repaired));
     for (size_t d = 0; d < mem.size(); ++d) {
       const std::string label = "device=\"" + std::to_string(d) + "\"";
       sink.AddCounter("gsi_device_simulated_cycles_total",
@@ -250,16 +390,32 @@ void DevicePool::Release(size_t index) {
     GSI_CHECK(index < devices_.size());
     GSI_CHECK_MSG(std::find(free_.begin(), free_.end(), index) == free_.end(),
                   "double release of a pooled device");
-    free_.push_back(index);
-    is_free_[index] = 1;
     // The holder is done charging this device, so reading its counters here
     // cannot race; metrics scrapes read this snapshot instead of the device.
     released_stats_[index] = devices_[index]->stats();
-    stats_.in_use = devices_.size() - free_.size();
+    // A fault injected while the device was leased arms now, when the pool
+    // owns the device again (it may trip immediately via fail_on_lease on
+    // the next TakeDeviceLocked, or on later charged work).
+    if (pending_fault_[index].has_value()) {
+      devices_[index]->InjectFault(std::move(*pending_fault_[index]));
+      pending_fault_[index].reset();
+    }
+    if (!devices_[index]->healthy()) {
+      // Poisoned lease: quarantine instead of freeing. The device stays
+      // neither free nor leased until Repair re-admits it.
+      is_quarantined_[index] = 1;
+      ++stats_.quarantined;
+      ++stats_.quarantined_now;
+    } else {
+      free_.push_back(index);
+      is_free_[index] = 1;
+    }
+    stats_.in_use = devices_.size() - free_.size() - stats_.quarantined_now;
   }
   // NotifyAll, not NotifyOne: AcquireAll waiters need *specific* indices,
   // so waking one arbitrary waiter could park a freed device next to an
-  // Acquire waiter that would take anything.
+  // Acquire waiter that would take anything. Notify even on quarantine —
+  // waiters whose request just became unsatisfiable must wake to fail.
   idle_cv_.NotifyAll();
 }
 

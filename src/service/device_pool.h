@@ -10,6 +10,7 @@
 #include "gpusim/device.h"
 #include "obs/metrics.h"
 #include "util/annotations.h"
+#include "util/status.h"
 #include "util/sync.h"
 
 namespace gsi {
@@ -24,6 +25,14 @@ namespace gsi {
 /// return the device on destruction. Devices are never reset between
 /// leases — callers measure per-query work as counter deltas, exactly as
 /// QueryEngine's per-worker devices do. All methods are thread-safe.
+///
+/// Fault tolerance: a lease returned with its device unhealthy (a tripped
+/// gpusim::FaultPlan — the "poisoned lease") quarantines the device instead
+/// of freeing it. Quarantined devices are never handed out by any Acquire
+/// variant; an acquisition that can no longer be satisfied fails with
+/// kUnavailable (unsatisfiable at call time) or kAborted (became
+/// unsatisfiable mid-wait). Repair() re-admits a device. See
+/// docs/ARCHITECTURE.md, "Fault tolerance".
 class DevicePool {
  public:
   /// Pool health counters (a snapshot; see stats()).
@@ -35,6 +44,9 @@ class DevicePool {
     size_t peak_in_use = 0;     ///< high-water mark of in_use
     uint64_t group_acquires = 0;  ///< AcquireOneOfEach calls completed
     uint64_t group_blocked = 0;   ///< AcquireOneOfEach calls that had to wait
+    uint64_t quarantined = 0;   ///< poisoned leases that quarantined a device
+    uint64_t repaired = 0;      ///< Repair calls that re-admitted a device
+    size_t quarantined_now = 0; ///< currently quarantined devices
     /// Times device i was picked to serve a group in AcquireOneOfEach (a
     /// device covering several groups of one call counts once per group) —
     /// the replica-pick distribution the serving layer reports as skew.
@@ -85,17 +97,22 @@ class DevicePool {
   size_t size() const { return devices_.size(); }
   size_t idle() const GSI_EXCLUDES(mu_);
 
-  /// Blocks until a device is idle, then leases it.
-  Lease Acquire() GSI_EXCLUDES(mu_);
+  /// Blocks until a device is idle, then leases it. Fails with kUnavailable
+  /// when every device is quarantined at call time, kAborted when the last
+  /// live device was quarantined while this call waited.
+  Result<Lease> Acquire() GSI_EXCLUDES(mu_);
 
-  /// Leases an idle device or returns nullopt without blocking.
+  /// Leases an idle device or returns nullopt without blocking (quarantined
+  /// devices are never idle, so they are naturally skipped).
   std::optional<Lease> TryAcquire() GSI_EXCLUDES(mu_);
 
   /// One blocking lease plus up to `max_devices - 1` more without blocking:
   /// the fan-out primitive — a heavy query takes whatever is idle right
   /// now, never waits for peers to finish. Returns between 1 and
-  /// max_devices leases (max_devices == 0 is treated as 1).
-  std::vector<Lease> AcquireUpTo(size_t max_devices) GSI_EXCLUDES(mu_);
+  /// max_devices leases (max_devices == 0 is treated as 1); fails exactly
+  /// when Acquire does.
+  Result<std::vector<Lease>> AcquireUpTo(size_t max_devices)
+      GSI_EXCLUDES(mu_);
 
   /// Blocks until every device has been leased, acquiring them in index
   /// order (devices_[0] first) — the primitive of the partitioned data
@@ -104,8 +121,10 @@ class DevicePool {
   /// fixed order keeps concurrent AcquireAll callers deadlock-free (they
   /// all contend on index 0 first), and Acquire/TryAcquire holders never
   /// wait on anyone, so no cycle can form. Returned leases are in index
-  /// order: leases[p] is device p.
-  std::vector<Lease> AcquireAll() GSI_EXCLUDES(mu_);
+  /// order: leases[p] is device p. Needs *every* device, so any quarantined
+  /// device fails it: kUnavailable at call time, kAborted mid-wait
+  /// (partially acquired leases are released).
+  Result<std::vector<Lease>> AcquireAll() GSI_EXCLUDES(mu_);
 
   /// Result of AcquireOneOfEach: exclusive leases over the *distinct*
   /// devices picked (ascending device index) plus, per group, which device
@@ -140,8 +159,31 @@ class DevicePool {
   ///
   /// Every group must be non-empty with indices < size(); the vector of a
   /// group lists the candidate devices (duplicates allowed, ignored).
-  GroupLeases AcquireOneOfEach(std::span<const std::vector<size_t>> groups)
-      GSI_EXCLUDES(mu_);
+  ///
+  /// Quarantined members are skipped — the selection is re-solved from the
+  /// surviving replicas. A group whose members are ALL quarantined can
+  /// never be covered: kUnavailable at call time (the message names the
+  /// group and its devices — repair one to restore coverage), kAborted when
+  /// a poisoned release killed the last live member mid-wait.
+  Result<GroupLeases> AcquireOneOfEach(
+      std::span<const std::vector<size_t>> groups) GSI_EXCLUDES(mu_);
+
+  /// Arms `plan` on device `index` (see gpusim::FaultPlan). An idle device
+  /// is armed immediately; a leased one is armed when its current lease
+  /// releases — the pool never touches a device another thread is charging.
+  /// Fails with InvalidArgument for a bad index or a quarantined device
+  /// (repair it first).
+  Status InjectFault(size_t index, gpusim::FaultPlan plan) GSI_EXCLUDES(mu_);
+
+  /// Re-admits a quarantined device: repairs it (gpusim::Device::Repair)
+  /// and returns it to the idle set, waking blocked waiters. Returns false
+  /// when the device is not quarantined (in-flight leases are never
+  /// touched). Safe because a quarantined device is owned by the pool
+  /// alone.
+  bool Repair(size_t index) GSI_EXCLUDES(mu_);
+
+  /// True while device `index` is quarantined.
+  bool quarantined(size_t index) const GSI_EXCLUDES(mu_);
 
   Stats stats() const GSI_EXCLUDES(mu_);
 
@@ -162,6 +204,14 @@ class DevicePool {
   bool EveryGroupHasIdleLocked(
       std::span<const std::vector<size_t>> groups) const GSI_REQUIRES(mu_);
 
+  /// First group with every member quarantined (can never be covered), or
+  /// groups.size() when all groups still have a live member.
+  size_t DeadGroupLocked(std::span<const std::vector<size_t>> groups) const
+      GSI_REQUIRES(mu_);
+
+  /// Devices not quarantined (leased or idle).
+  size_t LiveLocked() const GSI_REQUIRES(mu_);
+
   /// Bookkeeping shared by every lease-granting path: removes `index` from
   /// the free set and maintains the acquisition counters.
   void TakeDeviceLocked(size_t index) GSI_REQUIRES(mu_);
@@ -175,6 +225,13 @@ class DevicePool {
   std::vector<size_t> free_ GSI_GUARDED_BY(mu_);
   /// [i] mirrors membership of i in free_.
   std::vector<uint8_t> is_free_ GSI_GUARDED_BY(mu_);
+  /// [i] set while device i is quarantined (neither free nor leased; the
+  /// pool owns it exclusively until Repair).
+  std::vector<uint8_t> is_quarantined_ GSI_GUARDED_BY(mu_);
+  /// [i] holds a fault armed while device i was leased; applied at Release
+  /// (the pool must not touch a device its lease holder is charging).
+  std::vector<std::optional<gpusim::FaultPlan>> pending_fault_
+      GSI_GUARDED_BY(mu_);
   /// Per-device AcquireOneOfEach picks.
   std::vector<uint64_t> replica_picks_ GSI_GUARDED_BY(mu_);
   /// [i] = devices_[i]->stats() as of its most recent Release (metrics

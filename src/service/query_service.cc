@@ -27,6 +27,12 @@ QueryService::QueryService(const Graph& data, GsiOptions gsi_options,
     init_status_ = Status::InvalidArgument(
         "ServiceOptions.max_queue_depth must be >= 1");
   }
+  if (init_status_.ok() && options_.default_max_attempts < 1) {
+    init_status_ = Status::InvalidArgument(
+        "ServiceOptions.default_max_attempts must be >= 1 (got " +
+        std::to_string(options_.default_max_attempts) +
+        "); use 1 to fail fast on device faults");
+  }
   if (!init_status_.ok()) return;  // Submit reports the error.
   RegisterServiceMetrics();
   if (options_.enable_filter_cache) {
@@ -85,7 +91,12 @@ QueryService::QueryService(const Graph& data, GsiOptions gsi_options,
     // Workers have not started, so the pool is idle: take every device (in
     // index order) and build its share(s) on it. The leases drop at scope
     // exit; queries re-acquire what they need per execution.
-    std::vector<DevicePool::Lease> leases = devices_->AcquireAll();
+    Result<std::vector<DevicePool::Lease>> leases_or = devices_->AcquireAll();
+    if (!leases_or.ok()) {  // unreachable on a fresh pool, but be explicit
+      init_status_ = leases_or.status();
+      return;
+    }
+    std::vector<DevicePool::Lease> leases = std::move(leases_or.value());
     std::vector<gpusim::Device*> devs;
     devs.reserve(leases.size());
     for (DevicePool::Lease& l : leases) devs.push_back(l.get());
@@ -166,6 +177,9 @@ Result<QueryTicket> QueryService::Submit(Graph query,
       ticket->tracer = std::make_shared<obs::Tracer>();
       ticket->submit_ns = service_clock_.NowNanos();
     }
+    ticket->max_attempts = options.max_attempts > 0
+                               ? options.max_attempts
+                               : options_.default_max_attempts;
     const double deadline_ms = options.deadline_ms > 0
                                    ? options.deadline_ms
                                    : options_.default_deadline_ms;
@@ -310,6 +324,18 @@ void QueryService::RegisterServiceMetrics() {
     sink.AddCounter("gsi_service_halo_bytes_total",
                     "Interconnect bytes moved (filter gathers + join merges)",
                     static_cast<double>(s.halo_bytes));
+    sink.AddCounter("gsi_service_device_failures_total",
+                    "Execution attempts that died on a failed device",
+                    static_cast<double>(s.device_failures));
+    sink.AddCounter("gsi_service_retries_total",
+                    "Re-executions after a device-failed attempt",
+                    static_cast<double>(s.retries));
+    sink.AddCounter("gsi_service_failovers_total",
+                    "Retries that had to select around a quarantined device",
+                    static_cast<double>(s.failovers));
+    sink.AddCounter("gsi_service_unavailable_total",
+                    "Queries that exhausted retries and failed kUnavailable",
+                    static_cast<double>(s.unavailable_queries));
     sink.AddGauge("gsi_service_max_shard_skew",
                   "Worst max/mean per-shard time observed",
                   s.max_shard_skew);
@@ -341,7 +367,17 @@ ServiceStats QueryService::stats() const {
                             static_cast<double>(out.replicated_queries);
   }
   out.replica_pick_skew = out.pool.replica_pick_skew();
+  out.quarantined_devices = out.pool.quarantined_now;
   return out;
+}
+
+Status QueryService::InjectDeviceFault(size_t index, gpusim::FaultPlan plan) {
+  if (!init_status_.ok()) return init_status_;
+  return devices_->InjectFault(index, std::move(plan));
+}
+
+bool QueryService::RepairDevice(size_t index) {
+  return devices_ != nullptr && devices_->Repair(index);
 }
 
 void QueryService::FinishLocked(const TicketPtr& ticket,
@@ -382,6 +418,9 @@ void QueryService::FinishLocked(const TicketPtr& ticket,
     ++stats_.cancelled;
   } else {
     ++stats_.failed;
+    if (result.status().code() == StatusCode::kUnavailable) {
+      ++stats_.unavailable_queries;
+    }
   }
   ticket->result = std::move(result);
   ticket->phase = Phase::kDone;
@@ -413,7 +452,10 @@ void QueryService::WorkerLoop() {
       ++in_flight_;
     }
     Result<QueryResult> result = [&] {
-      if (!ticket->tracer) return RunOne(ticket->query, obs::TraceContext{});
+      if (!ticket->tracer) {
+        return RunOne(ticket->query, ticket->max_attempts,
+                      obs::TraceContext{});
+      }
       // Traced ticket: close the queue-wait span (opened conceptually at
       // admission) and parent the execution under a host-track root. Both
       // use the service steady clock — wall time; the device spans below
@@ -424,7 +466,7 @@ void QueryService::WorkerLoop() {
       obs::TraceContext root_ctx{&tracer, -1, obs::kHostDevice};
       obs::ScopedSpan root(root_ctx, "query", service_clock_);
       root.AddAttr("ticket", ticket->id);
-      return RunOne(ticket->query, root.context());
+      return RunOne(ticket->query, ticket->max_attempts, root.context());
     }();
     {
       MutexLock lock(mu_);
@@ -499,8 +541,65 @@ Result<QueryResult> QueryService::RunPartitionedFlow(
   return out;
 }
 
-Result<QueryResult> QueryService::RunOne(const Graph& query,
+Result<QueryResult> QueryService::RunOne(const Graph& query, int max_attempts,
                                          const obs::TraceContext& trace) {
+  max_attempts = std::max(1, max_attempts);
+  double backoff_ms = 0;
+  for (int attempt = 1;; ++attempt) {
+    Result<QueryResult> out = RunOneAttempt(query, trace);
+    if (out.ok()) {
+      out->stats.attempts = static_cast<size_t>(attempt);
+      out->stats.backoff_ms = backoff_ms;
+      out->stats.total_ms += backoff_ms;
+      return out;
+    }
+    const StatusCode code = out.status().code();
+    const bool device_fault =
+        code == StatusCode::kUnavailable || code == StatusCode::kAborted;
+    if (device_fault) {
+      MutexLock lock(mu_);
+      ++stats_.device_failures;
+    }
+    if (!device_fault || attempt >= max_attempts) {
+      if (code == StatusCode::kAborted) {
+        // kAborted is internal propagation (a wait invalidated mid-flight);
+        // callers see the retriable availability failure.
+        return Status::Unavailable(out.status().message());
+      }
+      return out;
+    }
+    // Retry on a fresh acquisition: the poisoned lease already quarantined
+    // the failed device, so re-acquiring selects healthy hardware (a
+    // failover) — or the same device after an operator Repair.
+    const bool failover = devices_->stats().quarantined_now > 0;
+    {
+      MutexLock lock(mu_);
+      ++stats_.retries;
+      if (failover) ++stats_.failovers;
+    }
+    const double step =
+        options_.retry_backoff_base_ms *
+        static_cast<double>(uint64_t{1} << std::min(attempt - 1, 30));
+    backoff_ms += std::min(options_.retry_backoff_cap_ms, step);
+    if (trace.tracer != nullptr) {
+      // Zero-width host markers: the failure is a point event (the attempt
+      // span under it already shows the lost work).
+      const uint64_t now = service_clock_.NowNanos();
+      const int32_t fail_span = trace.tracer->RecordSpan(
+          "device_failure", obs::kHostDevice, now, now, trace.parent);
+      trace.tracer->AddAttr(fail_span, "status", out.status().message());
+      const int32_t retry_span = trace.tracer->RecordSpan(
+          "retry", obs::kHostDevice, now, now, trace.parent);
+      trace.tracer->AddAttr(retry_span, "attempt",
+                            std::to_string(attempt + 1));
+      trace.tracer->AddAttr(retry_span, "failover",
+                            failover ? "true" : "false");
+    }
+  }
+}
+
+Result<QueryResult> QueryService::RunOneAttempt(
+    const Graph& query, const obs::TraceContext& trace) {
   const GsiOptions& go = engine_.options();
   if (replicated_) {
     // R-way replicated partitions: lease one replica of each (packed onto
@@ -509,8 +608,10 @@ Result<QueryResult> QueryService::RunOne(const Graph& query,
     // primary (gather/merge/materialize device) is the lowest-indexed
     // leased device — the same device RunFilterStageReplicated picks.
     const ReplicatedGraph& rg = *replicated_;
-    DevicePool::GroupLeases leases =
+    Result<DevicePool::GroupLeases> leases_or =
         devices_->AcquireOneOfEach(rg.placement().lease_groups());
+    if (!leases_or.ok()) return leases_or.status();
+    DevicePool::GroupLeases leases = std::move(leases_or.value());
     Result<ReplicaSelection> sel =
         SelectionFromDevices(rg, leases.device_of_group);
     if (!sel.ok()) return sel.status();
@@ -529,7 +630,9 @@ Result<QueryResult> QueryService::RunOne(const Graph& query,
     // The partitions *are* the data: a query needs every pool device, so
     // partitioned queries serialize on AcquireAll (workers just queue).
     const PartitionedGraph& pg = *partitioned_;
-    std::vector<DevicePool::Lease> all = devices_->AcquireAll();
+    Result<std::vector<DevicePool::Lease>> all_or = devices_->AcquireAll();
+    if (!all_or.ok()) return all_or.status();
+    std::vector<DevicePool::Lease> all = std::move(all_or.value());
     return RunPartitionedFlow(
         query, pg.device(0), trace,
         [&](QueryStats& stats, double* parallel_ms) {
@@ -541,7 +644,9 @@ Result<QueryResult> QueryService::RunOne(const Graph& query,
                                          stats, trace);
         });
   }
-  DevicePool::Lease primary = devices_->Acquire();
+  Result<DevicePool::Lease> primary_or = devices_->Acquire();
+  if (!primary_or.ok()) return primary_or.status();
+  DevicePool::Lease primary = std::move(primary_or.value());
   gpusim::Device& dev = *primary;
   // Attribute single-device spans to the leased device's pool ordinal so
   // the trace track matches the pool's (and the metrics') numbering.

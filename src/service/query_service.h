@@ -98,6 +98,19 @@ struct ServiceOptions {
   /// 1. Match results stay bit-identical to GsiMatcher::Find for every
   /// replica choice.
   int partition_replicas = 1;
+
+  /// Execution attempts per query when a simulated device fails mid-run
+  /// (kUnavailable/kAborted; see docs/ARCHITECTURE.md, "Fault tolerance").
+  /// Each retry re-acquires devices, so with replicas (or spare pool
+  /// devices) the rerun lands on healthy hardware and results stay
+  /// bit-identical to GsiMatcher::Find. 1 = fail fast. Tickets can raise or
+  /// lower this per submission (SubmitOptions::max_attempts).
+  int default_max_attempts = 1;
+  /// Simulated backoff before retry k (k >= 2): min(cap, base * 2^(k-2))
+  /// milliseconds, added to the query's simulated total_ms — deterministic,
+  /// no wall clock read and no real sleeping.
+  double retry_backoff_base_ms = 1.0;
+  double retry_backoff_cap_ms = 8.0;
 };
 
 /// Per-submission overrides.
@@ -109,6 +122,9 @@ struct SubmitOptions {
   /// ticket finishes. Off by default — untraced queries pay one null check
   /// per would-be span.
   bool trace = false;
+  /// Execution attempts for this ticket when a device fails mid-run
+  /// (0 = ServiceOptions::default_max_attempts).
+  int max_attempts = 0;
 };
 
 /// Point-in-time snapshot of service health (stats()).
@@ -150,6 +166,14 @@ struct ServiceStats {
   uint64_t co_located_probes = 0;
   /// max/mean of per-device replica picks (AcquireOneOfEach), 1.0 = even.
   double replica_pick_skew = 0;
+  /// Fault-tolerance activity (zeros while no fault is injected).
+  uint64_t device_failures = 0;  ///< attempts that died on a failed device
+  uint64_t retries = 0;          ///< re-executions after a failed attempt
+  /// Retries that ran with at least one device quarantined — the rerun had
+  /// to fail over to a different selection, not just repeat.
+  uint64_t failovers = 0;
+  uint64_t unavailable_queries = 0;  ///< queries that failed kUnavailable
+  size_t quarantined_devices = 0;    ///< currently quarantined pool devices
   DevicePool::Stats pool;        ///< device-pool health
 };
 
@@ -173,6 +197,8 @@ struct TicketState {
   std::shared_ptr<obs::Tracer> tracer;
   /// Service steady-clock stamp at admission (queue-wait span start).
   uint64_t submit_ns = 0;
+  /// Resolved at Submit (SubmitOptions override or the service default).
+  int max_attempts = 1;
 };
 }  // namespace internal
 
@@ -270,6 +296,18 @@ class QueryService {
 
   ServiceStats stats() const GSI_EXCLUDES(mu_);
 
+  /// Arms a deterministic fault on pool device `index` (see
+  /// gpusim::FaultPlan and DevicePool::InjectFault): the device trips at
+  /// the planned point, the running attempt fails with kUnavailable, its
+  /// partial results are discarded, and the poisoned lease quarantines the
+  /// device on release. Chaos-testing hook; also exercised by
+  /// bench_service_throughput --fault-rate.
+  Status InjectDeviceFault(size_t index, gpusim::FaultPlan plan);
+
+  /// Repairs a quarantined pool device and re-admits it to serving
+  /// (DevicePool::Repair). Returns false when `index` is not quarantined.
+  bool RepairDevice(size_t index);
+
   /// The per-query trace collected for a ticket submitted with
   /// SubmitOptions.trace, or null (not traced / invalid ticket). Safe to
   /// export (ToChromeJson/ToTreeString) once the ticket finished; spans are
@@ -300,16 +338,24 @@ class QueryService {
   /// Registers the service's own collector and latency histogram with
   /// metrics_ (constructor-time; DevicePool/FilterCache register theirs).
   void RegisterServiceMetrics();
-  /// Executes one query: leases a primary device from the pool, satisfies
-  /// the filter phase (through the cache when enabled), and — when the
-  /// query is heavy and devices are idle — fans the join out across up to
-  /// max_shards_per_query devices. In partition_data_graph mode it instead
-  /// takes the whole pool (partition_replicas == 1) or one replica of each
-  /// partition (AcquireOneOfEach) and runs the partitioned/replicated
-  /// filter/join. `trace` (null tracer when untraced) parents the
-  /// execution-phase spans.
-  Result<QueryResult> RunOne(const Graph& query,
+  /// Executes one query with fault-tolerant retry: runs RunOneAttempt up
+  /// to `max_attempts` times, re-acquiring devices per attempt (so reruns
+  /// land on healthy hardware after a quarantine) and charging the capped
+  /// exponential simulated backoff between attempts. Only device failures
+  /// (kUnavailable/kAborted) retry; a final kAborted is reported as
+  /// kUnavailable. Records `device_failure`/`retry` spans when traced.
+  Result<QueryResult> RunOne(const Graph& query, int max_attempts,
                              const obs::TraceContext& trace);
+  /// One execution attempt: leases a primary device from the pool,
+  /// satisfies the filter phase (through the cache when enabled), and —
+  /// when the query is heavy and devices are idle — fans the join out
+  /// across up to max_shards_per_query devices. In partition_data_graph
+  /// mode it instead takes the whole pool (partition_replicas == 1) or one
+  /// replica of each partition (AcquireOneOfEach) and runs the
+  /// partitioned/replicated filter/join. `trace` (null tracer when
+  /// untraced) parents the execution-phase spans.
+  Result<QueryResult> RunOneAttempt(const Graph& query,
+                                    const obs::TraceContext& trace);
   /// The orchestration both partitioned-data paths share: cache-aware
   /// filter on `primary` (falling back to `fresh_filter`, which reports
   /// the phase's parallel makespan), then `join`, then the filter-makespan

@@ -19,6 +19,10 @@ const char* CodeName(StatusCode code) {
       return "DEADLINE_EXCEEDED";
     case StatusCode::kCancelled:
       return "CANCELLED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kAborted:
+      return "ABORTED";
   }
   return "UNKNOWN";
 }

@@ -18,6 +18,18 @@ enum class StatusCode {
   kInternal,
   kDeadlineExceeded,  // query sat in the admission queue past its deadline
   kCancelled,         // ticket cancelled before execution started
+  /// A simulated device failed (fault injection) or every device that could
+  /// serve the request is quarantined. Retriable: the condition clears when
+  /// a replica takes over or the device is repaired. Distinct from
+  /// kResourceExhausted (capacity that frees up on its own — queue slots,
+  /// row caps) and from kInternal (a bug; never retriable).
+  kUnavailable,
+  /// An operation observed mid-wait that it can never be satisfied because
+  /// a poisoned lease quarantined a device it needed (the wait started
+  /// satisfiable, then the pool shrank underneath it). Internal propagation
+  /// code: the serving layer retries it like kUnavailable and reports
+  /// kUnavailable to callers on final failure.
+  kAborted,
 };
 
 /// A success-or-error value. Cheap to copy on the OK path.
@@ -45,6 +57,12 @@ class Status {
   }
   static Status Cancelled(std::string m) {
     return Status(StatusCode::kCancelled, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status Aborted(std::string m) {
+    return Status(StatusCode::kAborted, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

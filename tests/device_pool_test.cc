@@ -24,7 +24,7 @@ TEST(DevicePool, SizeAndIdle) {
   EXPECT_EQ(pool.size(), 3u);
   EXPECT_EQ(pool.idle(), 3u);
   {
-    DevicePool::Lease a = pool.Acquire();
+    DevicePool::Lease a = pool.Acquire().value();
     EXPECT_TRUE(a.valid());
     EXPECT_NE(a.get(), nullptr);
     EXPECT_EQ(pool.idle(), 2u);
@@ -51,7 +51,7 @@ TEST(DevicePool, TryAcquireFailsWhenExhausted) {
 
 TEST(DevicePool, ExplicitReleaseIsIdempotent) {
   DevicePool pool(1);
-  DevicePool::Lease a = pool.Acquire();
+  DevicePool::Lease a = pool.Acquire().value();
   a.Release();
   a.Release();  // no-op
   EXPECT_FALSE(a.valid());
@@ -60,7 +60,7 @@ TEST(DevicePool, ExplicitReleaseIsIdempotent) {
 
 TEST(DevicePool, LeaseMoveTransfersOwnership) {
   DevicePool pool(1);
-  DevicePool::Lease a = pool.Acquire();
+  DevicePool::Lease a = pool.Acquire().value();
   gpusim::Device* dev = a.get();
   DevicePool::Lease b = std::move(a);
   EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): asserted empty
@@ -72,8 +72,8 @@ TEST(DevicePool, LeaseMoveTransfersOwnership) {
 
 TEST(DevicePool, AcquireUpToTakesOnlyIdleDevices) {
   DevicePool pool(4);
-  DevicePool::Lease held = pool.Acquire();
-  std::vector<DevicePool::Lease> batch = pool.AcquireUpTo(8);
+  DevicePool::Lease held = pool.Acquire().value();
+  std::vector<DevicePool::Lease> batch = pool.AcquireUpTo(8).value();
   EXPECT_EQ(batch.size(), 3u);  // 1 blocking + 2 extras; never waits
   std::set<gpusim::Device*> distinct;
   distinct.insert(held.get());
@@ -85,8 +85,8 @@ TEST(DevicePool, AcquireUpToTakesOnlyIdleDevices) {
 TEST(DevicePool, StatsTrackUsage) {
   DevicePool pool(2);
   {
-    DevicePool::Lease a = pool.Acquire();
-    DevicePool::Lease b = pool.Acquire();
+    DevicePool::Lease a = pool.Acquire().value();
+    DevicePool::Lease b = pool.Acquire().value();
     DevicePool::Stats s = pool.stats();
     EXPECT_EQ(s.acquired, 2u);
     EXPECT_EQ(s.in_use, 2u);
@@ -115,10 +115,10 @@ TEST(DevicePool, ContentionNeverDoubleLeases) {
         for (size_t i = 0; i < kItersPerThread; ++i) {
           // Alternate single leases and fan-out batches.
           std::vector<DevicePool::Lease> leases =
-              (t + i) % 2 == 0 ? pool.AcquireUpTo(2)
+              (t + i) % 2 == 0 ? pool.AcquireUpTo(2).value()
                                : [&] {
                                    std::vector<DevicePool::Lease> one;
-                                   one.push_back(pool.Acquire());
+                                   one.push_back(pool.Acquire().value());
                                    return one;
                                  }();
           {
@@ -153,7 +153,7 @@ TEST(DevicePool, ContentionNeverDoubleLeases) {
 
 TEST(DevicePool, AcquireAllReturnsEveryDeviceInIndexOrder) {
   DevicePool pool(4);
-  std::vector<DevicePool::Lease> leases = pool.AcquireAll();
+  std::vector<DevicePool::Lease> leases = pool.AcquireAll().value();
   ASSERT_EQ(leases.size(), 4u);
   EXPECT_EQ(pool.idle(), 0u);
   std::vector<gpusim::Device*> first;
@@ -167,7 +167,7 @@ TEST(DevicePool, AcquireAllReturnsEveryDeviceInIndexOrder) {
   // Index order is stable: lease p is the pool's p-th device on every full
   // acquisition — the contract the partitioned data graph relies on
   // (partition p lives on device p).
-  std::vector<DevicePool::Lease> again = pool.AcquireAll();
+  std::vector<DevicePool::Lease> again = pool.AcquireAll().value();
   ASSERT_EQ(again.size(), 4u);
   for (size_t i = 0; i < again.size(); ++i) {
     EXPECT_EQ(again[i].get(), first[i]);
@@ -181,7 +181,7 @@ TEST(DevicePool, AcquireAllWaitsForOutstandingLeases) {
 
   std::atomic<bool> acquired_all{false};
   std::thread waiter([&] {
-    std::vector<DevicePool::Lease> all = pool.AcquireAll();
+    std::vector<DevicePool::Lease> all = pool.AcquireAll().value();
     EXPECT_EQ(all.size(), 3u);
     acquired_all = true;
   });
@@ -203,7 +203,7 @@ std::vector<std::vector<size_t>> StaggeredGroups() {
 TEST(DevicePool, OneOfEachLeasesOneDevicePerGroupPacked) {
   DevicePool pool(4);
   std::vector<std::vector<size_t>> groups = StaggeredGroups();
-  DevicePool::GroupLeases gl = pool.AcquireOneOfEach(groups);
+  DevicePool::GroupLeases gl = pool.AcquireOneOfEach(groups).value();
   ASSERT_EQ(gl.device_of_group.size(), 4u);
   // Every group got a device that actually belongs to it...
   for (size_t g = 0; g < groups.size(); ++g) {
@@ -226,8 +226,8 @@ TEST(DevicePool, OneOfEachLeasesOneDevicePerGroupPacked) {
 TEST(DevicePool, ConcurrentOneOfEachCallsGetDisjointLanes) {
   DevicePool pool(4);
   std::vector<std::vector<size_t>> groups = StaggeredGroups();
-  DevicePool::GroupLeases a = pool.AcquireOneOfEach(groups);
-  DevicePool::GroupLeases b = pool.AcquireOneOfEach(groups);
+  DevicePool::GroupLeases a = pool.AcquireOneOfEach(groups).value();
+  DevicePool::GroupLeases b = pool.AcquireOneOfEach(groups).value();
   std::set<gpusim::Device*> distinct;
   for (DevicePool::Lease& l : a.leases) distinct.insert(l.get());
   for (DevicePool::Lease& l : b.leases) distinct.insert(l.get());
@@ -238,7 +238,7 @@ TEST(DevicePool, ConcurrentOneOfEachCallsGetDisjointLanes) {
   // A third caller blocks until a lane frees, then completes.
   std::atomic<bool> acquired{false};
   std::thread waiter([&] {
-    DevicePool::GroupLeases c = pool.AcquireOneOfEach(groups);
+    DevicePool::GroupLeases c = pool.AcquireOneOfEach(groups).value();
     EXPECT_EQ(c.device_of_group.size(), 4u);
     acquired = true;
   });
@@ -257,7 +257,7 @@ TEST(DevicePool, OneOfEachPrefersLeastPickedReplica) {
   // balance the replicas instead of hammering device 0.
   std::vector<size_t> picked;
   for (int i = 0; i < 4; ++i) {
-    DevicePool::GroupLeases gl = pool.AcquireOneOfEach(one_group);
+    DevicePool::GroupLeases gl = pool.AcquireOneOfEach(one_group).value();
     picked.push_back(gl.device_of_group[0]);
   }
   EXPECT_EQ(picked, (std::vector<size_t>{0, 1, 0, 1}));
@@ -302,14 +302,14 @@ TEST(DevicePool, OneOfEachNeverDeadlocksAgainstAcquireAllAndAcquire) {
     for (int t = 0; t < 2; ++t) {
       workers.Submit([&] {
         for (int i = 0; i < kIters; ++i) {
-          std::vector<DevicePool::Lease> all = pool.AcquireAll();
+          std::vector<DevicePool::Lease> all = pool.AcquireAll().value();
           track(all);
           ++completed;
         }
       });
       workers.Submit([&] {
         for (int i = 0; i < kIters; ++i) {
-          DevicePool::GroupLeases gl = pool.AcquireOneOfEach(groups);
+          DevicePool::GroupLeases gl = pool.AcquireOneOfEach(groups).value();
           track(gl.leases);
           ++completed;
         }
@@ -317,7 +317,7 @@ TEST(DevicePool, OneOfEachNeverDeadlocksAgainstAcquireAllAndAcquire) {
       workers.Submit([&] {
         for (int i = 0; i < kIters; ++i) {
           std::vector<DevicePool::Lease> one;
-          one.push_back(pool.Acquire());
+          one.push_back(pool.Acquire().value());
           track(one);
           ++completed;
         }
@@ -338,7 +338,7 @@ TEST(DevicePool, OneOfEachNeverDeadlocksAgainstAcquireAllAndAcquire) {
 // turns every stats scrape into a hang under load.
 TEST(DevicePool, ObserversNeverBlockWhileAllDevicesAreLeased) {
   DevicePool pool(3);
-  std::vector<DevicePool::Lease> all = pool.AcquireAll();
+  std::vector<DevicePool::Lease> all = pool.AcquireAll().value();
   ASSERT_EQ(all.size(), 3u);
 
   std::atomic<bool> done{false};
@@ -365,12 +365,12 @@ TEST(DevicePool, ObserversNeverBlockWhileAllDevicesAreLeased) {
 // has-an-idle-member predicate under the lock before taking anything.
 TEST(DevicePool, ReleaseWakesBlockedAcquireOneOfEach) {
   DevicePool pool(3);
-  std::vector<DevicePool::Lease> all = pool.AcquireAll();
+  std::vector<DevicePool::Lease> all = pool.AcquireAll().value();
 
   const std::vector<std::vector<size_t>> groups = {{0}, {1, 2}};
   std::atomic<bool> done{false};
   std::thread lane([&] {
-    DevicePool::GroupLeases g = pool.AcquireOneOfEach(groups);
+    DevicePool::GroupLeases g = pool.AcquireOneOfEach(groups).value();
     ASSERT_EQ(g.device_of_group.size(), 2u);
     EXPECT_EQ(g.device_of_group[0], 0u);
     done = true;
@@ -397,8 +397,8 @@ TEST(DevicePool, StatsSnapshotsStayCoherentUnderChurn) {
     churn.emplace_back([&] {
       const std::vector<std::vector<size_t>> groups = {{0, 1}, {2, 3}};
       while (!stop) {
-        { DevicePool::Lease l = pool.Acquire(); }
-        { DevicePool::GroupLeases g = pool.AcquireOneOfEach(groups); }
+        { DevicePool::Lease l = pool.Acquire().value(); }
+        { DevicePool::GroupLeases g = pool.AcquireOneOfEach(groups).value(); }
       }
     });
   }
@@ -416,6 +416,162 @@ TEST(DevicePool, StatsSnapshotsStayCoherentUnderChurn) {
   EXPECT_EQ(pool.stats().in_use, 0u);
 }
 
+// --- Fault tolerance: poisoned leases quarantine devices, Acquire
+// variants never hand a quarantined device out, and Repair re-admits.
+
+TEST(DevicePool, PoisonedLeaseQuarantinesOnRelease) {
+  DevicePool pool(2);
+  gpusim::FaultPlan plan;
+  plan.fail_on_lease = true;
+  plan.reason = "test trip";
+  ASSERT_TRUE(pool.InjectFault(0, plan).ok());
+
+  // free_ leases low indices first, so this takes device 0 and trips the
+  // armed fail_on_lease plan at acquisition.
+  DevicePool::Lease l = pool.Acquire().value();
+  EXPECT_FALSE(l.get()->healthy());
+  EXPECT_EQ(l.get()->fault_message(), "test trip");
+  EXPECT_FALSE(pool.quarantined(0));  // not until the lease returns
+  l.Release();
+
+  EXPECT_TRUE(pool.quarantined(0));
+  DevicePool::Stats s = pool.stats();
+  EXPECT_EQ(s.quarantined, 1u);
+  EXPECT_EQ(s.quarantined_now, 1u);
+  EXPECT_EQ(s.in_use, 0u);
+  EXPECT_EQ(pool.idle(), 1u);  // quarantined devices are not idle
+}
+
+TEST(DevicePool, NoAcquireVariantHandsOutQuarantinedDevices) {
+  DevicePool pool(2);
+  gpusim::FaultPlan plan;
+  plan.fail_on_lease = true;
+  ASSERT_TRUE(pool.InjectFault(0, plan).ok());
+  pool.Acquire().value().Release();  // trips device 0, quarantines it
+  ASSERT_TRUE(pool.quarantined(0));
+
+  // Acquire and TryAcquire skip to the surviving device.
+  {
+    DevicePool::Lease l = pool.Acquire().value();
+    EXPECT_EQ(l.get()->ordinal(), 1);
+  }
+  {
+    std::optional<DevicePool::Lease> l = pool.TryAcquire();
+    ASSERT_TRUE(l.has_value());
+    EXPECT_EQ(l->get()->ordinal(), 1);
+    EXPECT_FALSE(pool.TryAcquire().has_value());
+  }
+  // AcquireUpTo caps at the live devices.
+  EXPECT_EQ(pool.AcquireUpTo(2).value().size(), 1u);
+  // AcquireAll needs every device: unsatisfiable until a repair.
+  Result<std::vector<DevicePool::Lease>> all = pool.AcquireAll();
+  ASSERT_FALSE(all.ok());
+  EXPECT_EQ(all.status().code(), StatusCode::kUnavailable);
+  // A group whose only member is quarantined can never be covered...
+  const std::vector<std::vector<size_t>> dead_group = {{0}};
+  Result<DevicePool::GroupLeases> g = pool.AcquireOneOfEach(dead_group);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kUnavailable);
+  // ...but a group with a live replica re-solves onto it.
+  const std::vector<std::vector<size_t>> replicated = {{0, 1}};
+  Result<DevicePool::GroupLeases> ok = pool.AcquireOneOfEach(replicated);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().device_of_group[0], 1u);
+}
+
+TEST(DevicePool, AcquireFailsWhenEveryDeviceIsQuarantined) {
+  DevicePool pool(1);
+  gpusim::FaultPlan plan;
+  plan.fail_on_lease = true;
+  ASSERT_TRUE(pool.InjectFault(0, plan).ok());
+  pool.Acquire().value().Release();
+  ASSERT_TRUE(pool.quarantined(0));
+
+  Result<DevicePool::Lease> l = pool.Acquire();
+  ASSERT_FALSE(l.ok());
+  EXPECT_EQ(l.status().code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(pool.TryAcquire().has_value());
+
+  // Repair re-admits the same simulated hardware.
+  EXPECT_TRUE(pool.Repair(0));
+  EXPECT_FALSE(pool.quarantined(0));
+  EXPECT_EQ(pool.idle(), 1u);
+  DevicePool::Lease again = pool.Acquire().value();
+  EXPECT_TRUE(again.get()->healthy());
+  EXPECT_EQ(pool.stats().repaired, 1u);
+}
+
+TEST(DevicePool, InjectFaultWhileLeasedArmsAtRelease) {
+  DevicePool pool(1);
+  DevicePool::Lease l = pool.Acquire().value();
+  gpusim::FaultPlan plan;
+  plan.fail_on_lease = true;
+  // The device is leased: the pool must not touch it now, so the plan is
+  // deferred and the current holder keeps a healthy device.
+  ASSERT_TRUE(pool.InjectFault(0, plan).ok());
+  EXPECT_TRUE(l.get()->healthy());
+  l.Release();
+  EXPECT_FALSE(pool.quarantined(0));  // armed, not yet tripped
+  EXPECT_EQ(pool.idle(), 1u);
+  // The next lease trips it.
+  DevicePool::Lease next = pool.Acquire().value();
+  EXPECT_FALSE(next.get()->healthy());
+  next.Release();
+  EXPECT_TRUE(pool.quarantined(0));
+}
+
+TEST(DevicePool, InjectFaultRejectsBadIndexAndQuarantinedDevice) {
+  DevicePool pool(1);
+  EXPECT_EQ(pool.InjectFault(7, gpusim::FaultPlan{}).code(),
+            StatusCode::kInvalidArgument);
+  gpusim::FaultPlan plan;
+  plan.fail_on_lease = true;
+  ASSERT_TRUE(pool.InjectFault(0, plan).ok());
+  pool.Acquire().value().Release();
+  ASSERT_TRUE(pool.quarantined(0));
+  EXPECT_EQ(pool.InjectFault(0, plan).code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(pool.Repair(7));   // bad index: false, not a crash
+  EXPECT_TRUE(pool.Repair(0));
+  EXPECT_FALSE(pool.Repair(0));   // already live
+}
+
+// Lock contract: releasing a poisoned lease must still NotifyAll, so a
+// parked group waiter wakes, re-evaluates coverage, and fails with
+// kAborted instead of sleeping forever on a dead group.
+TEST(DevicePool, PoisonedReleaseWakesGroupWaitersWithAborted) {
+  DevicePool pool(2);
+  DevicePool::Lease a = pool.Acquire().value();  // device 0
+  DevicePool::Lease b = pool.Acquire().value();  // device 1
+  ASSERT_EQ(a.get()->ordinal(), 0);
+
+  const std::vector<std::vector<size_t>> groups = {{0}, {1}};
+  std::atomic<bool> done{false};
+  StatusCode observed = StatusCode::kOk;
+  std::thread waiter([&] {
+    Result<DevicePool::GroupLeases> g = pool.AcquireOneOfEach(groups);
+    observed = g.ok() ? StatusCode::kOk : g.status().code();
+    done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(done) << "group waiter proceeded while devices were leased";
+
+  // Trip device 0 in the holder's hands (the lease owns the device), then
+  // release: quarantine makes group {0} dead and must wake the waiter.
+  a.get()->Trip("poisoned");
+  a.Release();
+  waiter.join();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(observed, StatusCode::kAborted);
+  EXPECT_TRUE(pool.quarantined(0));
+
+  // Repair restores coverage without disturbing the in-flight lease on 1.
+  EXPECT_TRUE(b.get()->healthy());
+  EXPECT_TRUE(pool.Repair(0));
+  b.Release();
+  Result<DevicePool::GroupLeases> g = pool.AcquireOneOfEach(groups);
+  EXPECT_TRUE(g.ok());
+}
+
 TEST(DevicePool, ConcurrentAcquireAllCallersDoNotDeadlock) {
   DevicePool pool(4);
   constexpr int kThreads = 4;
@@ -426,7 +582,7 @@ TEST(DevicePool, ConcurrentAcquireAllCallersDoNotDeadlock) {
     for (int t = 0; t < kThreads; ++t) {
       workers.Submit([&] {
         for (int i = 0; i < kIters; ++i) {
-          std::vector<DevicePool::Lease> all = pool.AcquireAll();
+          std::vector<DevicePool::Lease> all = pool.AcquireAll().value();
           EXPECT_EQ(all.size(), 4u);
           ++completed;
         }

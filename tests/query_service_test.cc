@@ -506,7 +506,9 @@ TEST(QueryService, TracedTicketExposesTheSpanTree) {
     if (s.name == "queue_wait" || s.name == "query") {
       EXPECT_EQ(s.device, obs::kHostDevice) << s.name;
     }
-    if (s.name == "join_step") EXPECT_EQ(s.device, 0) << s.name;
+    if (s.name == "join_step") {
+      EXPECT_EQ(s.device, 0) << s.name;
+    }
   }
   // Both exporters render the retained trace.
   EXPECT_NE(trace->ToChromeJson().find("\"queue_wait\""), std::string::npos);

@@ -40,7 +40,7 @@ void ExpectBitIdentical(const QueryResult& sharded, const QueryResult& single,
 Result<QueryResult> RunSharded(const QueryEngine& engine, const Graph& query,
                                size_t num_devices) {
   DevicePool pool(num_devices, engine.options().device);
-  std::vector<DevicePool::Lease> leases = pool.AcquireUpTo(num_devices);
+  std::vector<DevicePool::Lease> leases = pool.AcquireUpTo(num_devices).value();
   std::vector<gpusim::Device*> devs;
   for (DevicePool::Lease& l : leases) devs.push_back(l.get());
   ShardOptions so;

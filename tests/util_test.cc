@@ -27,6 +27,26 @@ TEST(Status, CarriesCodeAndMessage) {
   EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad vertex");
 }
 
+TEST(Status, UnavailableIsTheDeviceFailureCode) {
+  Status s = Status::Unavailable("device 2 failed during join");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s.ToString(), "UNAVAILABLE: device 2 failed during join");
+  // Distinct from capacity (kResourceExhausted) and bugs (kInternal): the
+  // serving layer retries kUnavailable, sheds kResourceExhausted, and
+  // never retries kInternal.
+  EXPECT_NE(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(s.code(), StatusCode::kInternal);
+}
+
+TEST(Status, AbortedIsTheMidWaitInvalidationCode) {
+  Status s = Status::Aborted("pool drained while waiting");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+  EXPECT_EQ(s.ToString(), "ABORTED: pool drained while waiting");
+  EXPECT_NE(s.code(), StatusCode::kUnavailable);
+}
+
 // GCC's -Wmaybe-uninitialized misfires here at -O2: it reports the
 // never-constructed Status alternative of the int-holding Result as
 // possibly uninitialized when the destructor gets inlined (a std::variant
