@@ -9,13 +9,19 @@
 // on every sweep point.
 //
 // Knobs: GSI_BENCH_PARTITIONS="1 2 4 8" (partition counts),
-// GSI_BENCH_PARTITIONER=hash|greedy, plus the usual GSI_BENCH_SCALE /
-// GSI_BENCH_QUERIES / GSI_BENCH_QSIZE.
+// GSI_BENCH_PARTITIONER=hash|greedy, GSI_BENCH_HALO_BUDGET=<bytes> (per-
+// device halo-cache budget; > 0 adds a cached leg per sweep point with
+// halo_cache_hit_rate / saved_remote_transactions / halo_cache_mb_per_device
+// extras), plus the usual GSI_BENCH_SCALE / GSI_BENCH_QUERIES /
+// GSI_BENCH_QSIZE.
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.h"
@@ -67,6 +73,15 @@ const QueryEngine& Engine() {
   static auto& engine =
       *new QueryEngine(GetDataset("enron").graph, GsiOptOptions());
   return engine;
+}
+
+/// Per-device halo-cache budget in bytes; 0 (the default) skips the leg.
+uint64_t HaloBudget() {
+  static const uint64_t budget = [] {
+    const char* env = std::getenv("GSI_BENCH_HALO_BUDGET");
+    return env != nullptr ? std::strtoull(env, nullptr, 10) : uint64_t{0};
+  }();
+  return budget;
 }
 
 /// The heaviest query of the generated workload (max single-device
@@ -165,22 +180,74 @@ void BM_Partition(benchmark::State& state, size_t num_partitions) {
                   TablePrinter::FormatMs(stats.total_ms),
                   TablePrinter::FormatSpeedup(vs_replicated),
                   TablePrinter::FormatCount(stats.num_matches)});
+  std::vector<std::pair<std::string, double>> extras = {
+      {"resident_mb_per_device", resident_mb},
+      {"replicated_mb", replicated_mb},
+      {"memory_reduction", resident_mb > 0 ? replicated_mb / resident_mb : 0},
+      {"cut_edges", static_cast<double>(bs.cut_edges)},
+      {"remote_probes", static_cast<double>(stats.remote_probes)},
+      {"halo_mb", halo_mb},
+      {"partition_skew", stats.partition_skew},
+      {"vs_replicated", vs_replicated}};
+
+  if (HaloBudget() > 0 && num_partitions > 1) {
+    // The cached leg: same graph, same query, per-device halo caches of
+    // HaloBudget() bytes. Cold run fills them, warm run measures the steady
+    // state; the uncached loop above is the remote-transaction baseline.
+    GsiOptions budgeted = Engine().options();
+    budgeted.halo_budget_bytes = HaloBudget();
+    std::vector<std::unique_ptr<gpusim::Device>> cache_devices;
+    std::vector<gpusim::Device*> cache_devs;
+    for (size_t i = 0; i < num_partitions; ++i) {
+      cache_devices.push_back(
+          std::make_unique<gpusim::Device>(budgeted.device));
+      cache_devs.push_back(cache_devices.back().get());
+    }
+    Result<PartitionedGraph> cached = PartitionedGraph::Build(
+        cache_devs, GetDataset("enron").graph, budgeted, Partitioner());
+    GSI_CHECK_MSG(cached.ok(), cached.status().ToString().c_str());
+    Result<QueryResult> cold = ExecuteQueryPartitioned(*cached, HeavyQuery());
+    GSI_CHECK(cold.ok());
+    Result<QueryResult> warm = ExecuteQueryPartitioned(*cached, HeavyQuery());
+    GSI_CHECK(warm.ok());
+    Result<QueryResult> single = Engine().Run(HeavyQuery());
+    GSI_CHECK(single.ok());
+    const bool identical =
+        cold->TableEquals(*single) && warm->TableEquals(*single);
+    GSI_CHECK_MSG(identical, "halo-cached result diverged from replicated");
+
+    const uint64_t baseline_tx = stats.filter.remote_transactions +
+                                 stats.join.remote_transactions;
+    const uint64_t warm_tx = warm->stats.filter.remote_transactions +
+                             warm->stats.join.remote_transactions;
+    const double hit_rate =
+        warm->stats.halo_cache_hits + warm->stats.remote_probes > 0
+            ? static_cast<double>(warm->stats.halo_cache_hits) /
+                  static_cast<double>(warm->stats.halo_cache_hits +
+                                      warm->stats.remote_probes)
+            : 0;
+    uint64_t cache_bytes = 0;
+    for (PartitionId p = 0; p < cached->num_partitions(); ++p) {
+      cache_bytes = std::max(cache_bytes,
+                             cached->halo_cache(p)->resident_bytes());
+    }
+    extras.push_back({"halo_cache_hit_rate", hit_rate});
+    extras.push_back({"saved_remote_transactions",
+                      static_cast<double>(baseline_tx) -
+                          static_cast<double>(warm_tx)});
+    extras.push_back({"halo_cache_mb_per_device",
+                      static_cast<double>(cache_bytes) / kMb});
+    extras.push_back({"halo_bit_identical", identical ? 1.0 : 0.0});
+    state.counters["halo_cache_hit_rate"] = hit_rate;
+  }
+
   RecordJson(
       {"partition_scalability",
        "partitions=" + std::to_string(num_partitions) + ",partitioner=" +
            pg->partitioner_name(),
        /*qps=*/stats.total_ms > 0 ? 1000.0 / stats.total_ms : 0,
        /*p50_ms=*/stats.total_ms,
-       /*p99_ms=*/stats.total_ms,
-       {{"resident_mb_per_device", resident_mb},
-        {"replicated_mb", replicated_mb},
-        {"memory_reduction",
-         resident_mb > 0 ? replicated_mb / resident_mb : 0},
-        {"cut_edges", static_cast<double>(bs.cut_edges)},
-        {"remote_probes", static_cast<double>(stats.remote_probes)},
-        {"halo_mb", halo_mb},
-        {"partition_skew", stats.partition_skew},
-        {"vs_replicated", vs_replicated}}});
+       /*p99_ms=*/stats.total_ms, std::move(extras)});
 }
 
 void RegisterAll() {

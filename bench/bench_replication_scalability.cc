@@ -13,13 +13,20 @@
 //
 // Knobs: GSI_BENCH_REPLICAS="1 2 4" (replication factors, each <= K),
 // GSI_BENCH_REPL_PARTITIONS=4 (K: partitions == pool devices),
-// GSI_BENCH_REPL_QUERIES=12 (queries per concurrent measurement), plus the
-// usual GSI_BENCH_SCALE / GSI_BENCH_QUERIES / GSI_BENCH_QSIZE.
+// GSI_BENCH_REPL_QUERIES=12 (queries per concurrent measurement),
+// GSI_BENCH_HALO_BUDGET=<bytes> (per-device halo-cache budget; > 0 adds a
+// cached leg per sweep point with halo_cache_hit_rate /
+// saved_remote_transactions / halo_cache_mb_per_device extras — a no-op at
+// R == K, where every probe is co-resident and the cache sees nothing),
+// plus the usual GSI_BENCH_SCALE / GSI_BENCH_QUERIES / GSI_BENCH_QSIZE.
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.h"
@@ -80,6 +87,15 @@ const QueryEngine& Engine() {
   static auto& engine =
       *new QueryEngine(GetDataset("enron").graph, GsiOptOptions());
   return engine;
+}
+
+/// Per-device halo-cache budget in bytes; 0 (the default) skips the leg.
+uint64_t HaloBudget() {
+  static const uint64_t budget = [] {
+    const char* env = std::getenv("GSI_BENCH_HALO_BUDGET");
+    return env != nullptr ? std::strtoull(env, nullptr, 10) : uint64_t{0};
+  }();
+  return budget;
 }
 
 /// The heaviest query of the generated workload (max single-device
@@ -217,6 +233,77 @@ void BM_Replication(benchmark::State& state, size_t replicas) {
       stats.total_ms > 0 ? lanes * 1000.0 / stats.total_ms : 0;
   const double halo_mb = static_cast<double>(stats.halo_bytes) / kMb;
 
+  std::vector<std::pair<std::string, double>> extras = {
+      {"concurrent_qps", qps_sim},
+      {"wall_qps", wall_qps},
+      {"lanes", static_cast<double>(lanes)},
+      {"lane_width_devices", static_cast<double>(lane_width)},
+      {"sim_latency_ms", stats.total_ms},
+      {"resident_mb_per_device", resident_mb},
+      {"replicated_mb", replicated_mb},
+      {"memory_cost_vs_share", mem_cost},
+      {"remote_probes", static_cast<double>(stats.remote_probes)},
+      {"co_located_probes", static_cast<double>(stats.co_located_probes)},
+      {"halo_mb", halo_mb},
+      {"replica_pick_skew", service_stats.replica_pick_skew},
+      {"avg_replica_lanes", service_stats.avg_replica_lanes},
+      {"bit_identical", 1.0}};
+
+  if (HaloBudget() > 0 && replicas < k) {
+    // The cached leg: the same replicated layout with per-device halo
+    // caches of HaloBudget() bytes. Cold run fills them, warm run measures
+    // the steady state; the uncached loop above is the remote-transaction
+    // baseline. Skipped at R == K: every probe is then co-resident, so the
+    // cache by design admits nothing.
+    GsiOptions budgeted = Engine().options();
+    budgeted.halo_budget_bytes = HaloBudget();
+    std::vector<std::unique_ptr<gpusim::Device>> cache_devices;
+    std::vector<gpusim::Device*> cache_devs;
+    for (size_t i = 0; i < k; ++i) {
+      cache_devices.push_back(
+          std::make_unique<gpusim::Device>(budgeted.device));
+      cache_devs.push_back(cache_devices.back().get());
+    }
+    Result<ReplicatedGraph> cached = ReplicatedGraph::Build(
+        cache_devs, GetDataset("enron").graph, budgeted,
+        HashVertexPartitioner(), /*partitions=*/k, replicas);
+    GSI_CHECK_MSG(cached.ok(), cached.status().ToString().c_str());
+    const ReplicaSelection cached_packed = CompactSelection(*cached);
+    Result<QueryResult> cold =
+        ExecuteQueryReplicated(*cached, cached_packed, HeavyQuery());
+    GSI_CHECK(cold.ok());
+    Result<QueryResult> warm =
+        ExecuteQueryReplicated(*cached, cached_packed, HeavyQuery());
+    GSI_CHECK(warm.ok());
+    const bool identical =
+        cold->TableEquals(*single) && warm->TableEquals(*single);
+    GSI_CHECK_MSG(identical, "halo-cached result diverged from replicated");
+
+    const uint64_t baseline_tx = stats.filter.remote_transactions +
+                                 stats.join.remote_transactions;
+    const uint64_t warm_tx = warm->stats.filter.remote_transactions +
+                             warm->stats.join.remote_transactions;
+    const double hit_rate =
+        warm->stats.halo_cache_hits + warm->stats.remote_probes > 0
+            ? static_cast<double>(warm->stats.halo_cache_hits) /
+                  static_cast<double>(warm->stats.halo_cache_hits +
+                                      warm->stats.remote_probes)
+            : 0;
+    uint64_t cache_bytes = 0;
+    for (size_t d = 0; d < cache_devs.size(); ++d) {
+      cache_bytes =
+          std::max(cache_bytes, cached->halo_cache(d)->resident_bytes());
+    }
+    extras.push_back({"halo_cache_hit_rate", hit_rate});
+    extras.push_back({"saved_remote_transactions",
+                      static_cast<double>(baseline_tx) -
+                          static_cast<double>(warm_tx)});
+    extras.push_back({"halo_cache_mb_per_device",
+                      static_cast<double>(cache_bytes) / kMb});
+    extras.push_back({"halo_bit_identical", identical ? 1.0 : 0.0});
+    state.counters["halo_cache_hit_rate"] = hit_rate;
+  }
+
   state.counters["concurrent_qps"] = qps_sim;
   state.counters["wall_qps"] = wall_qps;
   state.counters["resident_mb_per_device"] = resident_mb;
@@ -236,21 +323,7 @@ void BM_Replication(benchmark::State& state, size_t replicas) {
            ",replicas=" + std::to_string(replicas),
        /*qps=*/qps_sim,
        /*p50_ms=*/stats.total_ms,
-       /*p99_ms=*/stats.total_ms,
-       {{"concurrent_qps", qps_sim},
-        {"wall_qps", wall_qps},
-        {"lanes", static_cast<double>(lanes)},
-        {"lane_width_devices", static_cast<double>(lane_width)},
-        {"sim_latency_ms", stats.total_ms},
-        {"resident_mb_per_device", resident_mb},
-        {"replicated_mb", replicated_mb},
-        {"memory_cost_vs_share", mem_cost},
-        {"remote_probes", static_cast<double>(stats.remote_probes)},
-        {"co_located_probes", static_cast<double>(stats.co_located_probes)},
-        {"halo_mb", halo_mb},
-        {"replica_pick_skew", service_stats.replica_pick_skew},
-        {"avg_replica_lanes", service_stats.avg_replica_lanes},
-        {"bit_identical", 1.0}}});
+       /*p99_ms=*/stats.total_ms, std::move(extras)});
 }
 
 void RegisterAll() {

@@ -32,6 +32,7 @@ ALL_SMOKES=(
   bench-sharding
   bench-partition
   bench-replication
+  bench-halo
 )
 
 # The sanitizer subset now carries every bench smoke (ROADMAP: bench smokes
@@ -47,6 +48,7 @@ SANITIZER_SMOKES=(
   bench-sharding
   bench-partition
   bench-replication
+  bench-halo
 )
 
 run_bench() {
@@ -151,6 +153,32 @@ PYEOF
     bench-replication)
       run_bench bench_replication_scalability bench_replication.json \
         GSI_BENCH_REPLICAS="1 2" GSI_BENCH_REPL_QUERIES=4
+      ;;
+    # Halo-cache leg: K=4 partitioned bench with a deliberately tiny
+    # per-device budget (small enough to force LRU evictions at smoke
+    # scale). The bench itself GSI_CHECKs the cached tables bit-identical;
+    # the JSON assertion pins the cache actually engaging — hit rate > 0,
+    # remote transactions saved, residency within budget.
+    bench-halo)
+      run_bench bench_partition_scalability bench_halo.json \
+        GSI_BENCH_PARTITIONS="4" GSI_BENCH_HALO_BUDGET=4096
+      python3 - "$ARTIFACTS_DIR/bench_halo.json" <<'PYEOF'
+import json, sys
+recs = [r for r in json.load(open(sys.argv[1]))
+        if "halo_cache_hit_rate" in r]
+assert recs, "no halo-cache leg in --json output"
+r = recs[0]
+assert r["halo_bit_identical"] == 1.0, "cached table diverged: %s" % r
+assert r["halo_cache_hit_rate"] > 0, "halo cache never hit: %s" % r
+assert r["saved_remote_transactions"] > 0, \
+    "warm run saved no remote transactions: %s" % r
+assert r["halo_cache_mb_per_device"] * 1024 * 1024 <= 4096, \
+    "halo cache exceeded its budget: %s" % r
+print("halo smoke ok: hit rate %.2f, %d remote transactions saved, "
+      "%.1f KB resident"
+      % (r["halo_cache_hit_rate"], int(r["saved_remote_transactions"]),
+         r["halo_cache_mb_per_device"] * 1024))
+PYEOF
       ;;
     *)
       echo "unknown smoke: $1" >&2

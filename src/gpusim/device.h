@@ -123,8 +123,15 @@ class Device {
   void Trip(std::string reason) {
     if (!healthy_) return;
     healthy_ = false;
+    ++fault_epoch_;
     fault_message_ = std::move(reason);
   }
+
+  /// Counts trips over the device's lifetime. Caches keyed to this device
+  /// (gsi::HaloCache) compare the epoch they were filled under against the
+  /// current value and discard their contents on mismatch, so nothing cached
+  /// before a fault survives quarantine + repair.
+  uint64_t fault_epoch() const { return fault_epoch_; }
 
   /// Repair hook: clears the fault and disarms any remaining plan. The
   /// device's counters and memory are untouched — a repaired device is the
@@ -181,6 +188,7 @@ class Device {
   FaultPlan plan_;
   MemStats armed_stats_;
   std::string fault_message_;
+  uint64_t fault_epoch_ = 0;
 };
 
 }  // namespace gsi::gpusim

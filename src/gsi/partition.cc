@@ -1,6 +1,7 @@
 #include "gsi/partition.h"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -282,6 +283,18 @@ Result<PartitionedGraph> PartitionedGraph::Build(
         pg.stores_[p]->device_bytes() + pg.signatures_[p].device_bytes();
     bs.replicated_bytes += bs.resident_bytes[p];
   }
+  // The halo cache's budget is a reserved slice of each partition's
+  // resident memory (counted up front, like any allocation) — but not of
+  // replicated_bytes, which measures the unpartitioned single-copy
+  // footprint the shares are compared against.
+  pg.halo_.resize(k);
+  if (options.halo_budget_bytes > 0) {
+    for (PartitionId p = 0; p < k; ++p) {
+      pg.halo_[p] =
+          std::make_unique<HaloCache>(*devs[p], options.halo_budget_bytes);
+      bs.resident_bytes[p] += options.halo_budget_bytes;
+    }
+  }
   for (VertexId v = 0; v < data.num_vertices(); ++v) {
     for (const Neighbor& nb : data.neighbors(v)) {
       if (nb.v > v && pg.owner_[v] != pg.owner_[nb.v]) ++bs.cut_edges;
@@ -483,7 +496,8 @@ Result<QueryResult> RunJoinStagePartitioned(const PartitionedGraph& pg,
             for (PartitionId o = 0; o < k; ++o) serving[o] = &pg.store(o);
             local[p] = 1;
             internal::RoutedStoreView view(pg.owners(), std::move(serving),
-                                           std::move(local), p);
+                                           std::move(local), p,
+                                           pg.halo_cache(p));
             JoinEngine join(&dev, &view, options.join);
             join.set_trace(part_span.context());
             const uint64_t probes_start = clock.NowNanos();
@@ -502,6 +516,18 @@ Result<QueryResult> RunJoinStagePartitioned(const PartitionedGraph& pg,
                   idx, "probes", std::to_string(remotes[p].remote_probes));
               part_ctx.tracer->AddAttr(
                   idx, "lines", std::to_string(remotes[p].remote_lines));
+            }
+            // Halo-cache hits as their own span: remote lookups this lane
+            // answered locally (cycle-clock timed, so traced runs at a
+            // fixed budget stay byte-identical).
+            if (part_ctx.tracer != nullptr && remotes[p].halo_hits > 0) {
+              const int32_t idx = part_ctx.tracer->RecordSpan(
+                  "halo_probe", static_cast<int32_t>(p), probes_start,
+                  clock.NowNanos(), part_ctx.parent);
+              part_ctx.tracer->AddAttr(
+                  idx, "hits", std::to_string(remotes[p].halo_hits));
+              part_ctx.tracer->AddAttr(
+                  idx, "bytes", std::to_string(remotes[p].halo_hit_bytes));
             }
           }
           deltas[p] = dev.stats() - before;
@@ -535,6 +561,8 @@ Result<QueryResult> RunJoinStagePartitioned(const PartitionedGraph& pg,
       detail.dup_cache_misses += part_join[p].dup_cache_misses;
       out.stats.remote_probes += remotes[p].remote_probes;
       out.stats.halo_bytes += remotes[p].remote_lines * kTransactionBytes;
+      out.stats.halo_cache_hits += remotes[p].halo_hits;
+      out.stats.halo_cache_bytes += remotes[p].halo_hit_bytes;
     }
 
     // --- Merge on the primary, in global seed order. The final table of

@@ -10,6 +10,7 @@
 #include "gpusim/device.h"
 #include "graph/graph.h"
 #include "gsi/filter.h"
+#include "gsi/halo_cache.h"
 #include "gsi/matcher.h"
 #include "storage/pcsr.h"
 #include "storage/signature_table.h"
@@ -125,6 +126,12 @@ class PartitionedGraph {
   /// Vertices owned by partition p, ascending.
   std::span<const VertexId> owned(PartitionId p) const { return owned_[p]; }
 
+  /// Partition p's device-side halo cache over remote N(v, l) lists, or
+  /// null when options().halo_budget_bytes == 0. Mutable from const like
+  /// device(p): the cache, like the device's counters, is execution state
+  /// the immutable graph merely hosts.
+  HaloCache* halo_cache(PartitionId p) const { return halo_[p].get(); }
+
   const Graph& data() const { return *data_; }
   const GsiOptions& options() const { return options_; }
   const std::string& partitioner_name() const { return partitioner_name_; }
@@ -141,6 +148,7 @@ class PartitionedGraph {
   std::vector<std::vector<VertexId>> owned_;  // indexed by partition
   std::vector<std::unique_ptr<PcsrStore>> stores_;
   std::vector<SignatureTable> signatures_;
+  std::vector<std::unique_ptr<HaloCache>> halo_;  // indexed by partition
   PartitionBuildStats build_stats_;
 };
 

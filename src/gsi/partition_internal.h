@@ -2,11 +2,14 @@
 #define GSI_GSI_PARTITION_INTERNAL_H_
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "gpusim/device.h"
+#include "gsi/halo_cache.h"
 #include "gsi/match_table.h"
 #include "gsi/partition.h"
 #include "storage/pcsr.h"
@@ -66,52 +69,122 @@ MatchTable MergeBySeedRuns(gpusim::Device& primary,
 /// replicated path additionally marks every partition with a co-resident
 /// replica, which is how replication converts remote probes into local
 /// reads (counted in Traffic::co_located_probes).
+///
+/// With a HaloCache attached (`halo` non-null), remote probes first try the
+/// lane device's cache — a hit is a local read (Traffic::halo_hits, no
+/// interconnect premium) returning byte-identical data — and remote probes
+/// that do run feed the cache their free byproducts (gsi/halo_cache.h).
+/// Local and co-located probes never touch the cache: only partitions with
+/// no resident share are cached, which on the replicated path is exactly
+/// "skip admission where a co-resident replica exists".
 class RoutedStoreView final : public NeighborStore {
  public:
   struct Traffic {
     uint64_t remote_probes = 0;      ///< lookups that crossed the interconnect
     uint64_t remote_lines = 0;       ///< 128B lines those lookups moved
     uint64_t co_located_probes = 0;  ///< peer-partition lookups served locally
+    uint64_t halo_hits = 0;          ///< remote lookups the halo cache served
+    uint64_t halo_hit_bytes = 0;     ///< list bytes those hits served locally
   };
 
   /// `owner[v]` names v's partition; `serving[p]` answers probes of
   /// partition p (never null); `local[p]` != 0 marks shares resident on the
   /// lane's device; `self` is the partition whose seeds this lane joins
-  /// (its probes are plain local, not co-located). All spans must outlive
-  /// the view.
+  /// (its probes are plain local, not co-located). `halo` (may be null =
+  /// caching off) must be the lane device's cache. All spans/pointees must
+  /// outlive the view.
   RoutedStoreView(std::span<const PartitionId> owner,
                   std::vector<const PcsrStore*> serving,
-                  std::vector<uint8_t> local, PartitionId self)
+                  std::vector<uint8_t> local, PartitionId self,
+                  HaloCache* halo = nullptr)
       : owner_(owner),
         serving_(std::move(serving)),
         local_(std::move(local)),
-        self_(self) {}
+        self_(self),
+        halo_(halo) {}
 
   size_t Extract(gpusim::Warp& w, VertexId v, Label l,
                  std::vector<VertexId>& out) const override {
-    return Routed(w, v, [&](const PcsrStore& s) {
+    const PartitionId o = owner_[v];
+    if (local_[o] != 0) {
+      if (o != self_) ++traffic_.co_located_probes;
+      return serving_[o]->Extract(w, v, l, out);
+    }
+    if (halo_ != nullptr) {
+      if (std::optional<size_t> n = halo_->ServeExtract(w, o, v, l, out)) {
+        return Hit(*n, *n * sizeof(VertexId));
+      }
+    }
+    const size_t mark = out.size();
+    const size_t n = Remote(w, o, [&](const PcsrStore& s) {
       return s.Extract(w, v, l, out);
     });
+    if (halo_ != nullptr) {
+      halo_->RecordList(o, v, l, {out.data() + mark, n});
+    }
+    return n;
   }
 
   size_t NeighborCountUpperBound(gpusim::Warp& w, VertexId v,
                                  Label l) const override {
-    return Routed(w, v, [&](const PcsrStore& s) {
+    const PartitionId o = owner_[v];
+    if (local_[o] != 0) {
+      if (o != self_) ++traffic_.co_located_probes;
+      return serving_[o]->NeighborCountUpperBound(w, v, l);
+    }
+    if (halo_ != nullptr) {
+      if (std::optional<size_t> n = halo_->ServeCount(w, o, v, l)) {
+        return Hit(*n, 0);
+      }
+    }
+    const size_t n = Remote(w, o, [&](const PcsrStore& s) {
       return s.NeighborCountUpperBound(w, v, l);
     });
+    // PCSR's upper bound is the exact |N(v, l)| — safe to admit as a count.
+    if (halo_ != nullptr) halo_->RecordCount(o, v, l, n);
+    return n;
   }
 
   size_t ExtractSlice(gpusim::Warp& w, VertexId v, Label l, size_t begin,
                       size_t end, std::vector<VertexId>& out) const override {
-    return Routed(w, v, [&](const PcsrStore& s) {
+    const PartitionId o = owner_[v];
+    if (local_[o] != 0) {
+      if (o != self_) ++traffic_.co_located_probes;
+      return serving_[o]->ExtractSlice(w, v, l, begin, end, out);
+    }
+    if (halo_ != nullptr) {
+      if (std::optional<size_t> n =
+              halo_->ServeSlice(w, o, v, l, begin, end, out)) {
+        return Hit(*n, *n * sizeof(VertexId));
+      }
+    }
+    const size_t mark = out.size();
+    const size_t n = Remote(w, o, [&](const PcsrStore& s) {
       return s.ExtractSlice(w, v, l, begin, end, out);
     });
+    if (halo_ != nullptr && end > begin) {
+      halo_->RecordSlice(o, v, l, begin, end - begin,
+                         {out.data() + mark, n});
+    }
+    return n;
   }
 
   size_t ExtractValueRange(gpusim::Warp& w, VertexId v, Label l, VertexId lo,
                            VertexId hi,
                            std::vector<VertexId>& out) const override {
-    return Routed(w, v, [&](const PcsrStore& s) {
+    const PartitionId o = owner_[v];
+    if (local_[o] != 0) {
+      if (o != self_) ++traffic_.co_located_probes;
+      return serving_[o]->ExtractValueRange(w, v, l, lo, hi, out);
+    }
+    if (halo_ != nullptr) {
+      if (std::optional<size_t> n =
+              halo_->ServeValueRange(w, o, v, l, lo, hi, out)) {
+        return Hit(*n, *n * sizeof(VertexId));
+      }
+    }
+    // Value-range results are positionless — nothing admissible to record.
+    return Remote(w, o, [&](const PcsrStore& s) {
       return s.ExtractValueRange(w, v, l, lo, hi, out);
     });
   }
@@ -126,12 +199,7 @@ class RoutedStoreView final : public NeighborStore {
 
  private:
   template <typename Fn>
-  size_t Routed(gpusim::Warp& w, VertexId v, Fn&& probe) const {
-    const PartitionId o = owner_[v];
-    if (local_[o] != 0) {
-      if (o != self_) ++traffic_.co_located_probes;
-      return probe(*serving_[o]);
-    }
+  size_t Remote(gpusim::Warp& w, PartitionId o, Fn&& probe) const {
     const uint64_t before = w.device().stats().gld;
     const size_t n = probe(*serving_[o]);
     const uint64_t lines = w.device().stats().gld - before;
@@ -141,10 +209,17 @@ class RoutedStoreView final : public NeighborStore {
     return n;
   }
 
+  size_t Hit(size_t n, uint64_t bytes) const {
+    ++traffic_.halo_hits;
+    traffic_.halo_hit_bytes += bytes;
+    return n;
+  }
+
   std::span<const PartitionId> owner_;
   std::vector<const PcsrStore*> serving_;
   std::vector<uint8_t> local_;
   PartitionId self_;
+  HaloCache* halo_;
   mutable Traffic traffic_;  // one view per lane thread; no sharing
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -215,6 +216,18 @@ Result<ReplicatedGraph> ReplicatedGraph::Build(
       bs.total_bytes += share_bytes;
     }
     bs.replicated_bytes += share_bytes;  // one copy of every share
+  }
+  // The halo cache's budget is a reserved slice of each pool device's
+  // resident memory (not of replicated/total bytes, which measure share
+  // storage). One cache per device: a device serves many partitions'
+  // probes, and its cache must die with its fault epoch, not a partition.
+  rg.halo_.resize(devs.size());
+  if (options.halo_budget_bytes > 0) {
+    for (size_t d = 0; d < devs.size(); ++d) {
+      rg.halo_[d] =
+          std::make_unique<HaloCache>(*rg.devs_[d], options.halo_budget_bytes);
+      bs.resident_bytes[d] += options.halo_budget_bytes;
+    }
   }
   return rg;
 }
@@ -470,7 +483,8 @@ Result<QueryResult> RunJoinStageReplicated(const ReplicatedGraph& rg,
               parts[p] = MatchTable::Alloc(dev, 0, plan.order.size());
             } else {
               MatchTable m = internal::SeedOwned(dev, seed_cols[p]);
-              internal::RoutedStoreView view(rg.owners(), serving, local, p);
+              internal::RoutedStoreView view(rg.owners(), serving, local, p,
+                                             rg.halo_cache(d));
               JoinEngine join(&dev, &view, options.join);
               join.set_trace(part_span.context());
               const uint64_t probes_start = clock.NowNanos();
@@ -492,6 +506,18 @@ Result<QueryResult> RunJoinStageReplicated(const ReplicatedGraph& rg,
                 part_ctx.tracer->AddAttr(
                     idx, "co_located",
                     std::to_string(traffic[p].co_located_probes));
+              }
+              // Halo-cache hits as their own span: remote lookups this
+              // lane answered locally (cycle-clock timed, so traced runs
+              // at a fixed budget stay byte-identical).
+              if (part_ctx.tracer != nullptr && traffic[p].halo_hits > 0) {
+                const int32_t idx = part_ctx.tracer->RecordSpan(
+                    "halo_probe", static_cast<int32_t>(d), probes_start,
+                    clock.NowNanos(), part_ctx.parent);
+                part_ctx.tracer->AddAttr(
+                    idx, "hits", std::to_string(traffic[p].halo_hits));
+                part_ctx.tracer->AddAttr(
+                    idx, "bytes", std::to_string(traffic[p].halo_hit_bytes));
               }
             }
             deltas[p] = dev.stats() - before;
@@ -532,6 +558,8 @@ Result<QueryResult> RunJoinStageReplicated(const ReplicatedGraph& rg,
       out.stats.remote_probes += traffic[p].remote_probes;
       out.stats.halo_bytes += traffic[p].remote_lines * kTransactionBytes;
       out.stats.co_located_probes += traffic[p].co_located_probes;
+      out.stats.halo_cache_hits += traffic[p].halo_hits;
+      out.stats.halo_cache_bytes += traffic[p].halo_hit_bytes;
     }
     double max_lane_ms = 0;
     for (double ms : lane_ms) max_lane_ms = std::max(max_lane_ms, ms);

@@ -10,6 +10,7 @@
 #include "gpusim/device.h"
 #include "graph/graph.h"
 #include "gsi/filter.h"
+#include "gsi/halo_cache.h"
 #include "gsi/matcher.h"
 #include "gsi/partition.h"
 #include "storage/pcsr.h"
@@ -138,6 +139,13 @@ class ReplicatedGraph {
   /// no replica of p.
   const PcsrStore* StoreOn(size_t d, PartitionId p) const;
 
+  /// Pool device d's halo cache over remote N(v, l) lists, or null when
+  /// options().halo_budget_bytes == 0. Only partitions with no co-resident
+  /// replica on d are ever cached (co-resident probes are local reads and
+  /// bypass it). Mutable from const like device(d): execution state the
+  /// immutable graph hosts.
+  HaloCache* halo_cache(size_t d) const { return halo_[d].get(); }
+
   const Graph& data() const { return *data_; }
   const GsiOptions& options() const { return options_; }
   const std::string& partitioner_name() const { return partitioner_name_; }
@@ -155,6 +163,7 @@ class ReplicatedGraph {
   std::vector<std::vector<VertexId>> owned_;  // indexed by partition
   std::vector<std::vector<std::unique_ptr<PcsrStore>>> stores_;  // [p][j]
   std::vector<std::vector<SignatureTable>> signatures_;          // [p][j]
+  std::vector<std::unique_ptr<HaloCache>> halo_;  // indexed by pool device
   ReplicationBuildStats build_stats_;
 };
 

@@ -17,9 +17,24 @@ using Phase = internal::TicketState::Phase;
 // never what an executed query matches — match tables stay bit-identical.
 using Clock = std::chrono::steady_clock;  // NOLINT(determinism:nondeterministic-seed)
 
+namespace {
+
+// The halo budget is a serving-layer knob (ServiceOptions), but the caches
+// are built by PartitionedGraph/ReplicatedGraph::Build from GsiOptions.
+// Inject before the engine is constructed so the engine's options() — the
+// value every Build below reads — carries the budget exactly once.
+GsiOptions WithHaloBudget(GsiOptions go, const ServiceOptions& so) {
+  if (so.partition_data_graph) go.halo_budget_bytes = so.halo_budget_bytes;
+  return go;
+}
+
+}  // namespace
+
 QueryService::QueryService(const Graph& data, GsiOptions gsi_options,
                            ServiceOptions options)
-    : data_(&data), options_(options), engine_(data, gsi_options) {
+    : data_(&data),
+      options_(options),
+      engine_(data, WithHaloBudget(std::move(gsi_options), options)) {
   init_status_ = engine_.init_status();
   if (init_status_.ok() && options_.max_queue_depth == 0) {
     // Depth 0 would reject every Submit under kReject and deadlock every
@@ -85,7 +100,8 @@ QueryService::QueryService(const Graph& data, GsiOptions gsi_options,
         "same pool)");
     return;
   }
-  devices_ = std::make_unique<DevicePool>(num_devices, gsi_options.device);
+  devices_ =
+      std::make_unique<DevicePool>(num_devices, engine_.options().device);
   devices_->RegisterMetrics(metrics_);
   if (options_.partition_data_graph) {
     // Workers have not started, so the pool is idle: take every device (in
@@ -106,7 +122,7 @@ QueryService::QueryService(const Graph& data, GsiOptions gsi_options,
                                               : default_partitioner;
     if (options_.partition_replicas > 1) {
       Result<ReplicatedGraph> rg = ReplicatedGraph::Build(
-          devs, data, gsi_options, partitioner,
+          devs, data, engine_.options(), partitioner,
           /*partitions=*/devs.size(),
           static_cast<size_t>(options_.partition_replicas));
       if (!rg.ok()) {
@@ -115,8 +131,8 @@ QueryService::QueryService(const Graph& data, GsiOptions gsi_options,
       }
       replicated_ = std::make_unique<ReplicatedGraph>(std::move(rg.value()));
     } else {
-      Result<PartitionedGraph> pg =
-          PartitionedGraph::Build(devs, data, gsi_options, partitioner);
+      Result<PartitionedGraph> pg = PartitionedGraph::Build(
+          devs, data, engine_.options(), partitioner);
       if (!pg.ok()) {
         init_status_ = pg.status();
         return;
@@ -343,6 +359,50 @@ void QueryService::RegisterServiceMetrics() {
                   "Worst max/mean per-partition time observed",
                   s.max_partition_skew);
   });
+  // Halo-cache families, summed across the per-device caches. The caches
+  // are built after this registration but before any worker starts, so
+  // every scrape observes either no caches (budget 0 — families absent,
+  // like the filter cache's) or the full, immutable set of them.
+  metrics_.RegisterCollector([this](obs::MetricsSink& sink) {
+    HaloCache::Stats total;
+    bool any = false;
+    const auto fold = [&](const HaloCache* c) {
+      if (c == nullptr) return;
+      const HaloCache::Stats s = c->stats();
+      total.hits += s.hits;
+      total.hit_bytes += s.hit_bytes;
+      total.misses += s.misses;
+      total.evictions += s.evictions;
+      total.resident_bytes += s.resident_bytes;
+      any = true;
+    };
+    if (partitioned_) {
+      for (size_t p = 0; p < partitioned_->num_partitions(); ++p) {
+        fold(partitioned_->halo_cache(static_cast<PartitionId>(p)));
+      }
+    }
+    if (replicated_) {
+      for (size_t d = 0; d < replicated_->num_devices(); ++d) {
+        fold(replicated_->halo_cache(d));
+      }
+    }
+    if (!any) return;
+    sink.AddCounter("gsi_halo_cache_hits_total",
+                    "Remote probes served from a device halo cache",
+                    static_cast<double>(total.hits));
+    sink.AddCounter("gsi_halo_cache_misses_total",
+                    "Cacheable remote probes that went to the interconnect",
+                    static_cast<double>(total.misses));
+    sink.AddCounter("gsi_halo_cache_evictions_total",
+                    "Halo-cache entries evicted to stay under budget",
+                    static_cast<double>(total.evictions));
+    sink.AddCounter("gsi_halo_cache_hit_bytes_total",
+                    "Bytes halo-cache hits served without the interconnect",
+                    static_cast<double>(total.hit_bytes));
+    sink.AddGauge("gsi_halo_cache_resident_bytes",
+                  "Bytes currently resident across all halo caches",
+                  static_cast<double>(total.resident_bytes));
+  });
 }
 
 ServiceStats QueryService::stats() const {
@@ -395,6 +455,8 @@ void QueryService::FinishLocked(const TicketPtr& ticket,
       ++stats_.partitioned_queries;
       stats_.remote_probes += result->stats.remote_probes;
       stats_.halo_bytes += result->stats.halo_bytes;
+      stats_.halo_cache_hits += result->stats.halo_cache_hits;
+      stats_.halo_cache_bytes += result->stats.halo_cache_bytes;
       stats_.max_partition_skew =
           std::max(stats_.max_partition_skew, result->stats.partition_skew);
     }

@@ -111,6 +111,15 @@ struct ServiceOptions {
   /// no wall clock read and no real sleeping.
   double retry_backoff_base_ms = 1.0;
   double retry_backoff_cap_ms = 8.0;
+
+  /// Per-device byte budget for the halo cache over remote N(v, l) lists in
+  /// partition_data_graph mode (gsi/halo_cache.h): remote probes of hot
+  /// vertices repeat across join steps and queries; a hit is served from
+  /// the lane device's cache at local cost instead of the interconnect
+  /// premium. The budget is a reserved slice of each device's resident
+  /// bytes. 0 (default) disables caching; match tables are bit-identical
+  /// either way. Ignored unless partition_data_graph is set.
+  uint64_t halo_budget_bytes = 0;
 };
 
 /// Per-submission overrides.
@@ -154,6 +163,10 @@ struct ServiceStats {
   uint64_t remote_probes = 0;        ///< cross-partition N(v, l) lookups
   uint64_t halo_bytes = 0;           ///< interconnect bytes, filter + join
   double max_partition_skew = 0;     ///< worst max/mean per-partition time
+  /// Remote probes the per-device halo caches served locally (zeros unless
+  /// halo_budget_bytes > 0).
+  uint64_t halo_cache_hits = 0;
+  uint64_t halo_cache_bytes = 0;     ///< list bytes those hits served
   /// Replicated-placement activity (zeros unless partition_replicas > 1).
   /// Partitioned queries then also count in the partitioned fields above.
   uint64_t replicated_queries = 0;  ///< completed-ok via a replica selection

@@ -8,10 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "gpusim/device.h"
 #include "gsi/matcher.h"
+#include "gsi/partition.h"
 #include "service/query_service.h"
 #include "test_util.h"
 #include "util/status.h"
@@ -212,6 +214,94 @@ TEST(Chaos, ReplicatedModeSurvivesEveryFaultPointBitIdentical) {
     EXPECT_EQ(stats.failovers, 1u);
     EXPECT_EQ(stats.quarantined_devices, 1u);
   }
+}
+
+TEST(Chaos, WarmHaloCacheStaysBitIdenticalAcrossFailover) {
+  // The halo leg of the sweep: warm the per-device caches with a clean
+  // query, kill a device mid-flight, and require the failover re-execution
+  // (whose surviving lane still holds warm entries) to stay bit-identical —
+  // cached bytes are a transport optimization, never an answer source that
+  // can drift from the stores.
+  Graph data = ChaosData(91);
+  Graph query = testing::RandomQuery(data, 5, 92);
+  GsiMatcher sequential(data, GsiOptOptions());
+  Result<QueryResult> baseline = sequential.Find(query);
+  ASSERT_TRUE(baseline.ok());
+
+  ServiceOptions so;
+  so.num_workers = 1;
+  so.num_devices = 2;
+  so.partition_data_graph = true;
+  so.partition_replicas = 2;
+  so.default_max_attempts = 2;
+  so.halo_budget_bytes = 1 << 16;
+  QueryService service(data, GsiOptOptions(), so);
+  ASSERT_TRUE(service.init_status().ok());
+
+  // Warm run, no fault: caches fill.
+  Result<QueryResult> warm = RunThrough(service, query);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_TRUE(warm->TableEquals(*baseline));
+
+  // The pool rotates replica picks for balance, so the second query packs
+  // onto device 1 — fault it there; the failover lands back on device 0,
+  // whose halo cache is warm from the first query.
+  gpusim::FaultPlan plan;
+  plan.fail_at_kernel_launch = 2;
+  ASSERT_TRUE(service.InjectDeviceFault(1, plan).ok());
+  Result<QueryResult> failed_over = RunThrough(service, query);
+  ASSERT_TRUE(failed_over.ok()) << failed_over.status().ToString();
+  EXPECT_TRUE(failed_over->TableEquals(*baseline));
+  EXPECT_EQ(failed_over->stats.attempts, 2u);
+  EXPECT_EQ(service.stats().failovers, 1u);
+
+  // After repair the tripped device serves again; its cache was fetched in
+  // a previous fault epoch and must have been discarded, so the answer is
+  // still the baseline's.
+  ASSERT_TRUE(service.RepairDevice(1));
+  Result<QueryResult> repaired = RunThrough(service, query);
+  ASSERT_TRUE(repaired.ok()) << repaired.status().ToString();
+  EXPECT_TRUE(repaired->TableEquals(*baseline));
+  EXPECT_EQ(service.stats().completed_ok, 3u);
+}
+
+TEST(Chaos, HaloCacheInvalidatesOnceAcrossTripAndRepair) {
+  // Direct partition-layer view of the same rule: a warmed cache holds
+  // entries, a trip + repair cycle bumps the device's fault epoch, and the
+  // first post-repair execution discards everything it had — observable as
+  // exactly one invalidation and a still-identical table.
+  Graph data = ChaosData(95);
+  Graph query = testing::RandomQuery(data, 5, 96);
+  GsiMatcher sequential(data, GsiOptOptions());
+  Result<QueryResult> baseline = sequential.Find(query);
+  ASSERT_TRUE(baseline.ok());
+
+  GsiOptions opt = GsiOptOptions();
+  opt.halo_budget_bytes = 1 << 20;
+  std::vector<std::unique_ptr<gpusim::Device>> owned;
+  std::vector<gpusim::Device*> devs;
+  for (int i = 0; i < 2; ++i) {
+    owned.push_back(std::make_unique<gpusim::Device>(opt.device));
+    devs.push_back(owned.back().get());
+  }
+  Result<PartitionedGraph> pg =
+      PartitionedGraph::Build(devs, data, opt, HashVertexPartitioner());
+  ASSERT_TRUE(pg.ok());
+  Result<QueryResult> warm = ExecuteQueryPartitioned(*pg, query);
+  ASSERT_TRUE(warm.ok());
+  // Trip whichever lane actually cached remote lists (which one does is a
+  // property of the workload, not of the cache).
+  const PartitionId victim =
+      pg->halo_cache(0)->stats().entries > 0 ? 0 : 1;
+  ASSERT_GT(pg->halo_cache(victim)->stats().entries, 0u);
+
+  devs[victim]->Trip("chaos");
+  devs[victim]->Repair();
+  Result<QueryResult> after = ExecuteQueryPartitioned(*pg, query);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->TableEquals(*baseline));
+  EXPECT_EQ(pg->halo_cache(victim)->stats().invalidations, 1u);
+  EXPECT_EQ(pg->halo_cache(1 - victim)->stats().invalidations, 0u);
 }
 
 TEST(Chaos, PerTicketMaxAttemptsOverridesServiceDefault) {

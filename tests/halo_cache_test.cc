@@ -1,0 +1,475 @@
+// The per-device halo cache (gsi/halo_cache.h): unit semantics of the
+// serve/record contract, LRU budget enforcement, fault-epoch invalidation,
+// and the property that matters — partitioned and replicated executions
+// with any budget return match tables byte-identical to GsiMatcher::Find
+// while nonzero budgets strictly remove interconnect transactions. Also the
+// lock contract: stats snapshots stay coherent while a lane thread churns.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "gpusim/launch.h"
+#include "gsi/halo_cache.h"
+#include "gsi/matcher.h"
+#include "gsi/partition.h"
+#include "gsi/replication.h"
+#include "test_util.h"
+
+namespace gsi {
+namespace {
+
+template <typename Fn>
+void WithWarp(gpusim::Device& dev, Fn&& fn) {
+  gpusim::Launch(dev, 1, [&](gpusim::Warp& w) { fn(w); });
+}
+
+// ------------------------------------------------------ unit semantics ---
+
+TEST(HaloCacheUnit, CountRoundTripsAndChargesNoRemoteTransactions) {
+  gpusim::Device dev;
+  HaloCache cache(dev, 1 << 20);
+  WithWarp(dev, [&](gpusim::Warp& w) {
+    EXPECT_FALSE(cache.ServeCount(w, 0, 7, 1).has_value());
+  });
+  cache.RecordCount(0, 7, 1, 5);
+  const uint64_t remote_before = dev.stats().remote_transactions;
+  const uint64_t gld_before = dev.stats().gld;
+  WithWarp(dev, [&](gpusim::Warp& w) {
+    std::optional<size_t> n = cache.ServeCount(w, 0, 7, 1);
+    ASSERT_TRUE(n.has_value());
+    EXPECT_EQ(*n, 5u);
+  });
+  // A hit is a local read: gld moves, the interconnect counter does not.
+  EXPECT_EQ(dev.stats().remote_transactions, remote_before);
+  EXPECT_GT(dev.stats().gld, gld_before);
+  const HaloCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(HaloCacheUnit, CompleteListServesEveryProbeShape) {
+  gpusim::Device dev;
+  HaloCache cache(dev, 1 << 20);
+  const std::vector<VertexId> list = {10, 20, 30, 40};
+  cache.RecordList(2, 9, 0, list);
+  WithWarp(dev, [&](gpusim::Warp& w) {
+    std::vector<VertexId> out;
+    std::optional<size_t> n = cache.ServeExtract(w, 2, 9, 0, out);
+    ASSERT_TRUE(n.has_value());
+    EXPECT_EQ(out, list);
+
+    // Slices clamp end to the count exactly like the store does.
+    out.clear();
+    n = cache.ServeSlice(w, 2, 9, 0, 1, 3, out);
+    ASSERT_TRUE(n.has_value());
+    EXPECT_EQ(*n, 2u);
+    EXPECT_EQ(out, (std::vector<VertexId>{20, 30}));
+    out.clear();
+    n = cache.ServeSlice(w, 2, 9, 0, 2, 100, out);
+    ASSERT_TRUE(n.has_value());
+    EXPECT_EQ(out, (std::vector<VertexId>{30, 40}));
+    out.clear();
+    n = cache.ServeSlice(w, 2, 9, 0, 7, 9, out);
+    ASSERT_TRUE(n.has_value());
+    EXPECT_EQ(*n, 0u);
+    EXPECT_TRUE(out.empty());
+
+    // Value ranges are inclusive on both ends.
+    out.clear();
+    n = cache.ServeValueRange(w, 2, 9, 0, 15, 30, out);
+    ASSERT_TRUE(n.has_value());
+    EXPECT_EQ(out, (std::vector<VertexId>{20, 30}));
+    // A count is implied by the complete list.
+    n = cache.ServeCount(w, 2, 9, 0);
+    ASSERT_TRUE(n.has_value());
+    EXPECT_EQ(*n, 4u);
+  });
+}
+
+TEST(HaloCacheUnit, SlicePrefixesAssembleIntoACompleteEntry) {
+  gpusim::Device dev;
+  HaloCache cache(dev, 1 << 20);
+  // First chunk [0, 2): full return, count still unknown — no serving yet
+  // (ServeSlice needs the exact count to clamp the way the store does).
+  cache.RecordSlice(1, 4, 2, /*begin=*/0, /*requested=*/2, {{5, 6}});
+  WithWarp(dev, [&](gpusim::Warp& w) {
+    std::vector<VertexId> out;
+    EXPECT_FALSE(cache.ServeSlice(w, 1, 4, 2, 0, 2, out).has_value());
+    EXPECT_FALSE(cache.ServeExtract(w, 1, 4, 2, out).has_value());
+  });
+  // Second chunk [2, 4) returns one value: short return ends the list at 3
+  // and the contiguous prefix completes the entry.
+  cache.RecordSlice(1, 4, 2, /*begin=*/2, /*requested=*/2, {{7}});
+  WithWarp(dev, [&](gpusim::Warp& w) {
+    std::vector<VertexId> out;
+    std::optional<size_t> n = cache.ServeExtract(w, 1, 4, 2, out);
+    ASSERT_TRUE(n.has_value());
+    EXPECT_EQ(out, (std::vector<VertexId>{5, 6, 7}));
+    n = cache.ServeCount(w, 1, 4, 2);
+    ASSERT_TRUE(n.has_value());
+    EXPECT_EQ(*n, 3u);
+  });
+}
+
+TEST(HaloCacheUnit, EmptyShortReturnPastEndLearnsNoCount) {
+  gpusim::Device dev;
+  HaloCache cache(dev, 1 << 20);
+  // An empty return for begin > 0 only proves |list| <= begin — admitting
+  // begin as the count would be wrong whenever begin overshoots the end.
+  cache.RecordSlice(0, 3, 0, /*begin=*/8, /*requested=*/4, {});
+  WithWarp(dev, [&](gpusim::Warp& w) {
+    EXPECT_FALSE(cache.ServeCount(w, 0, 3, 0).has_value());
+  });
+  // An empty *full-list* return at begin 0 is a real count: the list is
+  // empty, and the entry is complete.
+  cache.RecordSlice(0, 3, 0, /*begin=*/0, /*requested=*/4, {});
+  WithWarp(dev, [&](gpusim::Warp& w) {
+    std::optional<size_t> n = cache.ServeCount(w, 0, 3, 0);
+    ASSERT_TRUE(n.has_value());
+    EXPECT_EQ(*n, 0u);
+    std::vector<VertexId> out;
+    n = cache.ServeExtract(w, 0, 3, 0, out);
+    ASSERT_TRUE(n.has_value());
+    EXPECT_EQ(*n, 0u);
+  });
+}
+
+TEST(HaloCacheUnit, LruEvictionKeepsResidencyUnderBudget) {
+  gpusim::Device dev;
+  // Room for roughly two small list entries (64B overhead + values each).
+  HaloCache cache(dev, 256);
+  const std::vector<VertexId> list = {1, 2, 3, 4, 5, 6, 7, 8};  // 96B entry
+  cache.RecordList(0, 0, 0, list);
+  cache.RecordList(0, 1, 0, list);
+  EXPECT_LE(cache.resident_bytes(), cache.budget_bytes());
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  // A third entry exceeds the budget; the least-recently-used one goes.
+  cache.RecordList(0, 2, 0, list);
+  EXPECT_LE(cache.resident_bytes(), cache.budget_bytes());
+  EXPECT_GT(cache.stats().evictions, 0u);
+  WithWarp(dev, [&](gpusim::Warp& w) {
+    std::vector<VertexId> out;
+    EXPECT_FALSE(cache.ServeExtract(w, 0, 0, 0, out).has_value())
+        << "vertex 0 was the LRU entry and should have been evicted";
+    EXPECT_TRUE(cache.ServeExtract(w, 0, 2, 0, out).has_value());
+  });
+  // An entry bigger than the whole budget is admitted and then immediately
+  // evicted — the invariant survives oversized lists.
+  std::vector<VertexId> huge(200, 1);
+  cache.RecordList(0, 3, 0, huge);
+  EXPECT_LE(cache.resident_bytes(), cache.budget_bytes());
+}
+
+TEST(HaloCacheUnit, LruTouchOnServeProtectsHotEntries) {
+  gpusim::Device dev;
+  HaloCache cache(dev, 256);
+  const std::vector<VertexId> list = {1, 2, 3, 4, 5, 6, 7, 8};
+  cache.RecordList(0, 0, 0, list);
+  cache.RecordList(0, 1, 0, list);
+  // Touch vertex 0: it becomes most-recent, so the next insertion evicts
+  // vertex 1 instead.
+  WithWarp(dev, [&](gpusim::Warp& w) {
+    std::vector<VertexId> out;
+    EXPECT_TRUE(cache.ServeExtract(w, 0, 0, 0, out).has_value());
+  });
+  cache.RecordList(0, 2, 0, list);
+  WithWarp(dev, [&](gpusim::Warp& w) {
+    std::vector<VertexId> out;
+    EXPECT_TRUE(cache.ServeExtract(w, 0, 0, 0, out).has_value());
+    EXPECT_FALSE(cache.ServeExtract(w, 0, 1, 0, out).has_value());
+  });
+}
+
+TEST(HaloCacheUnit, DeviceFaultEpochDiscardsEverything) {
+  gpusim::Device dev;
+  HaloCache cache(dev, 1 << 20);
+  cache.RecordList(0, 5, 0, {{1, 2, 3}});
+  EXPECT_EQ(cache.stats().entries, 1u);
+  dev.Trip("injected");
+  dev.Repair();
+  // First touch after the trip discards the stale entries: nothing fetched
+  // before the fault survives quarantine + repair.
+  WithWarp(dev, [&](gpusim::Warp& w) {
+    std::vector<VertexId> out;
+    EXPECT_FALSE(cache.ServeExtract(w, 0, 5, 0, out).has_value());
+  });
+  const HaloCache::Stats s = cache.stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.resident_bytes, 0u);
+  EXPECT_EQ(s.invalidations, 1u);
+}
+
+TEST(HaloCacheUnit, ClearDropsEntriesButKeepsCounters) {
+  gpusim::Device dev;
+  HaloCache cache(dev, 1 << 20);
+  cache.RecordList(0, 5, 0, {{1, 2, 3}});
+  WithWarp(dev, [&](gpusim::Warp& w) {
+    std::vector<VertexId> out;
+    EXPECT_TRUE(cache.ServeExtract(w, 0, 5, 0, out).has_value());
+  });
+  cache.Clear();
+  const HaloCache::Stats s = cache.stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.resident_bytes, 0u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.insertions, 1u);
+}
+
+// ------------------------------------------------- end-to-end property ---
+
+struct DeviceSet {
+  std::vector<std::unique_ptr<gpusim::Device>> owned;
+  std::vector<gpusim::Device*> ptrs;
+};
+
+DeviceSet MakeDevices(size_t k, const gpusim::DeviceConfig& config) {
+  DeviceSet ds;
+  for (size_t i = 0; i < k; ++i) {
+    ds.owned.push_back(std::make_unique<gpusim::Device>(config));
+    ds.ptrs.push_back(ds.owned.back().get());
+  }
+  return ds;
+}
+
+void ExpectSameTable(const QueryResult& got, const QueryResult& want,
+                     const std::string& context) {
+  ASSERT_EQ(got.table.rows(), want.table.rows()) << context;
+  ASSERT_EQ(got.table.cols(), want.table.cols()) << context;
+  EXPECT_EQ(got.column_to_query, want.column_to_query) << context;
+  ASSERT_TRUE(got.TableEquals(want)) << context;
+}
+
+// Sweeps budget x partitioner x K on two graph shapes. For every cell the
+// match table must be byte-identical to the sequential matcher; at nonzero
+// budget a warmed cache must strictly reduce interconnect transactions
+// relative to the budget-0 baseline; residency never exceeds the budget.
+TEST(HaloCacheProperty, SweepBudgetsPartitionersAndPartitionCounts) {
+  const uint64_t kTiny = 512;         // forces eviction on every cell here
+  const uint64_t kUnbounded = 1u << 30;
+  const HashVertexPartitioner hash;
+  const GreedyEdgeCutPartitioner greedy;
+  const struct {
+    const char* name;
+    Graph graph;
+  } graphs[] = {
+      {"scale-free", testing::RandomGraph(300, 3, 3, 2, 101)},
+      {"hubs", testing::RandomHubGraph(300, 3, 3, 2, 103, 3, 0.2)},
+  };
+  for (const auto& gcase : graphs) {
+    const Graph& g = gcase.graph;
+    const Graph q = testing::RandomQuery(g, 4, 105);
+    const GsiOptions base = GsiOptOptions();
+    GsiMatcher sequential(g, base);
+    Result<QueryResult> want = sequential.Find(q);
+    ASSERT_TRUE(want.ok());
+
+    for (const GraphPartitioner* partitioner :
+         {static_cast<const GraphPartitioner*>(&hash),
+          static_cast<const GraphPartitioner*>(&greedy)}) {
+      for (size_t k : {2, 4}) {
+        const std::string ctx = std::string(gcase.name) + " " +
+                                partitioner->name() + " k=" +
+                                std::to_string(k);
+        // Budget 0: no caches, the uncached remote-transaction baseline.
+        DeviceSet ds0 = MakeDevices(k, base.device);
+        Result<PartitionedGraph> pg0 =
+            PartitionedGraph::Build(ds0.ptrs, g, base, *partitioner);
+        ASSERT_TRUE(pg0.ok()) << ctx;
+        for (PartitionId p = 0; p < k; ++p) {
+          EXPECT_EQ(pg0->halo_cache(p), nullptr) << ctx;
+        }
+        Result<QueryResult> r0 = ExecuteQueryPartitioned(*pg0, q);
+        ASSERT_TRUE(r0.ok()) << ctx;
+        ExpectSameTable(*r0, *want, ctx + " budget=0");
+        ASSERT_GT(r0->stats.remote_probes, 0u)
+            << ctx << ": workload has no remote probes, property is vacuous";
+
+        for (uint64_t budget : {kTiny, kUnbounded}) {
+          const std::string bctx = ctx + " budget=" + std::to_string(budget);
+          GsiOptions opt = base;
+          opt.halo_budget_bytes = budget;
+          DeviceSet ds = MakeDevices(k, base.device);
+          Result<PartitionedGraph> pg =
+              PartitionedGraph::Build(ds.ptrs, g, opt, *partitioner);
+          ASSERT_TRUE(pg.ok()) << bctx;
+          // The budget shows up in the build's residency accounting.
+          for (uint64_t rb : pg->build_stats().resident_bytes) {
+            EXPECT_GE(rb, budget) << bctx;
+          }
+          Result<QueryResult> cold = ExecuteQueryPartitioned(*pg, q);
+          ASSERT_TRUE(cold.ok()) << bctx;
+          ExpectSameTable(*cold, *want, bctx + " cold");
+          Result<QueryResult> warm = ExecuteQueryPartitioned(*pg, q);
+          ASSERT_TRUE(warm.ok()) << bctx;
+          ExpectSameTable(*warm, *want, bctx + " warm");
+
+          uint64_t evictions = 0;
+          for (PartitionId p = 0; p < k; ++p) {
+            const HaloCache* cache = pg->halo_cache(p);
+            ASSERT_NE(cache, nullptr) << bctx;
+            EXPECT_LE(cache->resident_bytes(), budget) << bctx;
+            evictions += cache->stats().evictions;
+          }
+          EXPECT_GT(warm->stats.halo_cache_hits, 0u) << bctx;
+          EXPECT_LT(warm->stats.join.remote_transactions,
+                    r0->stats.join.remote_transactions)
+              << bctx << ": a warmed cache must remove remote transactions";
+          EXPECT_LE(warm->stats.remote_probes, cold->stats.remote_probes)
+              << bctx;
+          if (budget == kTiny) {
+            EXPECT_GT(evictions, 0u)
+                << bctx << ": tiny budget never forced an eviction";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(HaloCacheProperty, ReplicatedLanesStayBitIdenticalAndSaveRemotes) {
+  Graph g = testing::RandomHubGraph(300, 3, 3, 2, 111, 3, 0.2);
+  Graph q = testing::RandomQuery(g, 4, 112);
+  const GsiOptions base = GsiOptOptions();
+  GsiMatcher sequential(g, base);
+  Result<QueryResult> want = sequential.Find(q);
+  ASSERT_TRUE(want.ok());
+
+  const size_t devices = 4, replicas = 2;
+  DeviceSet ds0 = MakeDevices(devices, base.device);
+  Result<ReplicatedGraph> rg0 =
+      ReplicatedGraph::Build(ds0.ptrs, g, base, HashVertexPartitioner(),
+                             /*partitions=*/devices, replicas);
+  ASSERT_TRUE(rg0.ok());
+  const ReplicaSelection sel0 = CompactSelection(*rg0);
+  Result<QueryResult> r0 = ExecuteQueryReplicated(*rg0, sel0, q);
+  ASSERT_TRUE(r0.ok());
+  ExpectSameTable(*r0, *want, "replicated budget=0");
+  ASSERT_GT(r0->stats.remote_probes, 0u);
+
+  GsiOptions opt = base;
+  opt.halo_budget_bytes = 1 << 20;
+  DeviceSet ds = MakeDevices(devices, base.device);
+  Result<ReplicatedGraph> rg =
+      ReplicatedGraph::Build(ds.ptrs, g, opt, HashVertexPartitioner(),
+                             /*partitions=*/devices, replicas);
+  ASSERT_TRUE(rg.ok());
+  const ReplicaSelection sel = CompactSelection(*rg);
+  Result<QueryResult> cold = ExecuteQueryReplicated(*rg, sel, q);
+  ASSERT_TRUE(cold.ok());
+  ExpectSameTable(*cold, *want, "replicated cold");
+  Result<QueryResult> warm = ExecuteQueryReplicated(*rg, sel, q);
+  ASSERT_TRUE(warm.ok());
+  ExpectSameTable(*warm, *want, "replicated warm");
+  EXPECT_GT(warm->stats.halo_cache_hits, 0u);
+  EXPECT_LT(warm->stats.join.remote_transactions,
+            r0->stats.join.remote_transactions);
+}
+
+TEST(HaloCacheProperty, FullReplicationNeverTouchesTheCache) {
+  // R == N: every device hosts every partition, so all probes are local or
+  // co-located — the admission skip for co-resident replicas is structural
+  // and the caches must stay empty.
+  Graph g = testing::RandomGraph(200, 3, 3, 2, 121);
+  Graph q = testing::RandomQuery(g, 4, 122);
+  GsiOptions opt = GsiOptOptions();
+  opt.halo_budget_bytes = 1 << 20;
+  DeviceSet ds = MakeDevices(2, opt.device);
+  Result<ReplicatedGraph> rg =
+      ReplicatedGraph::Build(ds.ptrs, g, opt, HashVertexPartitioner(),
+                             /*partitions=*/2, /*replicas=*/2);
+  ASSERT_TRUE(rg.ok());
+  Result<QueryResult> r = ExecuteQueryReplicated(*rg, CompactSelection(*rg), q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stats.remote_probes, 0u);
+  for (size_t d = 0; d < rg->num_devices(); ++d) {
+    const HaloCache* cache = rg->halo_cache(d);
+    ASSERT_NE(cache, nullptr);
+    const HaloCache::Stats s = cache->stats();
+    EXPECT_EQ(s.hits + s.misses, 0u) << "device " << d;
+    EXPECT_EQ(s.entries, 0u) << "device " << d;
+  }
+}
+
+TEST(HaloCacheProperty, RepeatRunsAgainstEqualStateAreDeterministic) {
+  // Two identically-built graphs, same query sequence: every counter —
+  // including cache hits, which depend on cache state — must agree run for
+  // run. Thread interleaving never reaches the simulated numbers.
+  Graph g = testing::RandomHubGraph(250, 3, 3, 2, 131, 2, 0.15);
+  Graph q = testing::RandomQuery(g, 4, 132);
+  GsiOptions opt = GsiOptOptions();
+  opt.halo_budget_bytes = 4096;
+  auto run_twice = [&](QueryStats& first, QueryStats& second) {
+    DeviceSet ds = MakeDevices(3, opt.device);
+    Result<PartitionedGraph> pg = PartitionedGraph::Build(
+        ds.ptrs, g, opt, HashVertexPartitioner());
+    ASSERT_TRUE(pg.ok());
+    Result<QueryResult> a = ExecuteQueryPartitioned(*pg, q);
+    Result<QueryResult> b = ExecuteQueryPartitioned(*pg, q);
+    ASSERT_TRUE(a.ok() && b.ok());
+    first = a->stats;
+    second = b->stats;
+  };
+  QueryStats a1, a2, b1, b2;
+  run_twice(a1, a2);
+  run_twice(b1, b2);
+  EXPECT_EQ(a1.halo_cache_hits, b1.halo_cache_hits);
+  EXPECT_EQ(a2.halo_cache_hits, b2.halo_cache_hits);
+  EXPECT_EQ(a1.halo_cache_bytes, b1.halo_cache_bytes);
+  EXPECT_EQ(a2.halo_cache_bytes, b2.halo_cache_bytes);
+  EXPECT_EQ(a1.remote_probes, b1.remote_probes);
+  EXPECT_EQ(a2.remote_probes, b2.remote_probes);
+  EXPECT_EQ(a1.join.remote_transactions, b1.join.remote_transactions);
+  EXPECT_EQ(a2.join.remote_transactions, b2.join.remote_transactions);
+}
+
+// ---------------------------------------------------------- lock contract ---
+
+TEST(HaloCacheLockContract, StatsSnapshotsStayCoherentUnderChurn) {
+  // One thread churns partitioned queries (each lane thread mutates its own
+  // device's cache); observers hammer stats() concurrently. Every snapshot
+  // must satisfy the cache invariants — and under TSan this is the data-race
+  // proof for the metrics pull path.
+  Graph g = testing::RandomHubGraph(250, 3, 3, 2, 141, 2, 0.15);
+  Graph q = testing::RandomQuery(g, 4, 142);
+  GsiOptions opt = GsiOptOptions();
+  opt.halo_budget_bytes = 4096;
+  DeviceSet ds = MakeDevices(3, opt.device);
+  Result<PartitionedGraph> pg =
+      PartitionedGraph::Build(ds.ptrs, g, opt, HashVertexPartitioner());
+  ASSERT_TRUE(pg.ok());
+
+  std::atomic<bool> done{false};
+  std::atomic<size_t> bad_snapshots{0};
+  std::vector<std::thread> observers;
+  for (int t = 0; t < 2; ++t) {
+    observers.emplace_back([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        for (PartitionId p = 0; p < pg->num_partitions(); ++p) {
+          const HaloCache::Stats s = pg->halo_cache(p)->stats();
+          if (s.resident_bytes > opt.halo_budget_bytes ||
+              s.evictions > s.insertions ||
+              s.entries > s.insertions) {
+            bad_snapshots.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 20; ++i) {
+    Result<QueryResult> r = ExecuteQueryPartitioned(*pg, q);
+    ASSERT_TRUE(r.ok());
+  }
+  done.store(true, std::memory_order_relaxed);
+  for (std::thread& t : observers) t.join();
+  EXPECT_EQ(bad_snapshots.load(), 0u);
+}
+
+}  // namespace
+}  // namespace gsi

@@ -6,12 +6,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <regex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "gsi/matcher.h"
 #include "obs/metrics.h"
+#include "service/query_service.h"
+#include "test_util.h"
 
 namespace gsi {
 namespace {
@@ -148,6 +152,62 @@ TEST(MetricsRegistryTest, ExportPrometheusIsWellFormedAndDeterministic) {
 
   // Deterministic: a second export of unchanged state is byte-identical.
   EXPECT_EQ(text, registry.ExportPrometheus());
+}
+
+/// Value of the first sample of `family` in a Prometheus exposition, or -1.
+double SampleValue(const std::string& text, const std::string& family) {
+  const std::string needle = family + " ";
+  const size_t pos = text.find("\n" + needle);
+  if (pos == std::string::npos) return -1;
+  return std::strtod(text.c_str() + pos + 1 + needle.size(), nullptr);
+}
+
+TEST(HaloCacheMetrics, FamiliesAppearInServiceExportWithABudget) {
+  Graph data = testing::RandomHubGraph(250, 3, 3, 2, 161, 2, 0.15);
+  Graph query = testing::RandomQuery(data, 4, 162);
+  ServiceOptions so;
+  so.num_workers = 1;
+  so.num_devices = 2;
+  so.partition_data_graph = true;
+  so.halo_budget_bytes = 4096;
+  QueryService service(data, GsiOptOptions(), so);
+  ASSERT_TRUE(service.init_status().ok());
+  for (int i = 0; i < 2; ++i) {  // second run hits the warmed caches
+    Result<QueryTicket> t = service.Submit(query, {});
+    ASSERT_TRUE(t.ok());
+    ASSERT_TRUE(service.Wait(*t).ok());
+  }
+
+  const std::string text = service.ExportMetrics();
+  ExpectValidPrometheus(text);
+  for (const char* family :
+       {"gsi_halo_cache_hits_total", "gsi_halo_cache_misses_total",
+        "gsi_halo_cache_evictions_total", "gsi_halo_cache_hit_bytes_total",
+        "gsi_halo_cache_resident_bytes"}) {
+    EXPECT_NE(text.find(std::string("# TYPE ") + family), std::string::npos)
+        << family;
+  }
+  EXPECT_GT(SampleValue(text, "gsi_halo_cache_hits_total"), 0.0);
+  EXPECT_GT(SampleValue(text, "gsi_halo_cache_misses_total"), 0.0);
+  // The service-level roll-up agrees with the per-query stats path.
+  EXPECT_GT(service.stats().halo_cache_hits, 0u);
+}
+
+TEST(HaloCacheMetrics, FamiliesAbsentWithoutABudget) {
+  Graph data = testing::RandomGraph(150, 3, 3, 2, 163);
+  Graph query = testing::RandomQuery(data, 4, 164);
+  ServiceOptions so;
+  so.num_workers = 1;
+  so.num_devices = 2;
+  so.partition_data_graph = true;  // budget stays 0: caching off
+  QueryService service(data, GsiOptOptions(), so);
+  ASSERT_TRUE(service.init_status().ok());
+  Result<QueryTicket> t = service.Submit(query, {});
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(service.Wait(*t).ok());
+  const std::string text = service.ExportMetrics();
+  EXPECT_EQ(text.find("gsi_halo_cache"), std::string::npos);
+  EXPECT_EQ(service.stats().halo_cache_hits, 0u);
 }
 
 TEST(MetricsRegistryTest, DebugStringListsEverySample) {

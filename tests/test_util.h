@@ -27,6 +27,28 @@ inline Graph RandomGraph(size_t n, size_t edges_per_vertex,
   return std::move(g.value());
 }
 
+/// Random labeled power-law graph with planted super-hubs: `num_hubs`
+/// vertices each adjacent to a `hub_fraction` share of the graph. Hubs are
+/// what make remote-probe caching matter — every partition's join walks the
+/// same few high-degree rows over and over — so halo-cache property tests
+/// sweep this shape alongside the plain scale-free one. Deterministic in
+/// (n, edges_per_vertex, labels, seed, num_hubs, hub_fraction).
+inline Graph RandomHubGraph(size_t n, size_t edges_per_vertex,
+                            size_t num_vlabels, size_t num_elabels,
+                            uint64_t seed, size_t num_hubs,
+                            double hub_fraction) {
+  Rng rng(seed);
+  std::vector<RawEdge> edges =
+      GenerateScaleFree(n, edges_per_vertex, rng, num_hubs, hub_fraction);
+  LabelConfig lc;
+  lc.num_vertex_labels = num_vlabels;
+  lc.num_edge_labels = num_elabels;
+  lc.seed = seed + 1;
+  Result<Graph> g = AssignLabels(n, edges, lc);
+  GSI_CHECK(g.ok());
+  return std::move(g.value());
+}
+
 /// Random connected query extracted from `data` (guaranteed >= 1 match).
 inline Graph RandomQuery(const Graph& data, size_t num_vertices,
                          uint64_t seed) {
@@ -35,6 +57,18 @@ inline Graph RandomQuery(const Graph& data, size_t num_vertices,
   std::vector<Graph> qs = GenerateQuerySet(data, qc, 1, seed);
   GSI_CHECK(!qs.empty());
   return std::move(qs[0]);
+}
+
+/// Seeded query workload over `data`: `count` connected queries of
+/// `num_vertices` vertices each (every one has >= 1 match by construction).
+inline std::vector<Graph> RandomQuerySet(const Graph& data,
+                                         size_t num_vertices, size_t count,
+                                         uint64_t seed) {
+  QueryGenConfig qc;
+  qc.num_vertices = num_vertices;
+  std::vector<Graph> qs = GenerateQuerySet(data, qc, count, seed);
+  GSI_CHECK(!qs.empty());
+  return qs;
 }
 
 }  // namespace gsi::testing

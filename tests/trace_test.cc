@@ -157,9 +157,13 @@ struct Fixture {
 };
 
 /// One traced partitioned execution over fresh devices; returns the
-/// exported JSON.
-std::string TracePartitionedRun(const Fixture& f, size_t partitions) {
-  QueryEngine engine(f.data, GsiOptOptions());
+/// exported JSON. With a halo budget, an untraced warm-up run fills the
+/// caches first so the traced run exercises the hit path.
+std::string TracePartitionedRun(const Fixture& f, size_t partitions,
+                                uint64_t halo_budget = 0) {
+  GsiOptions options = GsiOptOptions();
+  options.halo_budget_bytes = halo_budget;
+  QueryEngine engine(f.data, options);
   std::vector<std::unique_ptr<gpusim::Device>> owned;
   std::vector<gpusim::Device*> devs;
   for (size_t i = 0; i < partitions; ++i) {
@@ -170,6 +174,7 @@ std::string TracePartitionedRun(const Fixture& f, size_t partitions) {
   Result<PartitionedGraph> pg = PartitionedGraph::Build(
       devs, f.data, engine.options(), HashVertexPartitioner());
   GSI_CHECK(pg.ok());
+  if (halo_budget > 0) GSI_CHECK(engine.RunPartitioned(f.query, *pg).ok());
   Tracer tracer;
   Result<QueryResult> r = engine.RunPartitioned(
       f.query, *pg, TraceContext{&tracer, -1, kHostDevice});
@@ -225,6 +230,20 @@ TEST(TraceDeterminism, ReplicatedTraceIsByteIdenticalAcrossRuns) {
   // selection, lane_scan on the filter side.
   EXPECT_NE(first.find("\"lane\""), std::string::npos);
   EXPECT_NE(first.find("lane_scan"), std::string::npos);
+}
+
+TEST(TraceDeterminism, HaloProbeSpanAppearsAndStaysByteIdentical) {
+  Fixture f;
+  // At a fixed budget the whole export — including the halo_probe spans and
+  // their hit/byte attributes — is a pure function of the work: two
+  // identically-built warm runs serialize byte for byte.
+  const std::string first = TracePartitionedRun(f, 4, /*halo_budget=*/1 << 20);
+  const std::string second = TracePartitionedRun(f, 4, /*halo_budget=*/1 << 20);
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("halo_probe"), std::string::npos);
+  EXPECT_NE(first.find("\"hits\""), std::string::npos);
+  // Without a budget the span never exists.
+  EXPECT_EQ(TracePartitionedRun(f, 4).find("halo_probe"), std::string::npos);
 }
 
 TEST(TraceDeterminism, PartitionedTraceCoversEveryPartitionAndJoinStep) {
