@@ -31,6 +31,14 @@ double& FaultRateSlot() {
   return rate;
 }
 
+/// `--page-budget <bytes>`: stream every result through FetchPage cursors
+/// with this host-resident page budget (0 = unbounded pages, < 0 = mode
+/// off). Parsed in main like --fault-rate.
+long long& PageBudgetSlot() {
+  static long long budget = -1;
+  return budget;
+}
+
 TableCollector& Table() {
   static auto& t = *new TableCollector(
       "Service throughput: streamed submit/poll vs RunBatch on a "
@@ -226,6 +234,91 @@ Outcome RunViaFaultedService(double fault_rate) {
   return o;
 }
 
+/// Same stream, but every result is consumed through the paged cursor
+/// protocol (Submit -> FetchPage loop -> CloseCursor) under `budget`
+/// host-resident bytes per page, and each page is compared cell-by-cell
+/// against a one-shot RunBatch reference computed before the timer starts.
+/// The JSON extras carry the acceptance metrics: pages_fetched,
+/// peak_result_resident_mb (largest page the host ever held) and
+/// paged_bit_identical (1.0 when every page matched the reference).
+Outcome RunViaPagedService(size_t budget) {
+  // Reference tables for the bit-identity check, outside the timed region.
+  QueryEngine engine(Data(), GsiOptOptions());
+  BatchOptions bo;
+  bo.num_threads = static_cast<int>(Env().threads);
+  BatchResult ref = engine.RunBatch(Stream(), bo);
+
+  ServiceOptions so;
+  so.num_workers = static_cast<int>(Env().threads);
+  so.overload = OverloadPolicy::kBlock;
+  so.max_queue_depth = 512;
+  so.enable_filter_cache = false;
+  so.page_budget_bytes = budget;
+  QueryService service(Data(), GsiOptOptions(), so);
+
+  Outcome o;
+  bool identical = true;
+  WallTimer wall;
+  std::vector<QueryTicket> tickets;
+  tickets.reserve(Stream().size());
+  for (const Graph& q : Stream()) {
+    Result<QueryTicket> t = service.Submit(q);
+    GSI_CHECK(t.ok());
+    tickets.push_back(*t);
+  }
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    const MatchTable* expect =
+        ref.per_query[i].ok() ? &ref.per_query[i]->table : nullptr;
+    bool query_ok = true;
+    for (;;) {
+      Result<ResultPage> page = service.FetchPage(tickets[i]);
+      if (!page.ok()) {
+        query_ok = false;
+        break;
+      }
+      if (expect != nullptr) {
+        for (size_t r = 0; r < page->num_rows && identical; ++r) {
+          for (size_t c = 0; c < page->cols; ++c) {
+            identical = identical && page->rows[r * page->cols + c] ==
+                                         expect->At(page->row_begin + r, c);
+          }
+        }
+      }
+      if (page->done) {
+        identical = identical &&
+                    (expect == nullptr ||
+                     page->row_begin + page->num_rows == expect->rows());
+        break;
+      }
+    }
+    if (query_ok) ++o.ok;
+    GSI_CHECK(service.CloseCursor(tickets[i]).ok());
+  }
+  o.wall_ms = wall.ElapsedMs();
+  if (o.wall_ms > 0) {
+    o.qps = static_cast<double>(o.ok) / (o.wall_ms / 1000.0);
+  }
+  ServiceStats stats = service.stats();
+  o.p50_ms = stats.p50_simulated_ms;
+  o.p99_ms = stats.p99_simulated_ms;
+
+  const double peak_resident_mb =
+      static_cast<double>(stats.peak_page_bytes) / (1024.0 * 1024.0);
+  std::printf("[bench] page-budget %zu B: %llu pages over %zu queries, peak "
+              "page %zu B (%.4f MB), bit-identical %s\n",
+              budget, static_cast<unsigned long long>(stats.result_pages),
+              tickets.size(), stats.peak_page_bytes, peak_resident_mb,
+              identical ? "yes" : "NO");
+  RecordJson({"service_throughput", "paged", o.qps, o.p50_ms, o.p99_ms,
+              {{"page_budget_bytes", static_cast<double>(budget)},
+               {"pages_fetched", static_cast<double>(stats.result_pages)},
+               {"peak_result_resident_mb", peak_resident_mb},
+               {"peak_page_bytes", static_cast<double>(stats.peak_page_bytes)},
+               {"cursor_rebuilds", static_cast<double>(stats.cursor_rebuilds)},
+               {"paged_bit_identical", identical ? 1.0 : 0.0}}});
+  return o;
+}
+
 void BM_RunBatch(benchmark::State& state) {
   Outcome o;
   for (auto _ : state) {
@@ -273,6 +366,22 @@ void BM_ServiceFaulted(benchmark::State& state) {
                   TablePrinter::FormatMs(o.p99_ms), "-"});
 }
 
+void BM_ServicePaged(benchmark::State& state) {
+  Outcome o;
+  for (auto _ : state) {
+    o = RunViaPagedService(static_cast<size_t>(PageBudgetSlot()));
+    state.SetIterationTime(std::max(1e-9, o.wall_ms / 1000.0));
+  }
+  // RunViaPagedService records its own JSON entry (with the paging
+  // extras); only the table row is added here.
+  state.counters["qps"] = o.qps;
+  Table().AddRow({"Service (paged)", TablePrinter::FormatMs(o.wall_ms),
+                  TablePrinter::FormatCount(static_cast<uint64_t>(o.qps)),
+                  std::to_string(o.ok), TablePrinter::FormatMs(o.sum_filter_ms),
+                  TablePrinter::FormatMs(o.p50_ms),
+                  TablePrinter::FormatMs(o.p99_ms), "-"});
+}
+
 void RegisterAll() {
   for (auto [name, fn] :
        {std::pair{"service_throughput/run_batch", &BM_RunBatch},
@@ -286,6 +395,13 @@ void RegisterAll() {
   if (FaultRateSlot() > 0) {
     benchmark::RegisterBenchmark("service_throughput/service_faulted",
                                  &BM_ServiceFaulted)
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  if (PageBudgetSlot() >= 0) {
+    benchmark::RegisterBenchmark("service_throughput/service_paged",
+                                 &BM_ServicePaged)
         ->UseManualTime()
         ->Iterations(1)
         ->Unit(benchmark::kMillisecond);
@@ -305,6 +421,10 @@ int main(int argc, char** argv) {
       gsi::bench::FaultRateSlot() = std::atof(argv[++i]);
     } else if (a.rfind("--fault-rate=", 0) == 0) {
       gsi::bench::FaultRateSlot() = std::atof(a.substr(13).c_str());
+    } else if (a == "--page-budget" && i + 1 < argc) {
+      gsi::bench::PageBudgetSlot() = std::atoll(argv[++i]);
+    } else if (a.rfind("--page-budget=", 0) == 0) {
+      gsi::bench::PageBudgetSlot() = std::atoll(a.substr(14).c_str());
     } else {
       args.push_back(argv[i]);
     }

@@ -27,8 +27,10 @@ ALL_SMOKES=(
   example-replicated
   example-replicated-chaos
   example-trace
+  example-streaming
   bench-service
   bench-service-faults
+  bench-service-paged
   bench-sharding
   bench-partition
   bench-replication
@@ -43,8 +45,10 @@ SANITIZER_SMOKES=(
   example-sharded
   example-replicated
   example-replicated-chaos
+  example-streaming
   bench-service
   bench-service-faults
+  bench-service-paged
   bench-sharding
   bench-partition
   bench-replication
@@ -110,6 +114,14 @@ print("trace JSON ok: %d events, %d distinct spans" % (len(events),
                                                        len(names)))
 PYEOF
       ;;
+    # Paged result cursors end-to-end: stream a ~100K-match result through
+    # Submit -> FetchPage under a 4 KiB host budget; the example itself
+    # asserts every page fits the budget and the concatenation is
+    # byte-identical to a one-shot Wait.
+    example-streaming)
+      GSI_STREAM_VERTICES=800 GSI_STREAM_BUDGET=4096 \
+        "$BUILD_DIR/examples/streaming_results"
+      ;;
     bench-service)
       run_bench bench_service_throughput bench_service.json \
         GSI_BENCH_QUERIES=5
@@ -134,6 +146,35 @@ assert r["retries"] >= r["injected_faults"] > 0, "faults did not trip: %s" % r
 assert r["retry_overhead_ms"] > 0, "retry backoff missing: %s" % r
 print("fault smoke ok: availability %.3f over %d faults, %.2f ms overhead"
       % (r["availability"], int(r["injected_faults"]), r["retry_overhead_ms"]))
+PYEOF
+      echo "::endgroup::"
+      ;;
+    # Paged-cursor leg: every result streamed through FetchPage under a
+    # 256-byte page budget (small enough that multi-row results split into
+    # several pages at smoke scale). The JSON assertion pins the acceptance
+    # bar: page concatenation bit-identical to one-shot RunBatch, pages
+    # actually fetched, and no page ever exceeding the host budget.
+    bench-service-paged)
+      echo "::group::bench bench_service_throughput --page-budget"
+      env GSI_BENCH_SCALE=1 GSI_BENCH_QUERIES=3 \
+        "$BUILD_DIR/bench/bench_service_throughput" \
+        --page-budget 256 --benchmark_filter=paged \
+        --json "$ARTIFACTS_DIR/bench_service_paged.json"
+      cat "$ARTIFACTS_DIR/bench_service_paged.json"
+      echo
+      python3 - "$ARTIFACTS_DIR/bench_service_paged.json" <<'PYEOF'
+import json, sys
+recs = [r for r in json.load(open(sys.argv[1])) if r["config"] == "paged"]
+assert recs, "no paged record in --json output"
+r = recs[0]
+assert r["paged_bit_identical"] == 1.0, "page concat diverged: %s" % r
+assert r["pages_fetched"] > 0, "no pages fetched: %s" % r
+assert r["peak_page_bytes"] <= max(r["page_budget_bytes"], 64), \
+    "a page exceeded the host budget: %s" % r
+print("paged smoke ok: %d pages, peak page %d B <= %d B budget, "
+      "%.6f MB peak resident, bit-identical"
+      % (int(r["pages_fetched"]), int(r["peak_page_bytes"]),
+         int(r["page_budget_bytes"]), r["peak_result_resident_mb"]))
 PYEOF
       echo "::endgroup::"
       ;;

@@ -127,16 +127,14 @@ std::vector<VertexId> internal::MergeAscendingDisjoint(
   return merged;
 }
 
-MatchTable internal::MergeBySeedRuns(gpusim::Device& primary,
-                                     std::span<const MatchTable* const> parts,
-                                     size_t cols_out,
-                                     std::vector<size_t>& rows_from) {
+std::vector<ManifestSegment> internal::PlanSeedRunMerge(
+    std::span<const MatchTable* const> parts, std::vector<size_t>& rows_from) {
   const size_t k = parts.size();
   rows_from.assign(k, 0);
   size_t total_rows = 0;
   for (const MatchTable* t : parts) total_rows += t->rows();
 
-  MatchTable merged = MatchTable::Alloc(primary, total_rows, cols_out);
+  std::vector<ManifestSegment> runs;
   std::vector<size_t> cur(k, 0);
   size_t out_row = 0;
   while (out_row < total_rows) {
@@ -154,10 +152,27 @@ MatchTable internal::MergeBySeedRuns(gpusim::Device& primary,
            parts[best]->At(run_end, 0) == head) {
       ++run_end;
     }
-    merged.CopyRowsFrom(*parts[best], cur[best], out_row, run_end - cur[best]);
+    runs.push_back(ManifestSegment{best, cur[best], run_end - cur[best]});
     rows_from[best] += run_end - cur[best];
     out_row += run_end - cur[best];
     cur[best] = run_end;
+  }
+  return runs;
+}
+
+MatchTable internal::MergeBySeedRuns(gpusim::Device& primary,
+                                     std::span<const MatchTable* const> parts,
+                                     size_t cols_out,
+                                     std::vector<size_t>& rows_from) {
+  const std::vector<ManifestSegment> runs = PlanSeedRunMerge(parts, rows_from);
+  size_t total_rows = 0;
+  for (const MatchTable* t : parts) total_rows += t->rows();
+
+  MatchTable merged = MatchTable::Alloc(primary, total_rows, cols_out);
+  size_t out_row = 0;
+  for (const ManifestSegment& r : runs) {
+    merged.CopyRowsFrom(*parts[r.part], r.begin, out_row, r.count);
+    out_row += r.count;
   }
   return merged;
 }
@@ -429,11 +444,9 @@ Result<FilterResult> RunFilterStagePartitioned(const PartitionedGraph& pg,
   return result;
 }
 
-Result<QueryResult> RunJoinStagePartitioned(const PartitionedGraph& pg,
-                                            const Graph& query,
-                                            FilterResult filtered,
-                                            QueryStats stats,
-                                            const obs::TraceContext& trace) {
+Result<PagedQueryResult> RunJoinStagePartitionedPaged(
+    const PartitionedGraph& pg, const Graph& query, FilterResult filtered,
+    QueryStats stats, const obs::TraceContext& trace) {
   const Graph& data = pg.data();
   const GsiOptions& options = pg.options();
   const size_t k = pg.num_partitions();
@@ -441,20 +454,22 @@ Result<QueryResult> RunJoinStagePartitioned(const PartitionedGraph& pg,
   const obs::DeviceCycleClock primary_clock(primary);
   obs::ScopedSpan join_span(trace, "join", primary_clock, 0);
 
-  QueryResult out;
+  PagedQueryResult out;
   out.stats = stats;
 
   if (query.num_vertices() == 1) {
     // Degenerate query: the candidate set is the answer (assembled on the
     // primary, exactly like RunJoinStage).
     const CandidateSet& c = filtered.candidates[0];
-    out.table = MatchTable::Alloc(primary, c.size(), 1);
-    for (size_t i = 0; i < c.size(); ++i) out.table.Set(i, 0, c.list()[i]);
+    MatchTable table = MatchTable::Alloc(primary, c.size(), 1);
+    for (size_t i = 0; i < c.size(); ++i) table.Set(i, 0, c.list()[i]);
+    out.manifest = ResultManifest::FromWholeTable(std::move(table), primary);
     out.column_to_query = {0};
     out.stats.partitions_used = 1;
   } else if (filtered.AnyEmpty()) {
     // Some query vertex has no candidates: zero matches, skip the join.
-    out.table = MatchTable::Alloc(primary, 0, query.num_vertices());
+    out.manifest = ResultManifest::FromWholeTable(
+        MatchTable::Alloc(primary, 0, query.num_vertices()), primary);
     JoinPlan plan = MakeJoinPlan(query, data, filtered.candidates);
     out.column_to_query = plan.order;
     out.stats.partitions_used = 1;
@@ -565,12 +580,16 @@ Result<QueryResult> RunJoinStagePartitioned(const PartitionedGraph& pg,
       out.stats.halo_cache_bytes += remotes[p].halo_hit_bytes;
     }
 
-    // --- Merge on the primary, in global seed order. The final table of
-    // any join is grouped by its column-0 (seed) binding, runs appear in
-    // candidate-list (ascending) order, and ownership split the seed list
-    // into disjoint subsequences — so repeatedly taking the run with the
-    // smallest column-0 head reconstructs the replicated table row for
-    // row. Non-primary rows cross the interconnect (halo traffic).
+    // --- Merge planning on the primary, in global seed order. The final
+    // table of any join is grouped by its column-0 (seed) binding, runs
+    // appear in candidate-list (ascending) order, and ownership split the
+    // seed list into disjoint subsequences — so repeatedly taking the run
+    // with the smallest column-0 head reconstructs the replicated table row
+    // for row. The partial tables stay on their partition devices; only the
+    // ordered run list is computed here, but the movement of non-primary
+    // rows is still charged now (halo traffic), so one-shot and paged
+    // consumers observe identical counters no matter how many pages are
+    // eventually fetched.
     const gpusim::MemStats before_merge = primary.stats();
     obs::ScopedSpan merge_span(join_span.context(), "result_merge",
                                primary_clock);
@@ -578,14 +597,16 @@ Result<QueryResult> RunJoinStagePartitioned(const PartitionedGraph& pg,
     std::vector<const MatchTable*> tabs(k);
     for (PartitionId p = 0; p < k; ++p) tabs[p] = &parts[p]->value();
     std::vector<size_t> rows_from;
-    MatchTable merged =
-        internal::MergeBySeedRuns(primary, tabs, cols_out, rows_from);
+    const std::vector<ManifestSegment> runs =
+        internal::PlanSeedRunMerge(tabs, rows_from);
     uint64_t remote_rows = 0;
     for (PartitionId p = 1; p < k; ++p) remote_rows += rows_from[p];
     const uint64_t merge_bytes = remote_rows * cols_out * sizeof(VertexId);
     primary.ChargeRemoteTransfer(merge_bytes);
     out.stats.halo_bytes += merge_bytes;
-    merge_span.AddAttr("rows", static_cast<uint64_t>(merged.rows()));
+    size_t total_rows = 0;
+    for (const MatchTable* t : tabs) total_rows += t->rows();
+    merge_span.AddAttr("rows", static_cast<uint64_t>(total_rows));
     merge_span.AddAttr("halo_bytes", merge_bytes);
     if (Status h = CheckDeviceHealthy(primary, "result_merge"); !h.ok()) {
       return h;
@@ -593,9 +614,18 @@ Result<QueryResult> RunJoinStagePartitioned(const PartitionedGraph& pg,
     const gpusim::MemStats merge_mem = primary.stats() - before_merge;
     join_counters += merge_mem;
 
-    detail.final_rows = merged.rows();
-    detail.peak_rows = std::max(detail.peak_rows, merged.rows());
-    out.table = std::move(merged);
+    detail.final_rows = total_rows;
+    detail.peak_rows = std::max(detail.peak_rows, total_rows);
+    out.manifest.set_cols(cols_out);
+    std::vector<size_t> part_index(k, SIZE_MAX);
+    for (PartitionId p = 0; p < k; ++p) {
+      if (parts[p]->value().rows() == 0) continue;  // nothing to reference
+      part_index[p] =
+          out.manifest.AddPart(std::move(parts[p]->value()), pg.device(p));
+    }
+    for (const ManifestSegment& r : runs) {
+      out.manifest.AddSegment(part_index[r.part], r.begin, r.count);
+    }
     out.column_to_query = plan.order;
     out.stats.join = join_counters;
     out.stats.join_detail = detail;
@@ -616,13 +646,27 @@ Result<QueryResult> RunJoinStagePartitioned(const PartitionedGraph& pg,
     out.stats.join_ms = out.stats.join.SimulatedMs(primary.config());
   }
   out.stats.total_ms = out.stats.filter_ms + out.stats.join_ms;
-  out.stats.num_matches = out.table.rows();
+  out.stats.num_matches = out.manifest.rows();
   return out;
 }
 
-Result<QueryResult> ExecuteQueryPartitioned(const PartitionedGraph& pg,
+Result<QueryResult> RunJoinStagePartitioned(const PartitionedGraph& pg,
                                             const Graph& query,
+                                            FilterResult filtered,
+                                            QueryStats stats,
                                             const obs::TraceContext& trace) {
+  Result<PagedQueryResult> paged = RunJoinStagePartitionedPaged(
+      pg, query, std::move(filtered), std::move(stats), trace);
+  if (!paged.ok()) return paged.status();
+  // Materializing is host-mediated row movement (uncharged); the merge's
+  // interconnect cost was already charged at plan time, so this wrapper is
+  // counter- and table-bit-identical to the historical eager merge.
+  return ToQueryResult(std::move(paged.value()), pg.device(0));
+}
+
+Result<PagedQueryResult> ExecuteQueryPartitionedPaged(
+    const PartitionedGraph& pg, const Graph& query,
+    const obs::TraceContext& trace) {
   WallTimer wall;
   const obs::DeviceCycleClock primary_clock(pg.device(0));
   obs::ScopedSpan span(trace, "execute_partitioned", primary_clock, 0);
@@ -632,7 +676,7 @@ Result<QueryResult> ExecuteQueryPartitioned(const PartitionedGraph& pg,
   Result<FilterResult> filtered = RunFilterStagePartitioned(
       pg, query, stats, &filter_parallel_ms, span.context());
   if (!filtered.ok()) return filtered.status();
-  Result<QueryResult> out = RunJoinStagePartitioned(
+  Result<PagedQueryResult> out = RunJoinStagePartitionedPaged(
       pg, query, std::move(filtered.value()), stats, span.context());
   if (out.ok()) {
     // The join stage derives filter_ms from the summed counters; restore
@@ -643,6 +687,15 @@ Result<QueryResult> ExecuteQueryPartitioned(const PartitionedGraph& pg,
     out->stats.wall_ms = wall.ElapsedMs();
   }
   return out;
+}
+
+Result<QueryResult> ExecuteQueryPartitioned(const PartitionedGraph& pg,
+                                            const Graph& query,
+                                            const obs::TraceContext& trace) {
+  Result<PagedQueryResult> paged =
+      ExecuteQueryPartitionedPaged(pg, query, trace);
+  if (!paged.ok()) return paged.status();
+  return ToQueryResult(std::move(paged.value()), pg.device(0));
 }
 
 }  // namespace gsi

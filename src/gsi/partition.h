@@ -12,6 +12,7 @@
 #include "gsi/filter.h"
 #include "gsi/halo_cache.h"
 #include "gsi/matcher.h"
+#include "gsi/result_manifest.h"
 #include "storage/pcsr.h"
 #include "storage/signature_table.h"
 #include "util/status.h"
@@ -198,6 +199,17 @@ Result<QueryResult> RunJoinStagePartitioned(const PartitionedGraph& pg,
                                             const obs::TraceContext& trace =
                                                 {});
 
+/// The paged core RunJoinStagePartitioned wraps: identical execution and
+/// identical stats (the merge's interconnect traffic is charged at plan
+/// time), but the per-partition partial tables stay on their devices and
+/// the merge is returned as a ResultManifest of ascending-seed-run segments
+/// instead of one concatenated table. Materializing the manifest — all at
+/// once (ToQueryResult) or page by page — is bit-identical to the eager
+/// merge.
+Result<PagedQueryResult> RunJoinStagePartitionedPaged(
+    const PartitionedGraph& pg, const Graph& query, FilterResult filtered,
+    QueryStats stats, const obs::TraceContext& trace = {});
+
 /// Full partitioned execution: RunFilterStagePartitioned then
 /// RunJoinStagePartitioned. With one partition this degenerates to
 /// replicated single-device execution (no remote traffic). The returned
@@ -206,6 +218,13 @@ Result<QueryResult> ExecuteQueryPartitioned(const PartitionedGraph& pg,
                                             const Graph& query,
                                             const obs::TraceContext& trace =
                                                 {});
+
+/// Full partitioned execution in manifest form (the paged join stage above
+/// behind the same filter stage); ExecuteQueryPartitioned is this plus
+/// ToQueryResult on the primary.
+Result<PagedQueryResult> ExecuteQueryPartitionedPaged(
+    const PartitionedGraph& pg, const Graph& query,
+    const obs::TraceContext& trace = {});
 
 }  // namespace gsi
 

@@ -12,6 +12,7 @@
 #include "gsi/halo_cache.h"
 #include "gsi/match_table.h"
 #include "gsi/partition.h"
+#include "gsi/result_manifest.h"
 #include "storage/pcsr.h"
 #include "storage/signature.h"
 #include "storage/signature_table.h"
@@ -56,6 +57,15 @@ std::vector<VertexId> MergeAscendingDisjoint(
 MatchTable MergeBySeedRuns(gpusim::Device& primary,
                            std::span<const MatchTable* const> parts,
                            size_t cols_out, std::vector<size_t>& rows_from);
+
+/// The planning half of MergeBySeedRuns: the same smallest-column-0-head run
+/// walk, but emitting the ordered run list (part, begin, count) instead of
+/// copying rows — a pure host computation over the partial tables. The paged
+/// join paths store this list in a ResultManifest; MergeBySeedRuns is
+/// exactly this plan followed by bulk row copies. `rows_from[p]` receives
+/// the rows part p contributed, as before.
+std::vector<ManifestSegment> PlanSeedRunMerge(
+    std::span<const MatchTable* const> parts, std::vector<size_t>& rows_from);
 
 /// NeighborStore view that routes every probe N(v, l) to the PCSR share
 /// serving v's partition for this execution lane. Shares flagged local live

@@ -22,11 +22,106 @@ QueryEngine::QueryEngine(const Graph& data, GsiOptions options)
   filter_ = std::make_unique<FilterContext>(*build_dev_, data, options.filter);
 }
 
+Status QueryEngine::ValidateRequest(const ExecRequest& req) const {
+  if (!init_status_.ok()) return init_status_;
+  if (req.query == nullptr) {
+    return Status::InvalidArgument("ExecRequest.query must be set");
+  }
+  const int targets = (req.devices.empty() ? 0 : 1) +
+                      (req.partitioned != nullptr ? 1 : 0) +
+                      (req.replicated != nullptr ? 1 : 0);
+  if (targets > 1) {
+    return Status::InvalidArgument(
+        "ExecRequest names more than one execution target (set at most one "
+        "of devices / partitioned / replicated)");
+  }
+  if (req.replicated != nullptr && req.selection == nullptr) {
+    return Status::InvalidArgument(
+        "ExecRequest.replicated requires a replica selection");
+  }
+  if (req.selection != nullptr && req.replicated == nullptr) {
+    return Status::InvalidArgument(
+        "ExecRequest.selection is set but no replicated target is");
+  }
+  if (req.partitioned != nullptr) {
+    if (&req.partitioned->data() != data_) {
+      return Status::InvalidArgument(
+          "PartitionedGraph was built over a different data graph");
+    }
+    if (!(req.partitioned->options() == options_)) {
+      // Divergent tuning (signature width, join order inputs, chunking...)
+      // would execute fine but silently break the documented bit-identical
+      // parity across targets, so reject it up front.
+      return Status::InvalidArgument(
+          "PartitionedGraph was built with different GsiOptions than this "
+          "engine");
+    }
+  }
+  if (req.replicated != nullptr) {
+    if (&req.replicated->data() != data_) {
+      return Status::InvalidArgument(
+          "ReplicatedGraph was built over a different data graph");
+    }
+    if (!(req.replicated->options() == options_)) {
+      return Status::InvalidArgument(
+          "ReplicatedGraph was built with different GsiOptions than this "
+          "engine");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<QueryResult> QueryEngine::Execute(const ExecRequest& req) const {
+  if (Status v = ValidateRequest(req); !v.ok()) return v;
+  if (req.replicated != nullptr) {
+    return ExecuteQueryReplicated(*req.replicated, *req.selection, *req.query,
+                                  req.trace);
+  }
+  if (req.partitioned != nullptr) {
+    return ExecuteQueryPartitioned(*req.partitioned, *req.query, req.trace);
+  }
+  if (!req.devices.empty()) {
+    return ExecuteQuerySharded(req.devices, *data_, *store_, *filter_,
+                               options_, req.shard, *req.query, req.trace);
+  }
+  gpusim::Device dev(options_.device);
+  return ExecuteQuery(dev, *data_, *store_, *filter_, options_, *req.query,
+                      req.trace);
+}
+
+Result<PagedQueryResult> QueryEngine::ExecutePaged(
+    const ExecRequest& req) const {
+  if (Status v = ValidateRequest(req); !v.ok()) return v;
+  if (req.replicated != nullptr) {
+    return ExecuteQueryReplicatedPaged(*req.replicated, *req.selection,
+                                       *req.query, req.trace);
+  }
+  if (req.partitioned != nullptr) {
+    return ExecuteQueryPartitionedPaged(*req.partitioned, *req.query,
+                                        req.trace);
+  }
+  if (!req.devices.empty()) {
+    return ExecuteQueryShardedPaged(req.devices, *data_, *store_, *filter_,
+                                    options_, req.shard, *req.query,
+                                    req.trace);
+  }
+  // No target: the private device dies with this call, so the single-part
+  // manifest is tagged not-pool-resident (ordinal -1) — consumers read it
+  // from the host for free instead of re-leasing an owner.
+  gpusim::Device dev(options_.device);
+  Result<QueryResult> out = ExecuteQuery(dev, *data_, *store_, *filter_,
+                                         options_, *req.query, req.trace);
+  if (!out.ok()) return out.status();
+  return ToPagedResult(std::move(out.value()), /*device_ordinal=*/-1,
+                       /*fault_epoch=*/0);
+}
+
 Result<QueryResult> QueryEngine::Run(const Graph& query,
                                      const obs::TraceContext& trace) const {
-  if (!init_status_.ok()) return init_status_;
-  gpusim::Device dev(options_.device);
-  return ExecuteQuery(dev, *data_, *store_, *filter_, options_, query, trace);
+  ExecRequest req;
+  req.query = &query;
+  req.trace = trace;
+  return Execute(req);
 }
 
 Result<QueryResult> QueryEngine::RunSharded(
@@ -34,48 +129,37 @@ Result<QueryResult> QueryEngine::RunSharded(
     const ShardOptions& shard_options, const obs::TraceContext& trace) const {
   if (!init_status_.ok()) return init_status_;
   if (devs.empty()) {
+    // Execute treats "no devices" as the private-device target; this shim
+    // keeps the historical contract that RunSharded requires a lease.
     return Status::InvalidArgument("RunSharded needs at least one device");
   }
-  return ExecuteQuerySharded(devs, *data_, *store_, *filter_, options_,
-                             shard_options, query, trace);
+  ExecRequest req;
+  req.query = &query;
+  req.devices = devs;
+  req.shard = shard_options;
+  req.trace = trace;
+  return Execute(req);
 }
 
 Result<QueryResult> QueryEngine::RunPartitioned(
     const Graph& query, const PartitionedGraph& pg,
     const obs::TraceContext& trace) const {
-  if (!init_status_.ok()) return init_status_;
-  if (&pg.data() != data_) {
-    return Status::InvalidArgument(
-        "PartitionedGraph was built over a different data graph");
-  }
-  if (!(pg.options() == options_)) {
-    // Divergent tuning (signature width, join order inputs, chunking...)
-    // would execute fine but silently break the documented bit-identical
-    // parity with Run, so reject it up front.
-    return Status::InvalidArgument(
-        "PartitionedGraph was built with different GsiOptions than this "
-        "engine");
-  }
-  return ExecuteQueryPartitioned(pg, query, trace);
+  ExecRequest req;
+  req.query = &query;
+  req.partitioned = &pg;
+  req.trace = trace;
+  return Execute(req);
 }
 
 Result<QueryResult> QueryEngine::RunPartitioned(
     const Graph& query, const ReplicatedGraph& rg,
     const ReplicaSelection& sel, const obs::TraceContext& trace) const {
-  if (!init_status_.ok()) return init_status_;
-  if (&rg.data() != data_) {
-    return Status::InvalidArgument(
-        "ReplicatedGraph was built over a different data graph");
-  }
-  if (!(rg.options() == options_)) {
-    // Divergent tuning (signature width, join order inputs, chunking...)
-    // would execute fine but silently break the documented bit-identical
-    // parity with Run, so reject it up front.
-    return Status::InvalidArgument(
-        "ReplicatedGraph was built with different GsiOptions than this "
-        "engine");
-  }
-  return ExecuteQueryReplicated(rg, sel, query, trace);
+  ExecRequest req;
+  req.query = &query;
+  req.replicated = &rg;
+  req.selection = &sel;
+  req.trace = trace;
+  return Execute(req);
 }
 
 BatchResult QueryEngine::RunBatch(std::span<const Graph> queries,

@@ -79,13 +79,57 @@ class QueryEngine {
   explicit QueryEngine(const Graph& data,
                        GsiOptions options = DefaultGsiOptions());
 
-  /// Runs one query on a fresh private device (thread-safe). `trace`
-  /// (optional, obs/trace.h) collects the execution's span tree.
+  /// One query execution request: the query, at most one execution target,
+  /// and an optional trace sink — the single entry point that used to be
+  /// spread over the Run/RunSharded/RunPartitioned overload families (each
+  /// with its own trailing TraceContext parameter). Targets:
+  ///
+  ///   - nothing set: a fresh private device per call (thread-safe).
+  ///   - `devices`: intra-query sharding across leased devices
+  ///     (sharded_engine.h); `shard` tunes the fan-out.
+  ///   - `partitioned`: a 1/K-per-device partitioned data graph
+  ///     (gsi/partition.h); one query at a time against it.
+  ///   - `replicated` + `selection`: an R-way replicated partitioned graph
+  ///     (gsi/replication.h); concurrent calls need disjoint selections.
+  ///
+  /// Setting more than one target, a replicated target without a
+  /// selection, or a selection without a replicated target is
+  /// InvalidArgument. Partitioned/replicated targets must have been built
+  /// over this engine's data graph and GsiOptions (also checked). Every
+  /// target's result is bit-identical to GsiMatcher::Find.
+  struct ExecRequest {
+    const Graph* query = nullptr;
+    std::span<gpusim::Device* const> devices = {};
+    /// Tuning for the `devices` target; ignored otherwise.
+    ShardOptions shard;
+    const PartitionedGraph* partitioned = nullptr;
+    const ReplicatedGraph* replicated = nullptr;
+    const ReplicaSelection* selection = nullptr;
+    obs::TraceContext trace;
+  };
+
+  /// Runs one query as described by `req` (see ExecRequest for targets,
+  /// validation and the bit-identity contract).
+  Result<QueryResult> Execute(const ExecRequest& req) const;
+
+  /// Execute in manifest form: the result's partial tables stay on the
+  /// devices that produced them (ResultManifest; see result_manifest.h) —
+  /// what QueryService pages FetchPage results out of. Stats are identical
+  /// to Execute; materializing the manifest reproduces Execute's table
+  /// bit for bit. With no target set the private device is ephemeral, so
+  /// the single part is tagged device_ordinal = -1 (host-consumable, no
+  /// lease to reacquire).
+  Result<PagedQueryResult> ExecutePaged(const ExecRequest& req) const;
+
+  /// Deprecated: use Execute with no target set. Runs one query on a fresh
+  /// private device (thread-safe). `trace` (optional, obs/trace.h) collects
+  /// the execution's span tree.
   Result<QueryResult> Run(const Graph& query,
                           const obs::TraceContext& trace = {}) const;
 
-  /// Runs one query sharded across the caller's devices (thread-safe as
-  /// long as each device belongs to one call at a time — lease them from a
+  /// Deprecated: use Execute with `devices` (and `shard`) set. Runs one
+  /// query sharded across the caller's devices (thread-safe as long as
+  /// each device belongs to one call at a time — lease them from a
   /// DevicePool). Results are bit-identical to Run / GsiMatcher::Find; see
   /// sharded_engine.h for the partition/merge scheme and stats roll-up.
   Result<QueryResult> RunSharded(
@@ -93,9 +137,10 @@ class QueryEngine {
       const ShardOptions& shard_options = ShardOptions(),
       const obs::TraceContext& trace = {}) const;
 
-  /// Runs one query against a *partitioned* data graph (each device holds
-  /// 1/K of the PCSR + signature table instead of this engine's replica;
-  /// see gsi/partition.h). `pg` must have been built over the same data
+  /// Deprecated: use Execute with `partitioned` set. Runs one query
+  /// against a *partitioned* data graph (each device holds 1/K of the
+  /// PCSR + signature table instead of this engine's replica; see
+  /// gsi/partition.h). `pg` must have been built over the same data
   /// graph and GsiOptions as this engine; results are then bit-identical to
   /// Run / GsiMatcher::Find. Thread-safe as long as only one query executes
   /// against `pg` (and its devices) at a time.
@@ -104,7 +149,8 @@ class QueryEngine {
                                      const obs::TraceContext& trace = {})
       const;
 
-  /// Runs one query against an R-way *replicated* partitioned data graph
+  /// Deprecated: use Execute with `replicated` + `selection` set. Runs one
+  /// query against an R-way *replicated* partitioned data graph
   /// (see gsi/replication.h), serving each partition from the replica `sel`
   /// picks. Same contract as the PartitionedGraph overload — `rg` must
   /// match this engine's data graph and GsiOptions, results are
@@ -135,6 +181,9 @@ class QueryEngine {
   const FilterContext& filter() const { return *filter_; }
 
  private:
+  /// Shared validation of Execute/ExecutePaged requests (see ExecRequest).
+  Status ValidateRequest(const ExecRequest& req) const;
+
   const Graph* data_;
   GsiOptions options_;
   Status init_status_;

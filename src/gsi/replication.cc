@@ -404,12 +404,9 @@ Result<FilterResult> RunFilterStageReplicated(const ReplicatedGraph& rg,
   return result;
 }
 
-Result<QueryResult> RunJoinStageReplicated(const ReplicatedGraph& rg,
-                                           const ReplicaSelection& sel,
-                                           const Graph& query,
-                                           FilterResult filtered,
-                                           QueryStats stats,
-                                           const obs::TraceContext& trace) {
+Result<PagedQueryResult> RunJoinStageReplicatedPaged(
+    const ReplicatedGraph& rg, const ReplicaSelection& sel, const Graph& query,
+    FilterResult filtered, QueryStats stats, const obs::TraceContext& trace) {
   Status valid = ValidateSelection(rg, sel);
   if (!valid.ok()) return valid;
   const Graph& data = rg.data();
@@ -421,7 +418,7 @@ Result<QueryResult> RunJoinStageReplicated(const ReplicatedGraph& rg,
   obs::ScopedSpan join_span(trace, "join", primary_clock,
                             static_cast<int32_t>(lanes.devices[0]));
 
-  QueryResult out;
+  PagedQueryResult out;
   out.stats = stats;
   out.stats.replica_lanes = lanes.devices.size();
 
@@ -429,13 +426,15 @@ Result<QueryResult> RunJoinStageReplicated(const ReplicatedGraph& rg,
     // Degenerate query: the candidate set is the answer (assembled on the
     // primary, exactly like RunJoinStage).
     const CandidateSet& c = filtered.candidates[0];
-    out.table = MatchTable::Alloc(primary, c.size(), 1);
-    for (size_t i = 0; i < c.size(); ++i) out.table.Set(i, 0, c.list()[i]);
+    MatchTable table = MatchTable::Alloc(primary, c.size(), 1);
+    for (size_t i = 0; i < c.size(); ++i) table.Set(i, 0, c.list()[i]);
+    out.manifest = ResultManifest::FromWholeTable(std::move(table), primary);
     out.column_to_query = {0};
     out.stats.partitions_used = 1;
   } else if (filtered.AnyEmpty()) {
     // Some query vertex has no candidates: zero matches, skip the join.
-    out.table = MatchTable::Alloc(primary, 0, query.num_vertices());
+    out.manifest = ResultManifest::FromWholeTable(
+        MatchTable::Alloc(primary, 0, query.num_vertices()), primary);
     JoinPlan plan = MakeJoinPlan(query, data, filtered.candidates);
     out.column_to_query = plan.order;
     out.stats.partitions_used = 1;
@@ -564,9 +563,12 @@ Result<QueryResult> RunJoinStageReplicated(const ReplicatedGraph& rg,
     double max_lane_ms = 0;
     for (double ms : lane_ms) max_lane_ms = std::max(max_lane_ms, ms);
 
-    // --- Merge on the primary, in global seed order (see MergeBySeedRuns
-    // for why this reconstructs the replicated table row for row). Rows
-    // from partitions not resident on the primary cross the interconnect.
+    // --- Merge planning on the primary, in global seed order (see
+    // MergeBySeedRuns for why this reconstructs the replicated table row
+    // for row). The partial tables stay on their lane devices; only the
+    // ordered run list is computed here, but the movement of rows from
+    // partitions not resident on the primary is still charged now, so
+    // one-shot and paged consumers observe identical counters.
     const gpusim::MemStats before_merge = primary.stats();
     obs::ScopedSpan merge_span(join_span.context(), "result_merge",
                                primary_clock);
@@ -574,8 +576,8 @@ Result<QueryResult> RunJoinStageReplicated(const ReplicatedGraph& rg,
     std::vector<const MatchTable*> tabs(k);
     for (PartitionId p = 0; p < k; ++p) tabs[p] = &parts[p]->value();
     std::vector<size_t> rows_from;
-    MatchTable merged =
-        internal::MergeBySeedRuns(primary, tabs, cols_out, rows_from);
+    const std::vector<ManifestSegment> runs =
+        internal::PlanSeedRunMerge(tabs, rows_from);
     uint64_t remote_rows = 0;
     for (PartitionId p = 0; p < k; ++p) {
       if (lanes.devices[lanes.lane_of[p]] != lanes.devices[0]) {
@@ -585,7 +587,9 @@ Result<QueryResult> RunJoinStageReplicated(const ReplicatedGraph& rg,
     const uint64_t merge_bytes = remote_rows * cols_out * sizeof(VertexId);
     primary.ChargeRemoteTransfer(merge_bytes);
     out.stats.halo_bytes += merge_bytes;
-    merge_span.AddAttr("rows", static_cast<uint64_t>(merged.rows()));
+    size_t total_rows = 0;
+    for (const MatchTable* t : tabs) total_rows += t->rows();
+    merge_span.AddAttr("rows", static_cast<uint64_t>(total_rows));
     merge_span.AddAttr("halo_bytes", merge_bytes);
     if (Status h = CheckDeviceHealthy(primary, "result_merge"); !h.ok()) {
       return h;
@@ -593,9 +597,19 @@ Result<QueryResult> RunJoinStageReplicated(const ReplicatedGraph& rg,
     const gpusim::MemStats merge_mem = primary.stats() - before_merge;
     join_counters += merge_mem;
 
-    detail.final_rows = merged.rows();
-    detail.peak_rows = std::max(detail.peak_rows, merged.rows());
-    out.table = std::move(merged);
+    detail.final_rows = total_rows;
+    detail.peak_rows = std::max(detail.peak_rows, total_rows);
+    out.manifest.set_cols(cols_out);
+    std::vector<size_t> part_index(k, SIZE_MAX);
+    for (PartitionId p = 0; p < k; ++p) {
+      if (parts[p]->value().rows() == 0) continue;  // nothing to reference
+      part_index[p] = out.manifest.AddPart(
+          std::move(parts[p]->value()),
+          rg.device(lanes.devices[lanes.lane_of[p]]));
+    }
+    for (const ManifestSegment& r : runs) {
+      out.manifest.AddSegment(part_index[r.part], r.begin, r.count);
+    }
     out.column_to_query = plan.order;
     out.stats.join = join_counters;
     out.stats.join_detail = detail;
@@ -615,14 +629,30 @@ Result<QueryResult> RunJoinStageReplicated(const ReplicatedGraph& rg,
     out.stats.join_ms = out.stats.join.SimulatedMs(primary.config());
   }
   out.stats.total_ms = out.stats.filter_ms + out.stats.join_ms;
-  out.stats.num_matches = out.table.rows();
+  out.stats.num_matches = out.manifest.rows();
   return out;
 }
 
-Result<QueryResult> ExecuteQueryReplicated(const ReplicatedGraph& rg,
+Result<QueryResult> RunJoinStageReplicated(const ReplicatedGraph& rg,
                                            const ReplicaSelection& sel,
                                            const Graph& query,
+                                           FilterResult filtered,
+                                           QueryStats stats,
                                            const obs::TraceContext& trace) {
+  Result<PagedQueryResult> paged = RunJoinStageReplicatedPaged(
+      rg, sel, query, std::move(filtered), std::move(stats), trace);
+  if (!paged.ok()) return paged.status();
+  // Materializing is host-mediated row movement (uncharged); the merge's
+  // interconnect cost was already charged at plan time, so this wrapper is
+  // counter- and table-bit-identical to the historical eager merge.
+  const Lanes lanes = LanesOf(rg, sel);
+  return ToQueryResult(std::move(paged.value()),
+                       rg.device(lanes.devices[0]));
+}
+
+Result<PagedQueryResult> ExecuteQueryReplicatedPaged(
+    const ReplicatedGraph& rg, const ReplicaSelection& sel, const Graph& query,
+    const obs::TraceContext& trace) {
   WallTimer wall;
   Status valid = ValidateSelection(rg, sel);
   if (!valid.ok()) return valid;
@@ -637,7 +667,7 @@ Result<QueryResult> ExecuteQueryReplicated(const ReplicatedGraph& rg,
   Result<FilterResult> filtered = RunFilterStageReplicated(
       rg, sel, query, stats, &filter_parallel_ms, span.context());
   if (!filtered.ok()) return filtered.status();
-  Result<QueryResult> out = RunJoinStageReplicated(
+  Result<PagedQueryResult> out = RunJoinStageReplicatedPaged(
       rg, sel, query, std::move(filtered.value()), stats, span.context());
   if (out.ok()) {
     // The join stage derives filter_ms from the summed counters; restore
@@ -648,6 +678,18 @@ Result<QueryResult> ExecuteQueryReplicated(const ReplicatedGraph& rg,
     out->stats.wall_ms = wall.ElapsedMs();
   }
   return out;
+}
+
+Result<QueryResult> ExecuteQueryReplicated(const ReplicatedGraph& rg,
+                                           const ReplicaSelection& sel,
+                                           const Graph& query,
+                                           const obs::TraceContext& trace) {
+  Result<PagedQueryResult> paged =
+      ExecuteQueryReplicatedPaged(rg, sel, query, trace);
+  if (!paged.ok()) return paged.status();
+  const Lanes lanes = LanesOf(rg, sel);
+  return ToQueryResult(std::move(paged.value()),
+                       rg.device(lanes.devices[0]));
 }
 
 }  // namespace gsi

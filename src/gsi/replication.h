@@ -215,6 +215,16 @@ Result<QueryResult> RunJoinStageReplicated(const ReplicatedGraph& rg,
                                            const obs::TraceContext& trace =
                                                {});
 
+/// The paged core RunJoinStageReplicated wraps: identical execution and
+/// identical stats (the merge's interconnect traffic is charged at plan
+/// time), but partial tables stay on their lane devices and the merge is
+/// returned as a ResultManifest of ascending-seed-run segments. See
+/// RunJoinStagePartitionedPaged (gsi/partition.h).
+Result<PagedQueryResult> RunJoinStageReplicatedPaged(
+    const ReplicatedGraph& rg, const ReplicaSelection& sel, const Graph& query,
+    FilterResult filtered, QueryStats stats,
+    const obs::TraceContext& trace = {});
+
 /// Full execution against one replica selection: RunFilterStageReplicated
 /// then RunJoinStageReplicated. With replicas == 1 and one partition per
 /// device this degenerates to partitioned execution; the returned match
@@ -225,6 +235,13 @@ Result<QueryResult> ExecuteQueryReplicated(const ReplicatedGraph& rg,
                                            const Graph& query,
                                            const obs::TraceContext& trace =
                                                {});
+
+/// Full replicated execution in manifest form (the paged join stage above
+/// behind the same filter stage); ExecuteQueryReplicated is this plus
+/// ToQueryResult on the selection's primary device.
+Result<PagedQueryResult> ExecuteQueryReplicatedPaged(
+    const ReplicatedGraph& rg, const ReplicaSelection& sel, const Graph& query,
+    const obs::TraceContext& trace = {});
 
 }  // namespace gsi
 

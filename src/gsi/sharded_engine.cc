@@ -171,15 +171,11 @@ Result<FilterResult> RunFilterStageSharded(
   return result;
 }
 
-Result<QueryResult> RunJoinStageSharded(std::span<gpusim::Device* const> devs,
-                                        const Graph& data,
-                                        const NeighborStore& store,
-                                        const GsiOptions& options,
-                                        const ShardOptions& shard_options,
-                                        const Graph& query,
-                                        FilterResult filtered,
-                                        QueryStats stats,
-                                        const obs::TraceContext& trace) {
+Result<PagedQueryResult> RunJoinStageShardedPaged(
+    std::span<gpusim::Device* const> devs, const Graph& data,
+    const NeighborStore& store, const GsiOptions& options,
+    const ShardOptions& shard_options, const Graph& query,
+    FilterResult filtered, QueryStats stats, const obs::TraceContext& trace) {
   GSI_CHECK_MSG(!devs.empty(), "sharded join needs at least one device");
   const size_t min_work = std::max<size_t>(1, shard_options.min_rows_per_shard);
   const size_t oversubscribe =
@@ -188,8 +184,11 @@ Result<QueryResult> RunJoinStageSharded(std::span<gpusim::Device* const> devs,
   // Degenerate shapes take the single-device path; RunJoinStage recomputes
   // the plan, which is deterministic.
   if (devs.size() < 2 || query.num_vertices() < 2 || filtered.AnyEmpty()) {
-    return RunJoinStage(*devs[0], data, store, options, query,
-                        std::move(filtered), stats, trace);
+    Result<QueryResult> one = RunJoinStage(*devs[0], data, store, options,
+                                           query, std::move(filtered), stats,
+                                           trace);
+    if (!one.ok()) return one.status();
+    return ToPagedResult(std::move(one.value()), *devs[0]);
   }
 
   gpusim::Device& primary = *devs[0];
@@ -281,6 +280,8 @@ Result<QueryResult> RunJoinStageSharded(std::span<gpusim::Device* const> devs,
   };
 
   gpusim::MemStats mark = primary.stats();
+  ResultManifest manifest;  // filled by the final step
+  bool paged_final = false;  // final step was distributed: partials kept
   MatchTable m = serial_engine.SeedTable(plan, filtered.candidates);
   for (size_t k = 0; k < plan.steps.size() && m.rows() > 0; ++k) {
     // Close the current primary-serial segment before any parallel work.
@@ -340,6 +341,7 @@ Result<QueryResult> RunJoinStageSharded(std::span<gpusim::Device* const> devs,
     std::vector<std::optional<Result<MatchTable>>> tables(slices.size());
     std::vector<gpusim::MemStats> slice_mem(slices.size());
     std::vector<JoinStats> slice_join(slices.size());
+    std::vector<gpusim::Device*> slice_dev(slices.size(), nullptr);
     std::atomic<size_t> next_slice{0};
     {
       for (size_t d = 0; d < workers; ++d) {
@@ -348,6 +350,7 @@ Result<QueryResult> RunJoinStageSharded(std::span<gpusim::Device* const> devs,
           const obs::DeviceCycleClock clock(dev);
           for (size_t i = next_slice.fetch_add(1); i < slices.size();
                i = next_slice.fetch_add(1)) {
+            slice_dev[i] = &dev;
             obs::ScopedSpan slice_span(step_span.context(), "shard_slice",
                                        clock, static_cast<int32_t>(d));
             slice_span.AddAttr("slice", static_cast<uint64_t>(i));
@@ -402,8 +405,32 @@ Result<QueryResult> RunJoinStageSharded(std::span<gpusim::Device* const> devs,
     }
     detail.iterations += 1;
 
+    if (k + 1 == plan.steps.size()) {
+      // Final step: nothing downstream needs the whole table on one
+      // device, so the partial tables stay where the slices ran and the
+      // gather degenerates to recording the slice order in the manifest.
+      // (Which device owns a part follows the wall-clock slice pulls —
+      // like the slice spans' attribution — but the segment order, and
+      // hence every page, is the deterministic slice order.)
+      manifest.set_cols(plan.order.size());
+      for (size_t i = 0; i < tables.size(); ++i) {
+        MatchTable part_table = std::move(tables[i]->value());
+        const size_t part_rows = part_table.rows();
+        if (part_rows == 0) continue;
+        const size_t part =
+            manifest.AddPart(std::move(part_table), *slice_dev[i]);
+        manifest.AddSegment(part, 0, part_rows);
+      }
+      detail.peak_rows = std::max(detail.peak_rows, manifest.rows());
+      paged_final = true;
+      m = MatchTable();
+      mark = primary.stats();
+      break;
+    }
+
     // Gather in slice order on the primary's address space (bulk
-    // host-mediated concatenation).
+    // host-mediated concatenation) — the next step consumes the whole
+    // table.
     std::vector<const MatchTable*> parts;
     parts.reserve(slices.size());
     for (auto& t : tables) parts.push_back(&t->value());
@@ -418,11 +445,16 @@ Result<QueryResult> RunJoinStageSharded(std::span<gpusim::Device* const> devs,
     return h;
   }
 
-  if (m.rows() == 0 && m.cols() != plan.order.size()) {
-    // A distributed step emptied the table mid-join: the final answer is
-    // empty but must still be full-width, exactly like RunSteps' early
-    // exit.
-    m = MatchTable::Alloc(primary, 0, plan.order.size());
+  if (!paged_final) {
+    if (m.rows() == 0 && m.cols() != plan.order.size()) {
+      // A distributed step emptied the table mid-join: the final answer is
+      // empty but must still be full-width, exactly like RunSteps' early
+      // exit.
+      m = MatchTable::Alloc(primary, 0, plan.order.size());
+    }
+    // The final step ran serially: the whole table already lives on the
+    // primary; the manifest is the degenerate one-part form.
+    manifest = ResultManifest::FromWholeTable(std::move(m), primary);
   }
 
   // --- Roll-up: counters sum total work across devices; the time is the
@@ -434,13 +466,13 @@ Result<QueryResult> RunJoinStageSharded(std::span<gpusim::Device* const> devs,
   detail.total_chunks += serial_detail.total_chunks;
   detail.dup_cache_hits += serial_detail.dup_cache_hits;
   detail.dup_cache_misses += serial_detail.dup_cache_misses;
-  detail.final_rows = m.rows();
+  detail.final_rows = manifest.rows();
 
   join_counters += serial_total;
 
-  QueryResult out;
+  PagedQueryResult out;
   out.stats = stats;
-  out.table = std::move(m);
+  out.manifest = std::move(manifest);
   out.column_to_query = plan.order;
   out.stats.join = join_counters;
   out.stats.join_detail = detail;
@@ -452,7 +484,7 @@ Result<QueryResult> RunJoinStageSharded(std::span<gpusim::Device* const> devs,
                  serial_total.SimulatedMs(primary.config()), makespan_ms);
   }
   out.stats.total_ms = out.stats.filter_ms + out.stats.join_ms;
-  out.stats.num_matches = out.table.rows();
+  out.stats.num_matches = out.manifest.rows();
   out.stats.shards_used = shards_used;
   if (shards_used > 1) {
     double max_load = 0;
@@ -471,14 +503,30 @@ Result<QueryResult> RunJoinStageSharded(std::span<gpusim::Device* const> devs,
   return out;
 }
 
-Result<QueryResult> ExecuteQuerySharded(std::span<gpusim::Device* const> devs,
+Result<QueryResult> RunJoinStageSharded(std::span<gpusim::Device* const> devs,
                                         const Graph& data,
                                         const NeighborStore& store,
-                                        const FilterContext& filter,
                                         const GsiOptions& options,
                                         const ShardOptions& shard_options,
                                         const Graph& query,
+                                        FilterResult filtered,
+                                        QueryStats stats,
                                         const obs::TraceContext& trace) {
+  Result<PagedQueryResult> paged = RunJoinStageShardedPaged(
+      devs, data, store, options, shard_options, query, std::move(filtered),
+      std::move(stats), trace);
+  if (!paged.ok()) return paged.status();
+  // Materializing is host-mediated row concatenation (uncharged, exactly
+  // the movement the historical eager gather performed), so this wrapper is
+  // counter- and table-bit-identical to it.
+  return ToQueryResult(std::move(paged.value()), *devs[0]);
+}
+
+Result<PagedQueryResult> ExecuteQueryShardedPaged(
+    std::span<gpusim::Device* const> devs, const Graph& data,
+    const NeighborStore& store, const FilterContext& filter,
+    const GsiOptions& options, const ShardOptions& shard_options,
+    const Graph& query, const obs::TraceContext& trace) {
   GSI_CHECK_MSG(!devs.empty(), "sharded execution needs at least one device");
   WallTimer wall;
   const obs::DeviceCycleClock primary_clock(*devs[0]);
@@ -489,9 +537,9 @@ Result<QueryResult> ExecuteQuerySharded(std::span<gpusim::Device* const> devs,
   Result<FilterResult> filtered = RunFilterStageSharded(
       devs, filter, query, stats, &filter_parallel_ms, span.context());
   if (!filtered.ok()) return filtered.status();
-  Result<QueryResult> out =
-      RunJoinStageSharded(devs, data, store, options, shard_options, query,
-                          std::move(filtered.value()), stats, span.context());
+  Result<PagedQueryResult> out = RunJoinStageShardedPaged(
+      devs, data, store, options, shard_options, query,
+      std::move(filtered.value()), stats, span.context());
   if (out.ok()) {
     // The join stage derives filter_ms from the summed counters; restore
     // the fanned-out filter's makespan so total_ms reflects wall-parallel
@@ -501,6 +549,20 @@ Result<QueryResult> ExecuteQuerySharded(std::span<gpusim::Device* const> devs,
     out->stats.wall_ms = wall.ElapsedMs();
   }
   return out;
+}
+
+Result<QueryResult> ExecuteQuerySharded(std::span<gpusim::Device* const> devs,
+                                        const Graph& data,
+                                        const NeighborStore& store,
+                                        const FilterContext& filter,
+                                        const GsiOptions& options,
+                                        const ShardOptions& shard_options,
+                                        const Graph& query,
+                                        const obs::TraceContext& trace) {
+  Result<PagedQueryResult> paged = ExecuteQueryShardedPaged(
+      devs, data, store, filter, options, shard_options, query, trace);
+  if (!paged.ok()) return paged.status();
+  return ToQueryResult(std::move(paged.value()), *devs[0]);
 }
 
 }  // namespace gsi

@@ -8,6 +8,7 @@
 #include "gsi/filter.h"
 #include "gsi/load_balance.h"
 #include "gsi/matcher.h"
+#include "gsi/result_manifest.h"
 #include "storage/neighbor_store.h"
 #include "util/status.h"
 
@@ -86,6 +87,21 @@ Result<QueryResult> RunJoinStageSharded(std::span<gpusim::Device* const> devs,
                                         QueryStats stats,
                                         const obs::TraceContext& trace = {});
 
+/// The paged core RunJoinStageSharded wraps: identical execution, counters
+/// and makespan, but when the FINAL join step distributes, its partial
+/// tables stay on the devices that ran the slices and are returned as a
+/// ResultManifest whose segments record the deterministic slice order
+/// (intermediate steps still gather — the next step consumes the whole
+/// table). A serial final step returns the degenerate one-part manifest on
+/// devs[0]. Materializing the manifest is bit-identical to the eager
+/// gather.
+Result<PagedQueryResult> RunJoinStageShardedPaged(
+    std::span<gpusim::Device* const> devs, const Graph& data,
+    const NeighborStore& store, const GsiOptions& options,
+    const ShardOptions& shard_options, const Graph& query,
+    FilterResult filtered, QueryStats stats,
+    const obs::TraceContext& trace = {});
+
 /// Full sharded execution: RunFilterStageSharded then RunJoinStageSharded
 /// across the same devices. With devs.size() == 1 this is exactly
 /// ExecuteQuery. Each device must be used by one call at a time (lease them
@@ -101,6 +117,15 @@ Result<QueryResult> ExecuteQuerySharded(std::span<gpusim::Device* const> devs,
                                         const ShardOptions& shard_options,
                                         const Graph& query,
                                         const obs::TraceContext& trace = {});
+
+/// Full sharded execution in manifest form (the paged join stage above
+/// behind the same filter stage); ExecuteQuerySharded is this plus
+/// ToQueryResult on devs[0].
+Result<PagedQueryResult> ExecuteQueryShardedPaged(
+    std::span<gpusim::Device* const> devs, const Graph& data,
+    const NeighborStore& store, const FilterContext& filter,
+    const GsiOptions& options, const ShardOptions& shard_options,
+    const Graph& query, const obs::TraceContext& trace = {});
 
 }  // namespace gsi
 

@@ -106,6 +106,35 @@ std::optional<DevicePool::Lease> DevicePool::TryAcquire() {
   return Lease(this, index);
 }
 
+Result<DevicePool::Lease> DevicePool::AcquireDevice(size_t index) {
+  MutexLock lock(mu_);
+  if (index >= devices_.size()) {
+    return Status::InvalidArgument(
+        "AcquireDevice: device index " + std::to_string(index) +
+        " out of range (pool has " + std::to_string(devices_.size()) +
+        " devices)");
+  }
+  if (is_quarantined_[index] != 0) {
+    return Status::Unavailable(
+        "AcquireDevice needs device " + std::to_string(index) +
+        ", which is quarantined (" + devices_[index]->fault_message() +
+        "); repair it or rebuild the result elsewhere");
+  }
+  if (is_free_[index] == 0) ++stats_.blocked;
+  while (is_free_[index] == 0 && is_quarantined_[index] == 0) {
+    idle_cv_.Wait(mu_);
+  }
+  if (is_quarantined_[index] != 0) {
+    return Status::Aborted(
+        "device " + std::to_string(index) +
+        " was quarantined while AcquireDevice waited for it (" +
+        devices_[index]->fault_message() +
+        "); repair it or rebuild the result elsewhere");
+  }
+  TakeDeviceLocked(index);
+  return Lease(this, index);
+}
+
 Result<std::vector<DevicePool::Lease>> DevicePool::AcquireAll() {
   std::vector<Lease> leases;
   leases.reserve(devices_.size());

@@ -106,6 +106,16 @@ class DevicePool {
   /// devices are never idle, so they are naturally skipped).
   std::optional<Lease> TryAcquire() GSI_EXCLUDES(mu_);
 
+  /// Blocks until device `index` specifically is idle, then leases it — the
+  /// primitive of paged result fetching, where a cursor must reacquire
+  /// exactly the device that holds a partial table (see
+  /// gsi::ResultManifest). Fails with kInvalidArgument for a bad index,
+  /// kUnavailable when the device is quarantined at call time, kAborted
+  /// when it was quarantined while this call waited. Safe against
+  /// AcquireAll holders for the same reason Acquire is: a waiting caller
+  /// holds nothing, so no cycle can form.
+  Result<Lease> AcquireDevice(size_t index) GSI_EXCLUDES(mu_);
+
   /// One blocking lease plus up to `max_devices - 1` more without blocking:
   /// the fan-out primitive — a heavy query takes whatever is idle right
   /// now, never waits for peers to finish. Returns between 1 and

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/check.h"
 #include "util/percentile.h"
 #include "util/timer.h"
 
@@ -26,6 +27,22 @@ namespace {
 GsiOptions WithHaloBudget(GsiOptions go, const ServiceOptions& so) {
   if (so.partition_data_graph) go.halo_budget_bytes = so.halo_budget_bytes;
   return go;
+}
+
+// Uniform double-consume status for every observer path (Poll, Wait,
+// FetchPage): kNotFound with an actionable message, not an internal error —
+// the caller's bug is ordinary and recoverable.
+Status AlreadyConsumed(uint64_t id) {
+  return Status::NotFound(
+      "result of ticket " + std::to_string(id) +
+      " was already consumed (results are one-shot: the first Poll/Wait or "
+      "FetchPage takes ownership); re-submit the query to compute it again");
+}
+
+Status CursorClosed(uint64_t id) {
+  return Status::NotFound("cursor of ticket " + std::to_string(id) +
+                          " is closed; re-submit the query to stream it "
+                          "again");
 }
 
 }  // namespace
@@ -218,28 +235,229 @@ std::optional<Result<QueryResult>> QueryService::Poll(
   if (!ticket.valid()) {
     return Result<QueryResult>(Status::InvalidArgument("invalid ticket"));
   }
-  MutexLock lock(mu_);
-  TicketState& t = *ticket.state_;
-  if (t.phase != Phase::kDone) return std::nullopt;
-  if (t.taken) {
-    return Result<QueryResult>(Status::Internal(
-        "result of ticket " + std::to_string(t.id) + " already taken"));
+  std::optional<Result<PagedQueryResult>> paged;
+  {
+    MutexLock lock(mu_);
+    TicketState& t = *ticket.state_;
+    if (t.phase != Phase::kDone) return std::nullopt;
+    if (t.taken) return Result<QueryResult>(AlreadyConsumed(t.id));
+    t.taken = true;
+    paged = std::move(*t.result);
   }
-  t.taken = true;
-  return std::move(*t.result);
+  if (!paged->ok()) return Result<QueryResult>(paged->status());
+  // Materialize outside the lock: every copy is host-mediated (uncharged),
+  // so the table and stats stay bit-identical to the eager merge.
+  gpusim::Device tmp(engine_.options().device);
+  return Result<QueryResult>(ToQueryResult(std::move(paged->value()), tmp));
 }
 
 Result<QueryResult> QueryService::Wait(const QueryTicket& ticket) {
   if (!ticket.valid()) return Status::InvalidArgument("invalid ticket");
-  MutexLock lock(mu_);
-  TicketState& t = *ticket.state_;
-  while (t.phase != Phase::kDone) done_cv_.Wait(mu_);
-  if (t.taken) {
-    return Status::Internal("result of ticket " + std::to_string(t.id) +
-                            " already taken");
+  std::optional<Result<PagedQueryResult>> paged;
+  {
+    MutexLock lock(mu_);
+    TicketState& t = *ticket.state_;
+    while (t.phase != Phase::kDone) done_cv_.Wait(mu_);
+    if (t.taken) return AlreadyConsumed(t.id);
+    t.taken = true;
+    paged = std::move(*t.result);
   }
-  t.taken = true;
-  return std::move(*t.result);
+  if (!paged->ok()) return paged->status();
+  gpusim::Device tmp(engine_.options().device);
+  return ToQueryResult(std::move(paged->value()), tmp);
+}
+
+Status QueryService::CopyPageChunks(const PagedQueryResult& paged,
+                                    size_t row_begin, size_t take,
+                                    std::vector<VertexId>& dst) {
+  const ResultManifest& manifest = paged.manifest;
+  const size_t cols = manifest.cols();
+  size_t offset = 0;
+  for (const ManifestSegment& seg : manifest.Slice(row_begin, take)) {
+    const ResultManifest::Part& part = manifest.part(seg.part);
+    VertexId* out = dst.data() + offset * cols;
+    if (part.device_ordinal >= 0) {
+      // Lease exactly the owning device for this chunk. One lease at a
+      // time — FetchPage never holds two, so it cannot deadlock against
+      // workers (or other cursors) however the segment owners interleave.
+      Result<DevicePool::Lease> lease_or =
+          devices_->AcquireDevice(static_cast<size_t>(part.device_ordinal));
+      if (!lease_or.ok()) return lease_or.status();
+      gpusim::Device& dev = *lease_or.value();
+      if (dev.fault_epoch() != part.fault_epoch) {
+        // Fail-stop: the owner tripped (and was possibly repaired) after
+        // producing this partial — its resident copy did not survive.
+        return Status::Unavailable(
+            "partial result on device " +
+            std::to_string(part.device_ordinal) +
+            " was lost to a device fault; the query must be recomputed");
+      }
+      manifest.CopyChunk(seg, out);
+      // The page-out is the device->host movement the eager merge never
+      // paid per page; charge it (honoring armed fault triggers) on the
+      // owner.
+      dev.ChargeRemoteTransfer(seg.count * cols * sizeof(VertexId));
+      if (!dev.healthy()) {
+        return Status::Unavailable(
+            "device " + std::to_string(part.device_ordinal) +
+            " failed while paging out a result chunk (" +
+            dev.fault_message() + ")");
+      }
+    } else {
+      // Not pool-resident (produced on a private engine device): the rows
+      // are host-consumable for free.
+      manifest.CopyChunk(seg, out);
+    }
+    offset += seg.count;
+  }
+  return Status::Ok();
+}
+
+Result<ResultPage> QueryService::FetchPage(const QueryTicket& ticket,
+                                           const PageOptions& options) {
+  if (!ticket.valid()) return Status::InvalidArgument("invalid ticket");
+  TicketState& t = *ticket.state_;
+  std::shared_ptr<obs::Tracer> tracer;
+  int max_attempts = 1;
+  ResultPage page;
+  size_t take = 0;
+  size_t total = 0;
+  {
+    MutexLock lock(mu_);
+    while (t.phase != Phase::kDone) done_cv_.Wait(mu_);
+    if (t.cursor_closed) return CursorClosed(t.id);
+    if (!t.cursor.has_value()) {
+      if (t.taken) return AlreadyConsumed(t.id);
+      t.taken = true;
+      if (!t.result->ok()) return t.result->status();
+      TicketState::Cursor cursor;
+      cursor.paged = std::move(t.result->value());
+      t.cursor.emplace(std::move(cursor));
+      ++stats_.cursors_opened;
+      stats_.cursor_resident_bytes += t.cursor->paged.manifest.resident_bytes();
+    }
+    // Serialize on the cursor: its holder pages chunks outside this lock.
+    while (t.cursor.has_value() && t.cursor->busy) done_cv_.Wait(mu_);
+    if (t.cursor_closed || !t.cursor.has_value()) return CursorClosed(t.id);
+    t.cursor->busy = true;
+    tracer = t.tracer;
+    max_attempts = t.max_attempts;
+
+    const ResultManifest& manifest = t.cursor->paged.manifest;
+    total = manifest.rows();
+    page.cols = manifest.cols();
+    page.column_to_query = t.cursor->paged.column_to_query;
+    page.row_begin = t.cursor->next_row;
+    page.page_index = t.cursor->pages;
+    take = total - page.row_begin;
+    if (options.max_rows > 0) take = std::min(take, options.max_rows);
+    if (options_.page_budget_bytes > 0 && page.cols > 0) {
+      // The host-residency bound: a page holds at most page_budget_bytes
+      // of match rows, never rounded below one row.
+      const size_t budget_rows = std::max<size_t>(
+          1, options_.page_budget_bytes / (page.cols * sizeof(VertexId)));
+      take = std::min(take, budget_rows);
+    }
+  }
+
+  // Materialize the page with the cursor marked busy but the service lock
+  // released: chunk copies lease pool devices and may block on them.
+  const uint64_t span_start = tracer ? service_clock_.NowNanos() : 0;
+  page.rows.resize(take * page.cols);
+  Status page_status = Status::Ok();
+  for (int attempt = 1;; ++attempt) {
+    page_status = CopyPageChunks(t.cursor->paged, page.row_begin, take,
+                                 page.rows);
+    if (page_status.ok()) break;
+    const StatusCode code = page_status.code();
+    const bool device_fault =
+        code == StatusCode::kUnavailable || code == StatusCode::kAborted;
+    if (device_fault) {
+      MutexLock lock(mu_);
+      ++stats_.device_failures;
+    }
+    if (!device_fault || attempt >= max_attempts) break;
+    // The device-resident partials are gone; recompute the result on
+    // healthy hardware. Determinism makes the rebuilt table identical, so
+    // the rows already served stay a valid prefix and this page simply
+    // retries against the fresh manifest.
+    obs::TraceContext trace;
+    if (tracer) trace = obs::TraceContext{tracer.get(), -1, obs::kHostDevice};
+    Result<PagedQueryResult> rebuilt = RunOne(t.query, 1, trace);
+    if (!rebuilt.ok()) {
+      page_status = rebuilt.status();
+      break;
+    }
+    GSI_CHECK_MSG(rebuilt->manifest.rows() == total &&
+                      rebuilt->manifest.cols() == page.cols,
+                  "rebuilt cursor result diverged from the original");
+    const bool failover = devices_->stats().quarantined_now > 0;
+    {
+      MutexLock lock(mu_);
+      stats_.cursor_resident_bytes -= t.cursor->paged.manifest.resident_bytes();
+      t.cursor->paged = std::move(rebuilt.value());
+      stats_.cursor_resident_bytes += t.cursor->paged.manifest.resident_bytes();
+      ++t.cursor->rebuilds;
+      ++stats_.cursor_rebuilds;
+      ++stats_.retries;
+      if (failover) ++stats_.failovers;
+    }
+  }
+
+  if (!page_status.ok()) {
+    {
+      MutexLock lock(mu_);
+      t.cursor->busy = false;
+    }
+    done_cv_.NotifyAll();
+    if (page_status.code() == StatusCode::kAborted) {
+      // Internal propagation (a device wait invalidated mid-flight);
+      // callers see the retriable availability failure.
+      return Status::Unavailable(page_status.message());
+    }
+    return page_status;
+  }
+
+  page.num_rows = take;
+  page.done = page.row_begin + take >= total;
+  const size_t page_bytes = take * page.cols * sizeof(VertexId);
+  uint64_t rebuilds = 0;
+  {
+    MutexLock lock(mu_);
+    t.cursor->next_row = page.row_begin + take;
+    ++t.cursor->pages;
+    t.cursor->busy = false;
+    rebuilds = t.cursor->rebuilds;
+    ++stats_.result_pages;
+    stats_.result_page_bytes += page_bytes;
+    stats_.peak_page_bytes = std::max(stats_.peak_page_bytes, page_bytes);
+  }
+  done_cv_.NotifyAll();
+  if (tracer) {
+    const int32_t span =
+        tracer->RecordSpan("fetch_page", obs::kHostDevice, span_start,
+                           service_clock_.NowNanos(), /*parent=*/-1);
+    tracer->AddAttr(span, "page_index", std::to_string(page.page_index));
+    tracer->AddAttr(span, "rows", std::to_string(page.num_rows));
+    tracer->AddAttr(span, "bytes", std::to_string(page_bytes));
+    tracer->AddAttr(span, "rebuilds", std::to_string(rebuilds));
+  }
+  return page;
+}
+
+Status QueryService::CloseCursor(const QueryTicket& ticket) {
+  if (!ticket.valid()) return Status::InvalidArgument("invalid ticket");
+  TicketState& t = *ticket.state_;
+  MutexLock lock(mu_);
+  if (t.cursor_closed) return Status::Ok();  // idempotent
+  while (t.cursor.has_value() && t.cursor->busy) done_cv_.Wait(mu_);
+  t.cursor_closed = true;
+  if (t.cursor.has_value()) {
+    stats_.cursor_resident_bytes -= t.cursor->paged.manifest.resident_bytes();
+    ++stats_.cursors_closed;
+    t.cursor.reset();  // drops the device-resident partial tables
+  }
+  return Status::Ok();
 }
 
 bool QueryService::Cancel(const QueryTicket& ticket) {
@@ -352,6 +570,24 @@ void QueryService::RegisterServiceMetrics() {
     sink.AddCounter("gsi_service_unavailable_total",
                     "Queries that exhausted retries and failed kUnavailable",
                     static_cast<double>(s.unavailable_queries));
+    sink.AddCounter("gsi_result_pages_total",
+                    "Result pages served by FetchPage",
+                    static_cast<double>(s.result_pages));
+    sink.AddCounter("gsi_result_page_bytes_total",
+                    "Match-row bytes across served result pages",
+                    static_cast<double>(s.result_page_bytes));
+    sink.AddCounter("gsi_cursors_opened_total",
+                    "Result cursors opened by a first FetchPage",
+                    static_cast<double>(s.cursors_opened));
+    sink.AddCounter("gsi_cursor_rebuilds_total",
+                    "Cursors recomputed after losing device partials",
+                    static_cast<double>(s.cursor_rebuilds));
+    sink.AddGauge("gsi_open_cursors",
+                  "Cursors opened and not yet closed via CloseCursor",
+                  static_cast<double>(s.cursors_opened - s.cursors_closed));
+    sink.AddGauge("gsi_result_resident_bytes",
+                  "Manifest bytes pinned on pool devices by open cursors",
+                  static_cast<double>(s.cursor_resident_bytes));
     sink.AddGauge("gsi_service_max_shard_skew",
                   "Worst max/mean per-shard time observed",
                   s.max_shard_skew);
@@ -441,7 +677,7 @@ bool QueryService::RepairDevice(size_t index) {
 }
 
 void QueryService::FinishLocked(const TicketPtr& ticket,
-                                Result<QueryResult> result) {
+                                Result<PagedQueryResult> result) {
   if (result.ok()) {
     ++stats_.completed_ok;
     stats_.sum_simulated_ms += result->stats.total_ms;
@@ -513,7 +749,7 @@ void QueryService::WorkerLoop() {
       ticket->phase = Phase::kRunning;
       ++in_flight_;
     }
-    Result<QueryResult> result = [&] {
+    Result<PagedQueryResult> result = [&] {
       if (!ticket->tracer) {
         return RunOne(ticket->query, ticket->max_attempts,
                       obs::TraceContext{});
@@ -570,12 +806,12 @@ Result<FilterResult> QueryService::FilterViaCache(
   return fresh;
 }
 
-Result<QueryResult> QueryService::RunPartitionedFlow(
+Result<PagedQueryResult> QueryService::RunPartitionedFlow(
     const Graph& query, gpusim::Device& primary,
     const obs::TraceContext& trace,
     const std::function<Result<FilterResult>(QueryStats&, double*)>&
         fresh_filter,
-    const std::function<Result<QueryResult>(FilterResult, QueryStats)>&
+    const std::function<Result<PagedQueryResult>(FilterResult, QueryStats)>&
         join) {
   WallTimer wall;
   QueryStats stats;
@@ -591,7 +827,7 @@ Result<QueryResult> QueryService::RunPartitionedFlow(
     // their halo gather) were skipped and the phase ran on the primary.
     filter_parallel_ms = stats.filter.SimulatedMs(primary.config());
   }
-  Result<QueryResult> out = join(std::move(filtered.value()), stats);
+  Result<PagedQueryResult> out = join(std::move(filtered.value()), stats);
   if (out.ok()) {
     // The join stage derives filter_ms from the summed counters; restore
     // the fanned-out filter's makespan so total_ms reflects wall-parallel
@@ -603,12 +839,13 @@ Result<QueryResult> QueryService::RunPartitionedFlow(
   return out;
 }
 
-Result<QueryResult> QueryService::RunOne(const Graph& query, int max_attempts,
-                                         const obs::TraceContext& trace) {
+Result<PagedQueryResult> QueryService::RunOne(const Graph& query,
+                                              int max_attempts,
+                                              const obs::TraceContext& trace) {
   max_attempts = std::max(1, max_attempts);
   double backoff_ms = 0;
   for (int attempt = 1;; ++attempt) {
-    Result<QueryResult> out = RunOneAttempt(query, trace);
+    Result<PagedQueryResult> out = RunOneAttempt(query, trace);
     if (out.ok()) {
       out->stats.attempts = static_cast<size_t>(attempt);
       out->stats.backoff_ms = backoff_ms;
@@ -660,7 +897,7 @@ Result<QueryResult> QueryService::RunOne(const Graph& query, int max_attempts,
   }
 }
 
-Result<QueryResult> QueryService::RunOneAttempt(
+Result<PagedQueryResult> QueryService::RunOneAttempt(
     const Graph& query, const obs::TraceContext& trace) {
   const GsiOptions& go = engine_.options();
   if (replicated_) {
@@ -684,8 +921,9 @@ Result<QueryResult> QueryService::RunOneAttempt(
                                           parallel_ms, trace);
         },
         [&](FilterResult filtered, QueryStats stats) {
-          return RunJoinStageReplicated(rg, *sel, query, std::move(filtered),
-                                        stats, trace);
+          return RunJoinStageReplicatedPaged(rg, *sel, query,
+                                             std::move(filtered), stats,
+                                             trace);
         });
   }
   if (partitioned_) {
@@ -702,8 +940,8 @@ Result<QueryResult> QueryService::RunOneAttempt(
                                            trace);
         },
         [&](FilterResult filtered, QueryStats stats) {
-          return RunJoinStagePartitioned(pg, query, std::move(filtered),
-                                         stats, trace);
+          return RunJoinStagePartitionedPaged(pg, query, std::move(filtered),
+                                              stats, trace);
         });
   }
   Result<DevicePool::Lease> primary_or = devices_->Acquire();
@@ -739,9 +977,9 @@ Result<QueryResult> QueryService::RunOneAttempt(
       devs.push_back(extras.back().get());
     }
   }
-  Result<QueryResult> out =
-      RunJoinStageSharded(devs, *data_, engine_.store(), go, options_.shard,
-                          query, std::move(filtered), stats, dev_trace);
+  Result<PagedQueryResult> out = RunJoinStageShardedPaged(
+      devs, *data_, engine_.store(), go, options_.shard, query,
+      std::move(filtered), stats, dev_trace);
   if (out.ok()) out->stats.wall_ms = wall.ElapsedMs();
   return out;
 }

@@ -14,6 +14,7 @@
 #include "gsi/partition.h"
 #include "gsi/query_engine.h"
 #include "gsi/replication.h"
+#include "gsi/result_manifest.h"
 #include "gsi/sharded_engine.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
@@ -120,6 +121,44 @@ struct ServiceOptions {
   /// bytes. 0 (default) disables caching; match tables are bit-identical
   /// either way. Ignored unless partition_data_graph is set.
   uint64_t halo_budget_bytes = 0;
+
+  /// Host-resident result-byte budget per query for the cursor protocol
+  /// (FetchPage): every served page holds at most this many bytes of match
+  /// rows, so a caller streaming pages keeps one page's worth of host
+  /// memory per query instead of the whole table. The rest of the result
+  /// stays as device-resident partial tables until paged out (see
+  /// gsi/result_manifest.h). 0 (default) = unbounded — FetchPage without a
+  /// PageOptions row cap then returns the whole remainder in one page.
+  /// Never rounds below one row. Poll/Wait opt out of paging entirely
+  /// (they materialize the full table; their results are the
+  /// compatibility surface).
+  size_t page_budget_bytes = 0;
+};
+
+/// Per-FetchPage overrides.
+struct PageOptions {
+  /// Row cap for this page (0 = as many as the service's
+  /// page_budget_bytes allows). The effective page size is the smaller of
+  /// the two caps, and at least one row when rows remain.
+  size_t max_rows = 0;
+};
+
+/// One page of a query's match table, streamed out by FetchPage. Pages are
+/// contiguous, in order, and concatenating `rows` across pages is
+/// byte-identical to the one-shot table Wait returns (and to
+/// GsiMatcher::Find) for every execution mode.
+struct ResultPage {
+  /// Row-major match rows: num_rows x cols VertexIds. Column c binds query
+  /// vertex column_to_query[c].
+  std::vector<VertexId> rows;
+  size_t cols = 0;
+  std::vector<VertexId> column_to_query;
+  uint64_t page_index = 0;  ///< 0-based fetch order within the cursor
+  size_t row_begin = 0;     ///< first row's index in the full table
+  size_t num_rows = 0;
+  /// True when this page reaches the end of the table (also set on the
+  /// empty page a fetch past the end returns).
+  bool done = false;
 };
 
 /// Per-submission overrides.
@@ -187,6 +226,20 @@ struct ServiceStats {
   uint64_t failovers = 0;
   uint64_t unavailable_queries = 0;  ///< queries that failed kUnavailable
   size_t quarantined_devices = 0;    ///< currently quarantined pool devices
+  /// Cursor-protocol activity (zeros until FetchPage is used).
+  uint64_t cursors_opened = 0;   ///< tickets whose result went to a cursor
+  uint64_t cursors_closed = 0;   ///< CloseCursor calls that freed a cursor
+  uint64_t result_pages = 0;     ///< pages served by FetchPage
+  uint64_t result_page_bytes = 0;  ///< match-row bytes across those pages
+  /// Largest single page served — stays <= page_budget_bytes whenever the
+  /// budget is set (the per-query host-residency bound).
+  size_t peak_page_bytes = 0;
+  /// Cursors whose device-resident partials were lost to a fault and
+  /// recomputed mid-stream (the served prefix stayed valid; see
+  /// docs/ARCHITECTURE.md, "Result streaming").
+  uint64_t cursor_rebuilds = 0;
+  /// Manifest bytes currently pinned on pool devices by open cursors.
+  size_t cursor_resident_bytes = 0;
   DevicePool::Stats pool;        ///< device-pool health
 };
 
@@ -202,9 +255,24 @@ struct TicketState {
   // NOLINTNEXTLINE(determinism:nondeterministic-seed)
   std::chrono::steady_clock::time_point deadline{};
   /// Set exactly when phase becomes kDone; moved out by the first
-  /// Poll/Wait that observes it.
-  std::optional<Result<QueryResult>> result;
+  /// Poll/Wait that observes it or into the cursor by the first FetchPage.
+  std::optional<Result<PagedQueryResult>> result;
   bool taken = false;
+  /// Open cursor over the consumed result (first FetchPage creates it).
+  /// `busy` serializes concurrent FetchPage/CloseCursor calls on one
+  /// ticket: the holder pages chunks outside the service lock, so peers
+  /// wait on done_cv_ until it commits.
+  struct Cursor {
+    PagedQueryResult paged;
+    size_t next_row = 0;
+    uint64_t pages = 0;
+    uint64_t rebuilds = 0;
+    bool busy = false;
+  };
+  std::optional<Cursor> cursor;
+  /// Set by CloseCursor (even before a cursor opens); FetchPage then
+  /// fails kNotFound.
+  bool cursor_closed = false;
   /// Present iff SubmitOptions.trace was set; shared so GetTrace stays
   /// valid after the ticket's result is taken.
   std::shared_ptr<obs::Tracer> tracer;
@@ -240,6 +308,16 @@ class QueryTicket {
 ///   Result<QueryTicket> t = service.Submit(query);     // async
 ///   if (!t.ok()) { /* queue full under kReject */ }
 ///   Result<QueryResult> r = service.Wait(*t);          // or Poll
+///
+/// Result streaming: instead of Wait's one-shot table, FetchPage streams
+/// the result in pages of at most ServiceOptions::page_budget_bytes —
+/// partial match tables stay resident on the pool devices that produced
+/// them (a ResultManifest; gsi/result_manifest.h) and each page leases
+/// exactly the devices its chunks live on, charging the page-out as
+/// interconnect traffic. Concatenating pages is byte-identical to Wait's
+/// table. A ticket's result is one-shot across *both* protocols: the
+/// first Poll/Wait or FetchPage consumes it; later observers get
+/// kNotFound. CloseCursor releases the device-resident partials early.
 ///
 /// Admission control: the queue holds at most max_queue_depth waiting
 /// tickets; beyond that Submit sheds load (kReject -> ResourceExhausted) or
@@ -291,13 +369,46 @@ class QueryService {
       GSI_EXCLUDES(mu_);
 
   /// Non-blocking: nullopt while queued/running; once finished, moves the
-  /// result out (exactly one Poll/Wait call gets it; later calls return an
-  /// Internal "already taken" status).
+  /// result out (exactly one Poll/Wait/FetchPage consumes it; later calls
+  /// fail kNotFound — re-submit to compute the result again).
   std::optional<Result<QueryResult>> Poll(const QueryTicket& ticket)
       GSI_EXCLUDES(mu_);
 
-  /// Blocks until the ticket finishes, then moves the result out.
+  /// Blocks until the ticket finishes, then moves the result out. Same
+  /// one-shot consume semantics as Poll.
   Result<QueryResult> Wait(const QueryTicket& ticket) GSI_EXCLUDES(mu_);
+
+  /// Streams the ticket's result one page at a time (blocking until the
+  /// ticket finishes, like Wait). The first call consumes the result and
+  /// opens a cursor over its device-resident partial tables; each call
+  /// materializes the next <= min(page_budget_bytes, options.max_rows)
+  /// rows by leasing the owning pool devices chunk by chunk
+  /// (DevicePool::AcquireDevice) and charging the copy as a device->host
+  /// transfer. Pages arrive in table order; the page that reaches the end
+  /// has done = true, and further calls return empty done pages.
+  /// Concatenating pages is byte-identical to Wait's table for every
+  /// execution mode.
+  ///
+  /// Faults: a chunk whose owning device died (tripped, quarantined, or
+  /// repaired since the query ran — its fault epoch changed) fails the
+  /// page with kUnavailable; when the ticket allows retries
+  /// (max_attempts > 1) the service transparently recomputes the result on
+  /// healthy devices and resumes — determinism guarantees the already
+  /// served prefix is a prefix of the rebuilt table, so remaining pages
+  /// are identical to the no-fault stream.
+  ///
+  /// Fails kNotFound when the result was already consumed by Poll/Wait or
+  /// the cursor was closed; concurrent FetchPage calls on one ticket
+  /// serialize.
+  Result<ResultPage> FetchPage(const QueryTicket& ticket,
+                               const PageOptions& options = PageOptions())
+      GSI_EXCLUDES(mu_);
+
+  /// Releases a cursor's device-resident partial tables without draining
+  /// it. Idempotent; may be called before any FetchPage (subsequent
+  /// fetches then fail kNotFound, but Poll/Wait can still consume an
+  /// untouched result). Fails only on an invalid ticket.
+  Status CloseCursor(const QueryTicket& ticket) GSI_EXCLUDES(mu_);
 
   /// Cancels a not-yet-started ticket: true if it was removed from the
   /// queue (its result becomes Cancelled); false if it already started or
@@ -357,8 +468,8 @@ class QueryService {
   /// exponential simulated backoff between attempts. Only device failures
   /// (kUnavailable/kAborted) retry; a final kAborted is reported as
   /// kUnavailable. Records `device_failure`/`retry` spans when traced.
-  Result<QueryResult> RunOne(const Graph& query, int max_attempts,
-                             const obs::TraceContext& trace);
+  Result<PagedQueryResult> RunOne(const Graph& query, int max_attempts,
+                                  const obs::TraceContext& trace);
   /// One execution attempt: leases a primary device from the pool,
   /// satisfies the filter phase (through the cache when enabled), and —
   /// when the query is heavy and devices are idle — fans the join out
@@ -367,18 +478,18 @@ class QueryService {
   /// replica of each partition (AcquireOneOfEach) and runs the
   /// partitioned/replicated filter/join. `trace` (null tracer when
   /// untraced) parents the execution-phase spans.
-  Result<QueryResult> RunOneAttempt(const Graph& query,
-                                    const obs::TraceContext& trace);
+  Result<PagedQueryResult> RunOneAttempt(const Graph& query,
+                                         const obs::TraceContext& trace);
   /// The orchestration both partitioned-data paths share: cache-aware
   /// filter on `primary` (falling back to `fresh_filter`, which reports
   /// the phase's parallel makespan), then `join`, then the filter-makespan
   /// and wall-time fixups. Devices must already be leased by the caller.
-  Result<QueryResult> RunPartitionedFlow(
+  Result<PagedQueryResult> RunPartitionedFlow(
       const Graph& query, gpusim::Device& primary,
       const obs::TraceContext& trace,
       const std::function<Result<FilterResult>(QueryStats&, double*)>&
           fresh_filter,
-      const std::function<Result<QueryResult>(FilterResult, QueryStats)>&
+      const std::function<Result<PagedQueryResult>(FilterResult, QueryStats)>&
           join);
   /// Satisfies the filter phase through the cache when enabled: a hit
   /// rematerializes the memoized lists on `materialize_dev` (recording the
@@ -390,8 +501,17 @@ class QueryService {
       const Graph& query, gpusim::Device& materialize_dev, QueryStats& stats,
       bool* hit, const obs::TraceContext& trace,
       const std::function<Result<FilterResult>()>& fresh_filter);
-  void FinishLocked(const TicketPtr& ticket, Result<QueryResult> result)
+  void FinishLocked(const TicketPtr& ticket, Result<PagedQueryResult> result)
       GSI_REQUIRES(mu_);
+  /// Pages rows [row_begin, row_begin + take) of `paged`'s manifest into
+  /// `dst` (presized take * cols), leasing each chunk's owning pool device
+  /// and charging the copy as interconnect traffic. Fails kUnavailable
+  /// when an owner is gone (quarantined, or its fault epoch changed) or
+  /// trips mid-charge. Called with the cursor marked busy, never under
+  /// mu_.
+  Status CopyPageChunks(const PagedQueryResult& paged, size_t row_begin,
+                        size_t take, std::vector<VertexId>& dst)
+      GSI_EXCLUDES(mu_);
 
   /// Completed-ok latencies kept for the percentile snapshot.
   static constexpr size_t kLatencyWindow = 4096;

@@ -1,0 +1,288 @@
+// Paged result cursors (Submit -> ticket -> FetchPage): concatenating the
+// pages of a streamed result must be byte-identical to the one-shot table
+// (and to sequential GsiMatcher::Find) for every execution mode and page
+// budget, no page may exceed the host-residency budget, results must be
+// one-shot across the Poll/Wait and FetchPage protocols, and a cursor that
+// loses its device-resident partials to a fault must rebuild and stream
+// identical remaining pages.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gsi/matcher.h"
+#include "service/query_service.h"
+#include "test_util.h"
+
+namespace gsi {
+namespace {
+
+enum class Mode { kSingle, kSharded, kPartitioned, kReplicated };
+
+const char* ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kSingle: return "single";
+    case Mode::kSharded: return "sharded";
+    case Mode::kPartitioned: return "partitioned";
+    case Mode::kReplicated: return "replicated";
+  }
+  return "?";
+}
+
+ServiceOptions ModeOptions(Mode mode) {
+  ServiceOptions so;
+  so.num_workers = 2;
+  switch (mode) {
+    case Mode::kSingle:
+      so.num_devices = 2;
+      break;
+    case Mode::kSharded:
+      so.num_workers = 1;  // leaves three idle devices to fan out across
+      so.num_devices = 4;
+      so.max_shards_per_query = 4;
+      so.shard_min_candidates = 1;
+      so.shard.min_rows_per_shard = 1;
+      break;
+    case Mode::kPartitioned:
+      so.num_devices = 4;
+      so.partition_data_graph = true;
+      break;
+    case Mode::kReplicated:
+      so.num_devices = 4;
+      so.partition_data_graph = true;
+      so.partition_replicas = 2;
+      break;
+  }
+  return so;
+}
+
+std::vector<VertexId> FlattenTable(const QueryResult& r) {
+  std::vector<VertexId> cells;
+  cells.reserve(r.table.rows() * r.table.cols());
+  for (size_t i = 0; i < r.table.rows(); ++i) {
+    for (size_t c = 0; c < r.table.cols(); ++c) {
+      cells.push_back(r.table.At(i, c));
+    }
+  }
+  return cells;
+}
+
+TEST(PagedResults, PageConcatIsByteIdenticalAcrossModesAndBudgets) {
+  for (Mode mode : {Mode::kSingle, Mode::kSharded, Mode::kPartitioned,
+                    Mode::kReplicated}) {
+    for (uint64_t seed : {1, 2}) {
+      // Hub graphs concentrate matches, so streamed results span many
+      // pages under a tiny budget.
+      Graph data = testing::RandomHubGraph(300, 3, 2, 2, seed, 5, 0.25);
+      GsiMatcher sequential(data, GsiOptOptions());
+      Graph query = testing::RandomQuery(data, 4, 100 + seed);
+      Result<QueryResult> expected = sequential.Find(query);
+      ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+      const size_t row_bytes = expected->table.cols() * sizeof(VertexId);
+
+      // Budgets: tiny (forces many pages), an exact multiple of the row
+      // size (pages never split rows), and 0 = unbounded (one page).
+      for (size_t budget : {size_t{64}, row_bytes * 7, size_t{0}}) {
+        SCOPED_TRACE(std::string(ModeName(mode)) + " seed=" +
+                     std::to_string(seed) + " budget=" +
+                     std::to_string(budget));
+        ServiceOptions so = ModeOptions(mode);
+        so.page_budget_bytes = budget;
+        QueryService service(data, GsiOptOptions(), so);
+        ASSERT_TRUE(service.init_status().ok())
+            << service.init_status().ToString();
+        Result<QueryTicket> t = service.Submit(query);
+        ASSERT_TRUE(t.ok());
+
+        std::vector<VertexId> cells;
+        size_t pages = 0;
+        for (;;) {
+          Result<ResultPage> page = service.FetchPage(*t);
+          ASSERT_TRUE(page.ok()) << page.status().ToString();
+          EXPECT_EQ(page->cols, expected->table.cols());
+          EXPECT_EQ(page->column_to_query, expected->column_to_query);
+          EXPECT_EQ(page->page_index, pages);
+          EXPECT_EQ(page->row_begin * page->cols, cells.size());
+          EXPECT_EQ(page->rows.size(), page->num_rows * page->cols);
+          if (budget > 0) {
+            // The host-residency bound (never rounded below one row).
+            EXPECT_LE(page->num_rows * row_bytes,
+                      std::max(budget, row_bytes));
+          }
+          cells.insert(cells.end(), page->rows.begin(), page->rows.end());
+          ++pages;
+          if (page->done) break;
+        }
+        EXPECT_EQ(cells, FlattenTable(*expected));
+        if (budget == 0) {
+          EXPECT_EQ(pages, 1u);  // unbounded: the whole table in one page
+        } else if (expected->table.rows() * row_bytes > budget) {
+          EXPECT_GT(pages, 1u);
+        }
+
+        ServiceStats stats = service.stats();
+        EXPECT_EQ(stats.result_pages, pages);
+        EXPECT_EQ(stats.cursors_opened, 1u);
+        if (budget > 0) {
+          EXPECT_LE(stats.peak_page_bytes, std::max(budget, row_bytes));
+        }
+        if (expected->table.rows() > 0) {
+          // The undrained manifest stays pinned until CloseCursor.
+          EXPECT_GT(stats.cursor_resident_bytes, 0u);
+        }
+        ASSERT_TRUE(service.CloseCursor(*t).ok());
+        EXPECT_EQ(service.stats().cursor_resident_bytes, 0u);
+        EXPECT_EQ(service.stats().cursors_closed, 1u);
+        EXPECT_EQ(service.FetchPage(*t).status().code(),
+                  StatusCode::kNotFound);
+      }
+    }
+  }
+}
+
+TEST(PagedResults, ExplicitRowCapAndFetchPastEnd) {
+  Graph data = testing::RandomHubGraph(200, 3, 2, 2, 3, 4, 0.25);
+  QueryService service(data, GsiOptOptions(), ServiceOptions{});
+  Graph query = testing::RandomQuery(data, 4, 9);
+  Result<QueryTicket> t = service.Submit(query);
+  ASSERT_TRUE(t.ok());
+
+  PageOptions po;
+  po.max_rows = 3;
+  size_t total_rows = 0;
+  for (;;) {
+    Result<ResultPage> page = service.FetchPage(*t, po);
+    ASSERT_TRUE(page.ok());
+    EXPECT_LE(page->num_rows, 3u);
+    total_rows += page->num_rows;
+    if (page->done) break;
+  }
+  EXPECT_GT(total_rows, 0u);
+  // Past the end: empty pages with done set, not an error.
+  Result<ResultPage> past = service.FetchPage(*t);
+  ASSERT_TRUE(past.ok());
+  EXPECT_EQ(past->num_rows, 0u);
+  EXPECT_EQ(past->row_begin, total_rows);
+  EXPECT_TRUE(past->done);
+}
+
+TEST(PagedResults, ResultIsOneShotAcrossProtocols) {
+  Graph data = testing::RandomGraph(200, 3, 3, 2, 7);
+  QueryService service(data, GsiOptOptions(), ServiceOptions{});
+
+  // Wait consumes; FetchPage then reports NotFound with a re-submit hint.
+  Result<QueryTicket> a = service.Submit(testing::RandomQuery(data, 4, 1));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(service.Wait(*a).ok());
+  Result<ResultPage> after_wait = service.FetchPage(*a);
+  EXPECT_EQ(after_wait.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(after_wait.status().message().find("re-submit"),
+            std::string::npos);
+
+  // FetchPage consumes; Wait and Poll then report NotFound.
+  Result<QueryTicket> b = service.Submit(testing::RandomQuery(data, 4, 2));
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(service.FetchPage(*b).ok());
+  EXPECT_EQ(service.Wait(*b).status().code(), StatusCode::kNotFound);
+  std::optional<Result<QueryResult>> polled = service.Poll(*b);
+  ASSERT_TRUE(polled.has_value());
+  EXPECT_EQ(polled->status().code(), StatusCode::kNotFound);
+
+  // CloseCursor before any fetch: later fetches fail, but the untouched
+  // result is still consumable by Wait; closing again stays Ok.
+  Result<QueryTicket> c = service.Submit(testing::RandomQuery(data, 4, 3));
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(service.CloseCursor(*c).ok());
+  EXPECT_EQ(service.FetchPage(*c).status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(service.Wait(*c).ok());
+  ASSERT_TRUE(service.CloseCursor(*c).ok());
+
+  // Invalid tickets are reported, not crashed on.
+  QueryTicket invalid;
+  EXPECT_EQ(service.FetchPage(invalid).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.CloseCursor(invalid).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PagedResults, CursorRebuildsAfterDeviceFaultWithIdenticalPages) {
+  Graph data = testing::RandomHubGraph(300, 3, 2, 2, 11, 5, 0.25);
+  GsiMatcher sequential(data, GsiOptOptions());
+  Graph query = testing::RandomQuery(data, 4, 21);
+  Result<QueryResult> expected = sequential.Find(query);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_GT(expected->table.rows(), 8u)
+      << "chaos leg needs a multi-page result";
+
+  ServiceOptions so;
+  so.num_workers = 1;
+  so.num_devices = 2;
+  so.default_max_attempts = 2;  // one transparent rebuild allowed
+  so.page_budget_bytes = expected->table.cols() * sizeof(VertexId) * 4;
+  QueryService service(data, GsiOptOptions(), so);
+  ASSERT_TRUE(service.init_status().ok());
+
+  Result<QueryTicket> t = service.Submit(query);
+  ASSERT_TRUE(t.ok());
+  Result<ResultPage> first = service.FetchPage(*t);
+  ASSERT_TRUE(first.ok());
+  ASSERT_FALSE(first->done);
+
+  // The result's partial table lives on device 0 (the pool's LIFO free
+  // list leases it first). Arm a fault that trips on the next charged
+  // transaction: the next page-out kills the owner mid-copy, the poisoned
+  // lease quarantines it, and the cursor must recompute the result on
+  // device 1 and resume the stream exactly where it left off.
+  gpusim::FaultPlan plan;
+  plan.fail_after_transactions = 1;
+  plan.reason = "chaos: fault between FetchPages";
+  ASSERT_TRUE(service.InjectDeviceFault(0, plan).ok());
+
+  std::vector<VertexId> cells = first->rows;
+  for (;;) {
+    Result<ResultPage> page = service.FetchPage(*t);
+    ASSERT_TRUE(page.ok()) << page.status().ToString();
+    cells.insert(cells.end(), page->rows.begin(), page->rows.end());
+    if (page->done) break;
+  }
+  EXPECT_EQ(cells, FlattenTable(*expected));
+
+  ServiceStats stats = service.stats();
+  EXPECT_GE(stats.cursor_rebuilds, 1u);
+  EXPECT_GE(stats.device_failures, 1u);
+  EXPECT_EQ(stats.quarantined_devices, 1u);
+  ASSERT_TRUE(service.CloseCursor(*t).ok());
+
+}
+
+TEST(PagedResults, FetchPageSurfacesTheFaultWithoutARetryBudget) {
+  Graph data = testing::RandomHubGraph(200, 3, 2, 2, 13, 4, 0.25);
+  ServiceOptions so;
+  so.num_workers = 1;
+  so.num_devices = 1;
+  so.default_max_attempts = 1;  // fail fast: no rebuild allowed
+  so.page_budget_bytes = 64;
+  QueryService service(data, GsiOptOptions(), so);
+  ASSERT_TRUE(service.init_status().ok());
+
+  Result<QueryTicket> t = service.Submit(testing::RandomQuery(data, 4, 5));
+  ASSERT_TRUE(t.ok());
+  Result<ResultPage> first = service.FetchPage(*t);
+  ASSERT_TRUE(first.ok());
+  ASSERT_FALSE(first->done);
+
+  gpusim::FaultPlan plan;
+  plan.fail_after_transactions = 1;
+  plan.reason = "chaos: no retry budget";
+  ASSERT_TRUE(service.InjectDeviceFault(0, plan).ok());
+  EXPECT_EQ(service.FetchPage(*t).status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(service.stats().quarantined_devices, 1u);
+  ASSERT_TRUE(service.CloseCursor(*t).ok());
+}
+
+}  // namespace
+}  // namespace gsi

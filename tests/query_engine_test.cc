@@ -187,6 +187,87 @@ TEST(QueryEngine, SingleRunMatchesSequential) {
   EXPECT_EQ(got->AllMatchesSorted(), expected->AllMatchesSorted());
 }
 
+TEST(QueryEngine, ExecRequestMatchesDeprecatedOverloads) {
+  Workload w = std::move(MakeWorkloads()[2]);
+  GsiMatcher sequential(w.data, GsiOptOptions());
+  QueryEngine engine(w.data, GsiOptOptions());
+  for (size_t q = 0; q < 3; ++q) {
+    Result<QueryResult> expected = sequential.Find(w.queries[q]);
+    ASSERT_TRUE(expected.ok());
+
+    // No target: a fresh private device per call, same table as Run.
+    QueryEngine::ExecRequest req;
+    req.query = &w.queries[q];
+    Result<QueryResult> via_execute = engine.Execute(req);
+    Result<QueryResult> via_run = engine.Run(w.queries[q]);
+    ASSERT_TRUE(via_execute.ok() && via_run.ok());
+    EXPECT_TRUE(via_execute->TableEquals(*expected));
+    EXPECT_TRUE(via_run->TableEquals(*expected));
+
+    // Sharded target: the shim and the struct route identically.
+    gpusim::Device d0, d1;
+    d0.set_ordinal(0);
+    d1.set_ordinal(1);
+    std::vector<gpusim::Device*> devs{&d0, &d1};
+    ShardOptions shard;
+    shard.min_rows_per_shard = 1;
+    QueryEngine::ExecRequest sharded;
+    sharded.query = &w.queries[q];
+    sharded.devices = devs;
+    sharded.shard = shard;
+    Result<QueryResult> via_sharded = engine.Execute(sharded);
+    Result<QueryResult> via_shim =
+        engine.RunSharded(w.queries[q], devs, shard);
+    ASSERT_TRUE(via_sharded.ok() && via_shim.ok());
+    EXPECT_TRUE(via_sharded->TableEquals(*expected));
+    EXPECT_TRUE(via_shim->TableEquals(*expected));
+
+    // Paged form: materializing the manifest reproduces the table.
+    Result<PagedQueryResult> paged = engine.ExecutePaged(sharded);
+    ASSERT_TRUE(paged.ok());
+    EXPECT_EQ(paged->num_matches(), expected->table.rows());
+    gpusim::Device scratch;
+    QueryResult merged = ToQueryResult(std::move(paged.value()), scratch);
+    EXPECT_TRUE(merged.TableEquals(*expected));
+  }
+}
+
+TEST(QueryEngine, ExecRequestValidation) {
+  Workload w = std::move(MakeWorkloads()[2]);
+  QueryEngine engine(w.data, GsiOptOptions());
+
+  QueryEngine::ExecRequest no_query;
+  EXPECT_EQ(engine.Execute(no_query).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // A selection without a replicated target is rejected up front.
+  ReplicaSelection sel;
+  QueryEngine::ExecRequest dangling;
+  dangling.query = &w.queries[0];
+  dangling.selection = &sel;
+  EXPECT_EQ(engine.Execute(dangling).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // More than one execution target is ambiguous, not silently prioritized.
+  gpusim::Device dev;
+  std::vector<gpusim::Device*> devs{&dev};
+  gpusim::Device build_dev;
+  std::vector<gpusim::Device*> build_devs{&build_dev};
+  Result<PartitionedGraph> pg = PartitionedGraph::Build(
+      build_devs, w.data, engine.options(), HashVertexPartitioner());
+  ASSERT_TRUE(pg.ok());
+  QueryEngine::ExecRequest two_targets;
+  two_targets.query = &w.queries[0];
+  two_targets.devices = devs;
+  two_targets.partitioned = &pg.value();
+  EXPECT_EQ(engine.Execute(two_targets).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // The historical RunSharded contract survives the shim.
+  EXPECT_EQ(engine.RunSharded(w.queries[0], {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(QueryEngine, RejectsInvalidQueries) {
   Workload w = std::move(MakeWorkloads()[4]);
   QueryEngine engine(w.data, DefaultGsiOptions());

@@ -341,15 +341,19 @@ TEST(QueryService, ResultsAreTakenExactlyOnce) {
   ASSERT_TRUE(t.ok());
 
   // Poll until completion (exercises the nullopt path), then the result is
-  // consumed; any later Poll/Wait reports Internal.
+  // consumed; any later observer -- Wait, Poll, or FetchPage -- reports a
+  // clean NotFound that tells the caller to re-submit.
   std::optional<Result<QueryResult>> polled;
   while (!(polled = service.Poll(*t)).has_value()) {
   }
   EXPECT_TRUE(polled->ok());
-  EXPECT_EQ(service.Wait(*t).status().code(), StatusCode::kInternal);
+  EXPECT_EQ(service.Wait(*t).status().code(), StatusCode::kNotFound);
+  EXPECT_NE(service.Wait(*t).status().message().find("re-submit"),
+            std::string::npos);
   std::optional<Result<QueryResult>> again = service.Poll(*t);
   ASSERT_TRUE(again.has_value());
-  EXPECT_EQ(again->status().code(), StatusCode::kInternal);
+  EXPECT_EQ(again->status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(service.FetchPage(*t).status().code(), StatusCode::kNotFound);
 
   // Invalid tickets are reported, not crashed on.
   QueryTicket invalid;
